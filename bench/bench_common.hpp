@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Shared helpers for the figure-level benchmark binaries.
+ */
+#pragma once
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "windserve/windserve.hpp"
+
+namespace windserve::benchcommon {
+
+/** Run a 3-system sweep and print the Fig. 10-style latency tables. */
+inline void
+latency_sweep(const harness::Scenario &scenario,
+              const std::vector<double> &rates, std::size_t n,
+              std::uint64_t seed = 42)
+{
+    harness::SweepConfig sc;
+    sc.scenario = scenario;
+    sc.systems = {harness::SystemKind::WindServe,
+                  harness::SystemKind::DistServe,
+                  harness::SystemKind::Vllm};
+    sc.per_gpu_rates = rates;
+    sc.num_requests = n;
+    sc.seed = seed;
+    auto sweep = harness::run_sweep(sc);
+
+    std::cout << "-- " << scenario.name << " (SLO: TTFT "
+              << scenario.slo.ttft << "s, TPOT " << scenario.slo.tpot
+              << "s; " << scenario.num_gpus() << " GPUs) --\n";
+    for (const char *metric :
+         {"ttft p50 (s)", "ttft p99 (s)", "tpot p90 (s)", "tpot p99 (s)"}) {
+        harness::TextTable t({std::string("per-GPU rate | ") + metric,
+                              "WindServe", "DistServe", "vLLM"});
+        for (std::size_t j = 0; j < rates.size(); ++j) {
+            std::vector<std::string> row{harness::cell(rates[j], 2)};
+            for (std::size_t i = 0; i < sc.systems.size(); ++i) {
+                const auto &m = sweep.results[i][j].metrics;
+                double v = 0.0;
+                std::string name = metric;
+                if (name.rfind("ttft p50", 0) == 0)
+                    v = m.ttft.median();
+                else if (name.rfind("ttft p99", 0) == 0)
+                    v = m.ttft.p99();
+                else if (name.rfind("tpot p90", 0) == 0)
+                    v = m.tpot.p90();
+                else
+                    v = m.tpot.p99();
+                row.push_back(harness::cell(v, 4));
+            }
+            t.add_row(row);
+        }
+        std::cout << t.render() << "\n";
+    }
+}
+
+/** Run a 3-system sweep and print the Fig. 11-style attainment table. */
+inline void
+attainment_sweep(const harness::Scenario &scenario,
+                 const std::vector<double> &rates, std::size_t n,
+                 std::uint64_t seed = 42)
+{
+    harness::SweepConfig sc;
+    sc.scenario = scenario;
+    sc.systems = {harness::SystemKind::WindServe,
+                  harness::SystemKind::DistServe,
+                  harness::SystemKind::Vllm};
+    sc.per_gpu_rates = rates;
+    sc.num_requests = n;
+    sc.seed = seed;
+    auto sweep = harness::run_sweep(sc);
+
+    std::cout << "-- " << scenario.name << " --\n";
+    harness::TextTable t({"per-GPU rate", "WindServe", "DistServe",
+                          "vLLM"});
+    for (std::size_t j = 0; j < rates.size(); ++j) {
+        t.add_row({harness::cell(rates[j], 2),
+                   metrics::fmt_percent(
+                       sweep.results[0][j].metrics.slo_attainment),
+                   metrics::fmt_percent(
+                       sweep.results[1][j].metrics.slo_attainment),
+                   metrics::fmt_percent(
+                       sweep.results[2][j].metrics.slo_attainment)});
+    }
+    std::cout << t.render() << "\n";
+}
+
+/** Standard rate grids per scenario (chosen around each deployment's
+ *  saturation point in this simulator; see EXPERIMENTS.md). */
+inline std::vector<double>
+rates_for(const std::string &scenario_name)
+{
+    if (scenario_name.rfind("OPT-13B", 0) == 0)
+        return {2.0, 2.5, 3.0, 3.5, 4.0};
+    if (scenario_name.rfind("OPT-66B", 0) == 0)
+        return {0.2, 0.3, 0.4, 0.5, 0.6};
+    if (scenario_name.rfind("LLaMA2-13B", 0) == 0)
+        return {0.5, 0.75, 1.0, 1.25, 1.5};
+    return {0.06, 0.10, 0.14, 0.18, 0.22}; // LLaMA2-70B
+}
+
+} // namespace windserve::benchcommon

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Figure 3 — queuing delays when serving a 13B LLM on ShareGPT at
+ * per-GPU rate 4 req/s under two static placements:
+ * [TP-2, TP-1] (decode-starved) and [TP-2, TP-2] (prefill-starved).
+ *
+ * Expected shape: with a 1-GPU decode instance, decode queuing
+ * dominates; with symmetric 2+2 GPUs, prefill queuing dominates —
+ * coarse GPU-granularity allocation cannot win both (paper §2.2).
+ */
+#include <cstdlib>
+#include <iostream>
+
+#include "windserve/windserve.hpp"
+
+using namespace windserve;
+
+namespace {
+
+void
+row(harness::TextTable &t, const std::string &label,
+    const harness::Scenario &scenario, std::size_t n)
+{
+    harness::ExperimentConfig ec;
+    ec.scenario = scenario;
+    ec.system = harness::SystemKind::DistServe;
+    ec.per_gpu_rate = 4.0;
+    ec.num_requests = n;
+    auto r = harness::run_experiment(ec);
+    t.add_row({label,
+               harness::cell(r.metrics.prefill_queueing.median(), 3),
+               harness::cell(r.metrics.prefill_queueing.p99(), 3),
+               harness::cell(r.metrics.decode_queueing.median(), 3),
+               harness::cell(r.metrics.decode_queueing.p99(), 3)});
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::size_t n = argc > 1 ? std::atoi(argv[1]) : 2500;
+    std::cout << "== Figure 3: queuing delays, 13B model, ShareGPT @ "
+                 "4 req/s/GPU, DistServe placements ==\n";
+    harness::TextTable t({"placement", "prefill queue p50 (s)",
+                          "prefill queue p99 (s)", "decode queue p50 (s)",
+                          "decode queue p99 (s)"});
+    row(t, "[TP-2, TP-1]",
+        harness::Scenario::opt13b_sharegpt_small_decode(), n);
+    row(t, "[TP-2, TP-2]", harness::Scenario::opt13b_sharegpt(), n);
+    std::cout << t.render()
+              << "\n(paper: [TP-2,TP-1] bottlenecks on decoding, "
+                 "[TP-2,TP-2] on prefill queuing)\n";
+    return 0;
+}

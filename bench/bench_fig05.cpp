@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Figure 5 — impact of the Dynamic Prefill Dispatch threshold `thrd`
+ * on SLO attainment: OPT-13B/ShareGPT @ 4 req/s/GPU and
+ * LLaMA2-13B/LongBench @ 1.5 req/s/GPU.
+ *
+ * Expected shape: an inverted-U. Too-high thresholds never dispatch
+ * (prefill overload persists); too-low thresholds flood the decode
+ * instance with prefills and hurt both metrics. The paper recommends
+ * "slightly below the TTFT SLO".
+ */
+#include <cstdlib>
+#include <iostream>
+
+#include "windserve/windserve.hpp"
+
+using namespace windserve;
+
+namespace {
+
+void
+sweep(const harness::Scenario &scenario, double rate,
+      const std::vector<double> &thresholds, std::size_t n)
+{
+    std::cout << "-- " << scenario.name << " @ " << rate
+              << " req/s/GPU (TTFT SLO " << scenario.slo.ttft << "s) --\n";
+    harness::TextTable t({"thrd (s)", "thrd/SLO", "slo attainment",
+                          "ttft attainment", "tpot attainment",
+                          "dispatches"});
+    for (double thrd : thresholds) {
+        harness::ExperimentConfig ec;
+        ec.scenario = scenario;
+        ec.system = harness::SystemKind::WindServe;
+        ec.per_gpu_rate = rate;
+        ec.num_requests = n;
+        ec.thrd = thrd;
+        auto r = harness::run_experiment(ec);
+        t.add_row({harness::cell(thrd, 3),
+                   harness::cell(thrd / scenario.slo.ttft, 2),
+                   metrics::fmt_percent(r.metrics.slo_attainment),
+                   metrics::fmt_percent(r.metrics.ttft_attainment),
+                   metrics::fmt_percent(r.metrics.tpot_attainment),
+                   std::to_string(r.dispatches)});
+    }
+    std::cout << t.render() << "\n";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::size_t n = argc > 1 ? std::atoi(argv[1]) : 2500;
+    std::cout << "== Figure 5: dispatch-threshold sensitivity ==\n\n";
+    auto opt = harness::Scenario::opt13b_sharegpt();
+    sweep(opt, 4.0,
+          {0.01 * opt.slo.ttft, 0.1 * opt.slo.ttft, 0.4 * opt.slo.ttft,
+           0.8 * opt.slo.ttft, 1.0 * opt.slo.ttft, 2.0 * opt.slo.ttft,
+           1e9},
+          n);
+    auto lb = harness::Scenario::llama2_13b_longbench();
+    sweep(lb, 1.5,
+          {0.01 * lb.slo.ttft, 0.1 * lb.slo.ttft, 0.4 * lb.slo.ttft,
+           0.8 * lb.slo.ttft, 1.0 * lb.slo.ttft, 2.0 * lb.slo.ttft, 1e9},
+          n);
+    return 0;
+}

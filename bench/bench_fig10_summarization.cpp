@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Figure 10c/10d — end-to-end summarization performance on LongBench:
+ * TTFT (P50/P99) and TPOT (P90/P99) vs per-GPU rate for WindServe,
+ * DistServe and vLLM, on LLaMA2-13B (top) and LLaMA2-70B (bottom).
+ *
+ * Expected shape (paper): WindServe reduces TTFT median 1.65-2.1x and
+ * P99 1.55-1.76x vs DistServe with minimal TPOT impact; the
+ * asynchronous-KV-transfer TPOT advantage is large for LLaMA2-13B
+ * (MHA, big KV) and smaller for LLaMA2-70B (GQA shrinks the KV 8x).
+ */
+#include <cstdlib>
+
+#include "bench_common.hpp"
+
+using namespace windserve;
+
+int
+main(int argc, char **argv)
+{
+    std::size_t n = argc > 1 ? std::atoi(argv[1]) : 2000;
+    std::cout << "== Figure 10c/10d: Summarization (LongBench) "
+                 "end-to-end latency ==\n\n";
+    auto l13 = harness::Scenario::llama2_13b_longbench();
+    benchcommon::latency_sweep(l13, benchcommon::rates_for(l13.name), n);
+    auto l70 = harness::Scenario::llama2_70b_longbench();
+    benchcommon::latency_sweep(l70, benchcommon::rates_for(l70.name), n);
+    return 0;
+}

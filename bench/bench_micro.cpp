@@ -1,0 +1,131 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the simulator's hot paths: event
+ * queue churn, paged block management, cost-model evaluation, exact
+ * percentiles, and a full end-to-end serving run per system.
+ */
+#include <benchmark/benchmark.h>
+
+#include "windserve/windserve.hpp"
+
+using namespace windserve;
+
+static void
+BM_EventQueuePushPop(benchmark::State &state)
+{
+    for (auto _ : state) {
+        sim::EventQueue q;
+        for (int i = 0; i < state.range(0); ++i)
+            q.push(static_cast<double>((i * 2654435761u) % 1000), [] {});
+        while (!q.empty())
+            q.pop_and_run();
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_EventQueuePushPop)->Arg(1024)->Arg(16384);
+
+static void
+BM_SimulatorEventChain(benchmark::State &state)
+{
+    for (auto _ : state) {
+        sim::Simulator s;
+        long fired = 0;
+        std::function<void()> chain = [&] {
+            if (++fired < state.range(0))
+                s.schedule(0.001, chain);
+        };
+        s.schedule(0.0, chain);
+        s.run();
+        benchmark::DoNotOptimize(fired);
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SimulatorEventChain)->Arg(10000);
+
+static void
+BM_BlockManagerChurn(benchmark::State &state)
+{
+    kvcache::BlockManager bm(1 << 16, 16);
+    sim::Rng rng(1);
+    std::vector<kvcache::ReqId> live;
+    kvcache::ReqId next = 0;
+    for (auto _ : state) {
+        if (live.size() < 512 && bm.allocate(next, 400)) {
+            live.push_back(next++);
+        } else if (!live.empty()) {
+            std::size_t i = static_cast<std::size_t>(
+                rng.uniform_int(0, static_cast<long>(live.size()) - 1));
+            bm.release(live[i]);
+            live[i] = live.back();
+            live.pop_back();
+        }
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BlockManagerChurn);
+
+static void
+BM_CostModelDecode(benchmark::State &state)
+{
+    model::CostModel cm(model::ModelSpec::opt_13b(),
+                        hw::GpuSpec::a800_80g(), {2, 1});
+    double acc = 0, l = 1000;
+    for (auto _ : state) {
+        acc += cm.decode_time(16.0, l);
+        l += 1.0;
+    }
+    benchmark::DoNotOptimize(acc);
+}
+BENCHMARK(BM_CostModelDecode);
+
+static void
+BM_ProfilerFit(benchmark::State &state)
+{
+    std::vector<double> x, y;
+    sim::Rng rng(3);
+    for (int i = 1; i <= 512; ++i) {
+        x.push_back(8.0 * i);
+        y.push_back(2e-4 * 8.0 * i + 1e-8 * 64.0 * i * i + 0.006);
+    }
+    for (auto _ : state) {
+        auto fit = core::fit_quadratic(x, y);
+        benchmark::DoNotOptimize(fit);
+    }
+}
+BENCHMARK(BM_ProfilerFit);
+
+static void
+BM_PercentileExact(benchmark::State &state)
+{
+    sim::Rng rng(4);
+    for (auto _ : state) {
+        state.PauseTiming();
+        sim::Sample s;
+        for (int i = 0; i < state.range(0); ++i)
+            s.add(rng.uniform());
+        state.ResumeTiming();
+        benchmark::DoNotOptimize(s.p99());
+    }
+}
+BENCHMARK(BM_PercentileExact)->Arg(10000);
+
+static void
+BM_EndToEnd(benchmark::State &state)
+{
+    auto kind = static_cast<harness::SystemKind>(state.range(0));
+    for (auto _ : state) {
+        harness::ExperimentConfig ec;
+        ec.system = kind;
+        ec.per_gpu_rate = 4.0;
+        ec.num_requests = 500;
+        auto r = harness::run_experiment(ec);
+        benchmark::DoNotOptimize(r.metrics.slo_attainment);
+    }
+    state.SetLabel(harness::to_string(kind));
+    state.SetItemsProcessed(state.iterations() * 500);
+}
+BENCHMARK(BM_EndToEnd)
+    ->Arg(static_cast<int>(harness::SystemKind::WindServe))
+    ->Arg(static_cast<int>(harness::SystemKind::DistServe))
+    ->Arg(static_cast<int>(harness::SystemKind::Vllm))
+    ->Unit(benchmark::kMillisecond);

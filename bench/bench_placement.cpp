@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Simulation-driven placement search (the §5.1 methodology behind
+ * Table 3): enumerate [TP,PP | TP,PP] placements within the GPU
+ * budget, simulate each, and rank by SLO attainment. The hand-picked
+ * Table 3 placement should rank at or near the top for its scenario.
+ */
+#include <cstdlib>
+#include <iostream>
+
+#include "windserve/windserve.hpp"
+
+using namespace windserve;
+
+namespace {
+
+void
+search(const harness::Scenario &scenario, double rate, std::size_t n,
+       std::size_t max_gpus)
+{
+    harness::PlacementSearchConfig cfg;
+    cfg.scenario = scenario;
+    cfg.per_gpu_rate = rate;
+    cfg.num_requests = n;
+    cfg.max_gpus = max_gpus;
+    auto scores = harness::search_placements(cfg);
+
+    std::cout << "-- " << scenario.name << " @ " << rate
+              << " req/s/GPU, budget " << max_gpus << " GPUs ("
+              << scores.size() << " candidates) --\n";
+    harness::TextTable t({"placement", "gpus", "slo", "ttft p50",
+                          "tpot p90"});
+    for (const auto &s : scores) {
+        t.add_row({s.placement.to_string(),
+                   std::to_string(s.placement.num_gpus()),
+                   metrics::fmt_percent(s.metrics.slo_attainment),
+                   metrics::fmt_seconds(s.metrics.ttft.median()),
+                   metrics::fmt_seconds(s.metrics.tpot.p90())});
+    }
+    std::cout << t.render() << "\n";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::size_t n = argc > 1 ? std::atoi(argv[1]) : 800;
+    std::cout << "== Placement search (Table 3 methodology) ==\n\n";
+    search(harness::Scenario::opt13b_sharegpt(), 2.0, n, 4);
+    search(harness::Scenario::opt66b_sharegpt(), 0.3, n, 8);
+    std::cout << "(Table 3 picks [TP-2,PP-1 | TP-2,PP-1] for the 13B "
+                 "models and [TP-2,PP-2 | TP-2,PP-2] for 66B/70B)\n";
+    return 0;
+}

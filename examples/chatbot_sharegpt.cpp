@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Chatbot scenario walkthrough (the paper's §5.2 "Chatbot" study):
+ * sweep OPT-13B on a ShareGPT-like workload across request rates,
+ * print the full latency/attainment comparison, and emit a CSV that
+ * plotting scripts can consume.
+ *
+ * Usage: chatbot_sharegpt [num_requests] [csv_path]
+ */
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+
+#include "windserve/windserve.hpp"
+
+int
+main(int argc, char **argv)
+{
+    using namespace windserve;
+
+    std::size_t n = argc > 1 ? std::atoi(argv[1]) : 2000;
+    const char *csv_path = argc > 2 ? argv[2] : nullptr;
+
+    harness::SweepConfig sc;
+    sc.scenario = harness::Scenario::opt13b_sharegpt();
+    sc.per_gpu_rates = {2.0, 2.5, 3.0, 3.5, 4.0};
+    sc.num_requests = n;
+
+    std::cout << "Chatbot scenario: " << sc.scenario.name << ", "
+              << sc.scenario.num_gpus() << " GPUs, SLO TTFT "
+              << sc.scenario.slo.ttft << "s / TPOT "
+              << sc.scenario.slo.tpot << "s\n\n";
+
+    harness::TextTable table({"system", "rate", "ttft p50", "ttft p99",
+                              "tpot p90", "tpot p99", "slo", "dispatch",
+                              "resched", "swaps"});
+    auto sweep = harness::run_sweep(sc, [](const auto &r) {
+        std::cout << r.system_name << " @ " << r.per_gpu_rate
+                  << " req/s/GPU: " << metrics::summary_line(r.metrics)
+                  << "\n";
+    });
+    for (const auto &series : sweep.results) {
+        for (const auto &r : series) {
+            const auto &m = r.metrics;
+            table.add_row({r.system_name, harness::cell(r.per_gpu_rate, 1),
+                           metrics::fmt_seconds(m.ttft.median()),
+                           metrics::fmt_seconds(m.ttft.p99()),
+                           metrics::fmt_seconds(m.tpot.p90()),
+                           metrics::fmt_seconds(m.tpot.p99()),
+                           metrics::fmt_percent(m.slo_attainment),
+                           std::to_string(r.dispatches),
+                           std::to_string(r.reschedules),
+                           std::to_string(r.decode_swap_outs)});
+        }
+    }
+    std::cout << "\n" << table.render();
+
+    if (csv_path) {
+        std::ofstream out(csv_path);
+        out << table.csv();
+        std::cout << "\nwrote " << csv_path << "\n";
+    }
+    return 0;
+}

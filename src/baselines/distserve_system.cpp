@@ -1,0 +1,101 @@
+#include "baselines/distserve_system.hpp"
+
+namespace windserve::baselines {
+
+using workload::Request;
+using workload::RequestState;
+
+DistServeSystem::DistServeSystem(DistServeConfig cfg)
+    : cfg_(std::move(cfg)), topo_(cfg_.topology)
+{
+    sim::Rng seed_rng(cfg_.seed);
+    hw::PdPlacement placement = hw::default_pd_placement(
+        topo_, cfg_.prefill_parallelism.num_gpus(),
+        cfg_.decode_parallelism.num_gpus());
+
+    model::CostModel prefill_cost(cfg_.model, topo_.gpu(0),
+                                  cfg_.prefill_parallelism,
+                                  cfg_.cost_params);
+    model::CostModel decode_cost(cfg_.model, topo_.gpu(0),
+                                 cfg_.decode_parallelism, cfg_.cost_params);
+
+    engine::InstanceConfig pcfg;
+    pcfg.name = "distserve/prefill";
+    pcfg.role = engine::InstanceRole::Prefill;
+    pcfg.block_size = cfg_.block_size;
+    pcfg.max_batch_size = cfg_.max_batch_size;
+    pcfg.max_prefill_tokens = cfg_.max_prefill_tokens;
+    pcfg.exec_noise_sigma = cfg_.exec_noise_sigma;
+    prefill_ = std::make_unique<engine::Instance>(
+        sim_, pcfg, prefill_cost, seed_rng.fork(),
+        topo_.host_link(placement.prefill.front()));
+
+    engine::InstanceConfig dcfg;
+    dcfg.name = "distserve/decode";
+    dcfg.role = engine::InstanceRole::Decode;
+    dcfg.block_size = cfg_.block_size;
+    dcfg.max_batch_size = cfg_.max_batch_size;
+    dcfg.max_prefill_tokens = cfg_.max_prefill_tokens;
+    dcfg.exec_noise_sigma = cfg_.exec_noise_sigma;
+    decode_ = std::make_unique<engine::Instance>(
+        sim_, dcfg, decode_cost, seed_rng.fork(),
+        topo_.host_link(placement.decode.front()));
+
+    hw::Link pd_link = topo_.best_link(placement.prefill, placement.decode);
+    xfer_ = std::make_unique<transfer::KvTransferManager>(
+        sim_, pd_link, cfg_.model, cfg_.transfer);
+
+    prefill_->callbacks.on_prefill_complete = [this](Request *r) {
+        on_prefill_complete(r);
+    };
+}
+
+std::size_t
+DistServeSystem::num_gpus() const
+{
+    return cfg_.prefill_parallelism.num_gpus() +
+           cfg_.decode_parallelism.num_gpus();
+}
+
+void
+DistServeSystem::run(const std::vector<workload::Request> &trace,
+                     double horizon)
+{
+    requests_ = trace;
+    for (auto &r : requests_) {
+        Request *ptr = &r;
+        sim_.schedule_at(r.arrival_time,
+                         [this, ptr] { prefill_->enqueue_prefill(ptr); });
+    }
+    sim_.run_until(horizon);
+    prefill_->finalize_stats();
+    decode_->finalize_stats();
+}
+
+void
+DistServeSystem::on_prefill_complete(Request *r)
+{
+    if (r->output_tokens <= 1) {
+        r->finish_time = sim_.now();
+        r->state = RequestState::Finished;
+        prefill_->release_kv(r);
+        return;
+    }
+    // Synchronous transfer: the request only becomes eligible for decode
+    // admission after the full KV copy lands.
+    xfer_->transfer_prefill_kv(r, [this, r] {
+        prefill_->release_kv(r);
+        decode_->enqueue_decode(r, /*kv_resident=*/false);
+    });
+}
+
+void
+DistServeSystem::fill_system_metrics(metrics::RunMetrics &m)
+{
+    m.prefill_compute_util = prefill_->mean_compute_utilization();
+    m.prefill_bandwidth_util = prefill_->mean_bandwidth_utilization();
+    m.decode_compute_util = decode_->mean_compute_utilization();
+    m.decode_bandwidth_util = decode_->mean_bandwidth_utilization();
+}
+
+} // namespace windserve::baselines

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * DistServe-style baseline (Zhong et al., OSDI'24) as evaluated in the
+ * paper: static phase disaggregation with FCFS local scheduling and a
+ * synchronous post-prefill KV transfer.
+ *
+ * Differences from WindServe, per the paper's analysis (§2.2):
+ *  - no cross-instance coordination: prefills always run on the prefill
+ *    instance, decodes always on the decode instance;
+ *  - the prefill instance does not retain KV, so all active KV lives in
+ *    the decode instance (swap pressure under load, Fig. 1a);
+ *  - the KV transfer starts only after prefill completes and sits on
+ *    the request's critical path (~65 ms for a 2048-token OPT-13B
+ *    context over PCIe).
+ */
+#pragma once
+
+#include <memory>
+
+#include "engine/instance.hpp"
+#include "engine/serving_system.hpp"
+#include "hw/topology.hpp"
+#include "transfer/kv_transfer.hpp"
+
+namespace windserve::baselines {
+
+/** Configuration of a DistServe deployment. */
+struct DistServeConfig {
+    model::ModelSpec model = model::ModelSpec::opt_13b();
+    hw::TopologyConfig topology;
+    model::ParallelismConfig prefill_parallelism{2, 1};
+    model::ParallelismConfig decode_parallelism{2, 1};
+    model::CostModelParams cost_params;
+    transfer::KvTransferConfig transfer{
+        transfer::TransferPolicy::Synchronous, 0.05};
+    std::size_t block_size = 16;
+    std::size_t max_batch_size = 256;
+    std::size_t max_prefill_tokens = 4096;
+    double exec_noise_sigma = 0.03;
+    std::uint64_t seed = 7;
+};
+
+/** See file comment. */
+class DistServeSystem : public engine::ServingSystem
+{
+  public:
+    explicit DistServeSystem(DistServeConfig cfg);
+
+    std::string name() const override { return "DistServe"; }
+    void run(const std::vector<workload::Request> &trace,
+             double horizon = 7200.0) override;
+    const std::vector<workload::Request> &requests() const override
+    {
+        return requests_;
+    }
+    void fill_system_metrics(metrics::RunMetrics &m) override;
+    std::size_t num_gpus() const override;
+
+    engine::Instance &prefill_instance() { return *prefill_; }
+    engine::Instance &decode_instance() { return *decode_; }
+    sim::Simulator &simulator() { return sim_; }
+
+  private:
+    void on_prefill_complete(workload::Request *r);
+
+    DistServeConfig cfg_;
+    sim::Simulator sim_;
+    hw::Topology topo_;
+    std::unique_ptr<engine::Instance> prefill_;
+    std::unique_ptr<engine::Instance> decode_;
+    std::unique_ptr<transfer::KvTransferManager> xfer_;
+    std::vector<workload::Request> requests_;
+};
+
+} // namespace windserve::baselines

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * vLLM-style co-located baseline (v0.4.2 configuration from §5):
+ * continuous batching with PagedAttention block management and
+ * chunked-prefill enabled, prefill and decode sharing every engine.
+ *
+ * The deployment runs N identical engines (the paper's "recommended
+ * placement": TP within an NVLink pair, replicated across pairs) with
+ * round-robin request routing. No KV ever crosses engines; preemption
+ * under memory pressure swaps to host DRAM.
+ */
+#pragma once
+
+#include <memory>
+
+#include "engine/instance.hpp"
+#include "engine/serving_system.hpp"
+#include "hw/topology.hpp"
+
+namespace windserve::baselines {
+
+/** Configuration of the co-located vLLM deployment. */
+struct VllmConfig {
+    model::ModelSpec model = model::ModelSpec::opt_13b();
+    hw::TopologyConfig topology;
+    /** Parallelism of each engine (TP within an NVLink pair). */
+    model::ParallelismConfig engine_parallelism{2, 1};
+    /** Number of identical engines. */
+    std::size_t num_engines = 2;
+    model::CostModelParams cost_params;
+    std::size_t block_size = 16;
+    std::size_t max_batch_size = 256;
+    std::size_t max_prefill_tokens = 4096;
+    /** Per-iteration prefill token budget (vLLM max_num_batched_tokens). */
+    std::size_t chunk_size = 2048;
+    bool chunked_prefill = true;
+    double exec_noise_sigma = 0.03;
+    std::uint64_t seed = 7;
+};
+
+/** See file comment. */
+class VllmColocatedSystem : public engine::ServingSystem
+{
+  public:
+    explicit VllmColocatedSystem(VllmConfig cfg);
+
+    std::string name() const override { return "vLLM"; }
+    void run(const std::vector<workload::Request> &trace,
+             double horizon = 7200.0) override;
+    const std::vector<workload::Request> &requests() const override
+    {
+        return requests_;
+    }
+    void fill_system_metrics(metrics::RunMetrics &m) override;
+    std::size_t num_gpus() const override;
+
+    engine::Instance &engine_instance(std::size_t i) { return *engines_[i]; }
+    std::size_t num_engines() const { return engines_.size(); }
+    sim::Simulator &simulator() { return sim_; }
+
+  private:
+    VllmConfig cfg_;
+    sim::Simulator sim_;
+    hw::Topology topo_;
+    std::vector<std::unique_ptr<engine::Instance>> engines_;
+    std::vector<workload::Request> requests_;
+};
+
+} // namespace windserve::baselines

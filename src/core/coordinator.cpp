@@ -1,0 +1,116 @@
+#include "core/coordinator.hpp"
+
+#include <algorithm>
+
+#include "simcore/log.hpp"
+
+namespace windserve::core {
+
+Coordinator::Coordinator(CoordinatorConfig cfg, Profiler &prefill_profiler,
+                         Profiler &decode_profiler)
+    : cfg_(cfg), prefill_profiler_(prefill_profiler),
+      decode_profiler_(decode_profiler)
+{}
+
+void
+Coordinator::compute_budget(const model::CostModel &decode_cost,
+                            double ttft_slo, double tpot_slo,
+                            double typical_batch, double typical_context)
+{
+    if (cfg_.budget_tokens != 0)
+        return; // explicitly configured
+    // Gate: if even the interference-slowed decode iteration would break
+    // the TPOT SLO, the decode instance cannot assist at all.
+    double slowed = decode_cost.sbd_decode_time(
+        typical_batch, typical_batch * typical_context);
+    if (slowed > tpot_slo) {
+        cfg_.budget_tokens = 0;
+        cfg_.enable_dispatch = false;
+        return;
+    }
+    // Largest N whose SBD prefill stream fits the TTFT-fraction budget.
+    double limit = cfg_.budget_ttft_fraction * ttft_slo;
+    std::size_t lo = 0, hi = 65536;
+    while (lo < hi) {
+        std::size_t mid = (lo + hi + 1) / 2;
+        if (decode_cost.sbd_prefill_time(static_cast<double>(mid)) <= limit)
+            lo = mid;
+        else
+            hi = mid - 1;
+    }
+    cfg_.budget_tokens = lo;
+    WS_LOG(Info, "coordinator")
+        << "assist budget = " << lo << " tokens (limit " << limit << "s)";
+}
+
+std::size_t
+Coordinator::available_slots(const engine::Instance &decode) const
+{
+    // "if the KV blocks in the decoding instance are inadequate, the
+    // available slot is set to 0."
+    const auto &bm = decode.blocks();
+    std::size_t reserve_blocks =
+        bm.blocks_for(cfg_.dispatch_kv_reserve_tokens);
+    if (bm.free_blocks() <= reserve_blocks)
+        return 0;
+    std::size_t free_tokens =
+        (bm.free_blocks() - reserve_blocks) * bm.block_size();
+    std::size_t pending = decode.assist_tokens_pending();
+    std::size_t budget = cfg_.budget_tokens > pending
+                             ? cfg_.budget_tokens - pending
+                             : 0;
+    return std::min(budget, free_tokens);
+}
+
+DispatchDecision
+Coordinator::decide_dispatch(const workload::Request &r,
+                             const engine::Instance &prefill,
+                             const engine::Instance &decode)
+{
+    if (!cfg_.enable_dispatch)
+        return DispatchDecision::PrefillInstance;
+    double queued =
+        static_cast<double>(prefill.waiting_prefill_tokens());
+    double ttft_pred = prefill_profiler_.predict_ttft(
+        queued, static_cast<double>(r.prompt_tokens),
+        prefill.inflight_prefill_remaining());
+    if (ttft_pred <= cfg_.thrd)
+        return DispatchDecision::PrefillInstance;
+    std::size_t slots = available_slots(decode);
+    if (slots >= r.prompt_tokens) {
+        ++dispatches_;
+        return DispatchDecision::DecodeInstance;
+    }
+    return DispatchDecision::PrefillInstance;
+}
+
+bool
+Coordinator::maybe_reschedule(engine::Instance &decode,
+                              const engine::Instance &prefill,
+                              transfer::MigrationManager &migration)
+{
+    if (!cfg_.enable_rescheduling)
+        return false;
+    if (migration.active() >= cfg_.max_concurrent_migrations)
+        return false;
+    // Hosting too many migrated decodes keeps the prefill instance in
+    // chunked mode and starves TTFT; stop rescheduling until they drain.
+    if (prefill.running_decode_requests() + prefill.waiting_decode_requests() >=
+        cfg_.max_migrated_resident)
+        return false;
+    if (decode.blocks().occupancy() < cfg_.resched_occupancy_trigger)
+        return false;
+    engine::Request *victim =
+        engine::select_migration_victim(decode.groups());
+    if (victim == nullptr)
+        return false;
+    if (!migration.start(victim))
+        return false;
+    ++reschedules_;
+    WS_LOG(Debug, "coordinator")
+        << "reschedule req " << victim->id << " ctx "
+        << victim->context_length();
+    return true;
+}
+
+} // namespace windserve::core

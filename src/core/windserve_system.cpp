@@ -1,0 +1,209 @@
+#include "core/windserve_system.hpp"
+
+#include <stdexcept>
+
+#include "simcore/log.hpp"
+
+namespace windserve::core {
+
+using workload::Request;
+using workload::RequestState;
+
+WindServeSystem::WindServeSystem(WindServeConfig cfg)
+    : cfg_(std::move(cfg)), topo_(cfg_.topology)
+{
+    sim::Rng seed_rng(cfg_.seed);
+
+    hw::PdPlacement placement = hw::default_pd_placement(
+        topo_, cfg_.prefill_parallelism.num_gpus(),
+        cfg_.decode_parallelism.num_gpus());
+
+    model::CostModel prefill_cost(cfg_.model, topo_.gpu(0),
+                                  cfg_.prefill_parallelism,
+                                  cfg_.cost_params);
+    model::CostModel decode_cost(cfg_.model, topo_.gpu(0),
+                                 cfg_.decode_parallelism, cfg_.cost_params);
+
+    engine::InstanceConfig pcfg;
+    pcfg.name = "prefill";
+    pcfg.role = engine::InstanceRole::Prefill;
+    pcfg.block_size = cfg_.block_size;
+    pcfg.max_batch_size = cfg_.max_batch_size;
+    pcfg.max_prefill_tokens = cfg_.max_prefill_tokens;
+    // Migrated decodes trigger chunked prefill here (§3.3). Large
+    // chunks keep prefill throughput high; the few migrated decodes are
+    // long-context requests with TPOT slack.
+    pcfg.chunk_size = cfg_.prefill_chunk_size;
+    pcfg.chunked_prefill = true;
+    pcfg.exec_noise_sigma = cfg_.exec_noise_sigma;
+    prefill_ = std::make_unique<engine::Instance>(
+        sim_, pcfg, prefill_cost, seed_rng.fork(),
+        topo_.host_link(placement.prefill.front()));
+
+    engine::InstanceConfig dcfg;
+    dcfg.name = "decode";
+    dcfg.role = engine::InstanceRole::Decode;
+    dcfg.block_size = cfg_.block_size;
+    dcfg.max_batch_size = cfg_.max_batch_size;
+    dcfg.max_prefill_tokens = cfg_.max_prefill_tokens;
+    dcfg.chunk_size = cfg_.chunk_size;
+    dcfg.stream_based_disaggregation = cfg_.enable_sbd;
+    dcfg.exec_noise_sigma = cfg_.exec_noise_sigma;
+    decode_ = std::make_unique<engine::Instance>(
+        sim_, dcfg, decode_cost, seed_rng.fork(),
+        topo_.host_link(placement.decode.front()));
+
+    hw::Link pd_link = topo_.best_link(placement.prefill, placement.decode);
+    xfer_ = std::make_unique<transfer::KvTransferManager>(
+        sim_, pd_link, cfg_.model, cfg_.transfer);
+
+    migration_ = std::make_unique<transfer::MigrationManager>(
+        sim_, *xfer_, *decode_, *prefill_, backup_registry_,
+        cfg_.migration);
+    backup_ = std::make_unique<transfer::BackupManager>(
+        sim_, *xfer_, *decode_, *prefill_, backup_registry_, cfg_.backup);
+
+    // Dispatch must back off before the decode instance is memory-tight;
+    // scale the KV reserve with the actual capacity.
+    CoordinatorConfig coord_cfg = cfg_.coordinator;
+    coord_cfg.dispatch_kv_reserve_tokens = std::max(
+        coord_cfg.dispatch_kv_reserve_tokens,
+        static_cast<std::size_t>(cfg_.dispatch_reserve_fraction *
+                                 decode_cost.kv_capacity_tokens()));
+    scheduler_ = std::make_unique<GlobalScheduler>(coord_cfg);
+    sim::Rng calib_rng = seed_rng.fork();
+    scheduler_->calibrate(prefill_cost, decode_cost, cfg_.ttft_slo,
+                          cfg_.tpot_slo, calib_rng, cfg_.exec_noise_sigma);
+
+    // ------------------------------------------------------------------
+    // callback wiring
+    // ------------------------------------------------------------------
+    prefill_->callbacks.on_prefill_complete = [this](Request *r) {
+        on_prefill_complete_at_prefill(r);
+    };
+    prefill_->callbacks.on_finished = [this](Request *r) {
+        on_finished(r);
+    };
+    prefill_->callbacks.on_prefill_observation = [this](double n, double t) {
+        scheduler_->prefill_profiler().observe_prefill(n, t);
+    };
+
+    decode_->callbacks.on_prefill_complete = [this](Request *r) {
+        on_prefill_complete_at_decode(r);
+    };
+    decode_->callbacks.on_finished = [this](Request *r) { on_finished(r); };
+    decode_->callbacks.on_assist_bounce = [this](Request *r) {
+        // The coordinator's slot check raced with decode KV growth:
+        // fall back to the prefill instance.
+        prefill_->enqueue_prefill(r);
+    };
+    decode_->callbacks.on_decode_observation =
+        [this](double b, double l, double t) {
+            scheduler_->decode_profiler().observe_decode(b, l, t);
+        };
+    decode_->callbacks.on_step = [this] {
+        migration_->on_source_step();
+        scheduler_->coordinator().maybe_reschedule(*decode_, *prefill_,
+                                                   *migration_);
+        if (cfg_.coordinator.enable_backup)
+            backup_->maybe_backup();
+    };
+
+    migration_->on_migrated = [this](Request *r) {
+        r->state = RequestState::WaitingDecode;
+        prefill_->enqueue_decode(r, /*kv_resident=*/true);
+    };
+}
+
+std::size_t
+WindServeSystem::num_gpus() const
+{
+    return cfg_.prefill_parallelism.num_gpus() +
+           cfg_.decode_parallelism.num_gpus();
+}
+
+void
+WindServeSystem::run(const std::vector<workload::Request> &trace,
+                     double horizon)
+{
+    requests_ = trace;
+    outstanding_ = requests_.size();
+    for (auto &r : requests_) {
+        Request *ptr = &r;
+        sim_.schedule_at(r.arrival_time, [this, ptr] { on_arrival(ptr); });
+    }
+    sim_.run_until(horizon);
+    prefill_->finalize_stats();
+    decode_->finalize_stats();
+}
+
+void
+WindServeSystem::on_arrival(Request *r)
+{
+    DispatchDecision d = scheduler_->coordinator().decide_dispatch(
+        *r, *prefill_, *decode_);
+    if (d == DispatchDecision::DecodeInstance)
+        decode_->enqueue_assist_prefill(r);
+    else
+        prefill_->enqueue_prefill(r);
+}
+
+void
+WindServeSystem::finish_prefill_only(engine::Instance &inst, Request *r)
+{
+    // Single-output-token request: the prefill's first token is also the
+    // EOS; no decode phase exists.
+    r->finish_time = sim_.now();
+    r->state = RequestState::Finished;
+    inst.release_kv(r);
+    on_finished(r);
+}
+
+void
+WindServeSystem::on_prefill_complete_at_prefill(Request *r)
+{
+    if (r->output_tokens <= 1) {
+        finish_prefill_only(*prefill_, r);
+        return;
+    }
+    // WindServe overlaps the KV copy with the prefill pass; only the
+    // tail is left on the critical path here (transfer config).
+    xfer_->transfer_prefill_kv(r, [this, r] {
+        prefill_->release_kv(r);
+        decode_->enqueue_decode(r, /*kv_resident=*/false);
+    });
+}
+
+void
+WindServeSystem::on_prefill_complete_at_decode(Request *r)
+{
+    if (r->output_tokens <= 1) {
+        finish_prefill_only(*decode_, r);
+        return;
+    }
+    // Assist prefill: KV is already resident in the decode instance —
+    // no transfer at all (a structural benefit of Dynamic Prefill
+    // Dispatch).
+    r->transfer_done_time = sim_.now();
+    decode_->enqueue_decode(r, /*kv_resident=*/true);
+}
+
+void
+WindServeSystem::on_finished(Request *r)
+{
+    migration_->on_request_finished(r);
+    backup_->on_request_done(r);
+    if (outstanding_ > 0)
+        --outstanding_;
+}
+
+void
+WindServeSystem::fill_system_metrics(metrics::RunMetrics &m)
+{
+    m.prefill_compute_util = prefill_->mean_compute_utilization();
+    m.prefill_bandwidth_util = prefill_->mean_bandwidth_utilization();
+    m.decode_compute_util = decode_->mean_compute_utilization();
+    m.decode_bandwidth_util = decode_->mean_bandwidth_utilization();
+}
+
+} // namespace windserve::core

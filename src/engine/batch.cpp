@@ -1,0 +1,41 @@
+#include "engine/batch.hpp"
+
+#include <algorithm>
+
+namespace windserve::engine {
+
+std::size_t
+DecodeGroup::sum_context() const
+{
+    std::size_t sum = 0;
+    for (const Request *r : members)
+        sum += r->context_length();
+    return sum;
+}
+
+bool
+DecodeGroup::contains(const Request *r) const
+{
+    return std::find(members.begin(), members.end(), r) != members.end();
+}
+
+bool
+DecodeGroup::remove(Request *r)
+{
+    auto it = std::find(members.begin(), members.end(), r);
+    if (it == members.end())
+        return false;
+    members.erase(it);
+    return true;
+}
+
+std::size_t
+total_prompt_tokens(const std::vector<Request *> &requests)
+{
+    std::size_t sum = 0;
+    for (const Request *r : requests)
+        sum += r->prompt_tokens;
+    return sum;
+}
+
+} // namespace windserve::engine

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Batch containers used by the per-instance execution engine.
+ */
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "workload/request.hpp"
+
+namespace windserve::engine {
+
+using workload::Request;
+
+/** A set of requests prefilled together in one forward pass. */
+struct PrefillBatch {
+    std::vector<Request *> requests;
+    /** Sum of prompt tokens still to process across the batch. */
+    std::size_t total_tokens = 0;
+    /** Simulated completion time, once scheduled. */
+    double expected_end = 0.0;
+    /** Time the batch started executing. */
+    double started = 0.0;
+
+    bool empty() const { return requests.empty(); }
+    std::size_t size() const { return requests.size(); }
+};
+
+/**
+ * One pipeline-parallel micro-batch group of decoding requests.
+ *
+ * With PP-k an instance runs k groups concurrently: each group's pass
+ * traverses all pipeline stages, so per-iteration latency matches the
+ * full model while aggregate decode throughput scales with k.
+ */
+struct DecodeGroup {
+    std::vector<Request *> members;
+    bool busy = false;
+    /** Completion time of the in-flight iteration (valid while busy). */
+    double iteration_end = 0.0;
+
+    /** Sum of current context lengths (the Eq. 2 sumL). */
+    std::size_t sum_context() const;
+    std::size_t size() const { return members.size(); }
+    bool contains(const Request *r) const;
+    /** Remove a request; @return true if it was present. */
+    bool remove(Request *r);
+};
+
+/** Sum of prompt tokens over a span of requests. */
+std::size_t total_prompt_tokens(const std::vector<Request *> &requests);
+
+} // namespace windserve::engine

@@ -1,0 +1,51 @@
+#include "engine/execution.hpp"
+
+namespace windserve::engine {
+
+double
+ExecutionSampler::jitter()
+{
+    if (noise_sigma_ <= 0.0)
+        return 1.0;
+    return rng_.lognormal(0.0, noise_sigma_);
+}
+
+double
+ExecutionSampler::prefill(double n)
+{
+    return cost_.prefill_time(n) * jitter();
+}
+
+double
+ExecutionSampler::decode(double batch, double sum_context)
+{
+    return cost_.decode_time(batch, sum_context) * jitter();
+}
+
+double
+ExecutionSampler::hybrid(double n_prefill, double batch, double sum_context)
+{
+    return cost_.hybrid_time(n_prefill, batch, sum_context) * jitter();
+}
+
+double
+ExecutionSampler::sbd_prefill(double n)
+{
+    return cost_.sbd_prefill_time(n) * jitter();
+}
+
+double
+ExecutionSampler::sbd_decode(double batch, double sum_context)
+{
+    return cost_.sbd_decode_time(batch, sum_context) * jitter();
+}
+
+double
+ExecutionSampler::chunked(double chunk, double prefix, double batch,
+                          double sum_context)
+{
+    return cost_.chunked_iteration_time(chunk, prefix, batch, sum_context) *
+           jitter();
+}
+
+} // namespace windserve::engine

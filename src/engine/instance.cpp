@@ -1,0 +1,644 @@
+#include "engine/instance.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "simcore/log.hpp"
+
+namespace windserve::engine {
+
+using workload::RequestState;
+
+const char *
+to_string(InstanceRole role)
+{
+    switch (role) {
+      case InstanceRole::Prefill:
+        return "prefill";
+      case InstanceRole::Decode:
+        return "decode";
+      case InstanceRole::Colocated:
+        return "colocated";
+    }
+    return "unknown";
+}
+
+Instance::Instance(sim::Simulator &sim, InstanceConfig cfg,
+                   model::CostModel cost, sim::Rng rng, hw::Link host_link)
+    : sim_(sim), cfg_(std::move(cfg)),
+      sampler_(cost, std::move(rng), cfg_.exec_noise_sigma),
+      blocks_((cfg_.kv_capacity_tokens_override
+                   ? cfg_.kv_capacity_tokens_override
+                   : static_cast<std::size_t>(cost.kv_capacity_tokens())) /
+                  cfg_.block_size,
+              cfg_.block_size),
+      swap_(cfg_.host_memory_bytes, cost.model().kv_bytes_per_token()),
+      host_channel_(sim, host_link, cfg_.name + "/host"),
+      compute_util_(sim.now()), bw_util_(sim.now())
+{
+    std::size_t pp = cost.parallelism().pp;
+    slots_.resize(pp);
+    slot_busy_.assign(pp, false);
+    groups_.resize(pp);
+    chunk_head_.assign(pp, nullptr);
+}
+
+std::size_t
+Instance::max_per_group() const
+{
+    std::size_t pp = groups_.size();
+    return std::max<std::size_t>(1, cfg_.max_batch_size / pp);
+}
+
+// ---------------------------------------------------------------------
+// entry points
+// ---------------------------------------------------------------------
+
+void
+Instance::schedule_pump()
+{
+    // Defer to a zero-delay event so requests enqueued at the same
+    // simulated instant (e.g. a burst arrival) coalesce into one batch
+    // instead of the first one racing ahead alone.
+    if (pump_scheduled_)
+        return;
+    pump_scheduled_ = true;
+    sim_.schedule(0.0, [this] {
+        pump_scheduled_ = false;
+        pump();
+    });
+}
+
+void
+Instance::enqueue_prefill(Request *r)
+{
+    r->state = RequestState::WaitingPrefill;
+    if (r->prefill_enqueue_time == workload::kNoTime)
+        r->prefill_enqueue_time = sim_.now();
+    prefill_q_.push_back(r);
+    schedule_pump();
+}
+
+void
+Instance::enqueue_decode(Request *r, bool kv_resident)
+{
+    r->state = RequestState::WaitingDecode;
+    if (r->decode_enqueue_time == workload::kNoTime)
+        r->decode_enqueue_time = sim_.now();
+    if (!kv_resident) {
+        // KV arrives with the request (post-transfer); the block manager
+        // allocation happens at admission.
+        assert(!blocks_.holds(r->id));
+    }
+    decode_q_.push_back(r);
+    schedule_pump();
+}
+
+void
+Instance::enqueue_assist_prefill(Request *r)
+{
+    r->state = RequestState::WaitingPrefill;
+    r->prefill_dispatched = true;
+    if (r->prefill_enqueue_time == workload::kNoTime)
+        r->prefill_enqueue_time = sim_.now();
+    assist_q_.push_back(r);
+    schedule_pump();
+}
+
+// ---------------------------------------------------------------------
+// mode helpers
+// ---------------------------------------------------------------------
+
+bool
+Instance::chunk_mode_active() const
+{
+    if (!cfg_.chunked_prefill)
+        return false;
+    if (cfg_.role == InstanceRole::Colocated)
+        return true;
+    // Prefill instance: chunk only while migrated decodes are present
+    // (paper §3.3: "if there are decoding jobs in the prefill instance,
+    // the prefill jobs in it would be converted to chunked-prefill").
+    return cfg_.role == InstanceRole::Prefill &&
+           (running_decode_requests() > 0 || !decode_q_.empty());
+}
+
+void
+Instance::pump()
+{
+    try_swap_in();
+    if (!chunk_mode_active() && cfg_.role != InstanceRole::Colocated)
+        try_start_prefill_slots();
+    if (cfg_.stream_based_disaggregation)
+        try_start_sbd_stream();
+    // Admit waiting decodes before kicking groups.
+    admit_decodes(decode_q_, groups_, max_per_group(), blocks_);
+    for (std::size_t g = 0; g < groups_.size(); ++g)
+        try_start_group(g);
+    refresh_utilization();
+}
+
+// ---------------------------------------------------------------------
+// pure prefill pipeline slots
+// ---------------------------------------------------------------------
+
+void
+Instance::try_start_prefill_slots()
+{
+    for (std::size_t s = 0; s < slots_.size(); ++s) {
+        if (slot_busy_[s] || prefill_q_.empty())
+            continue;
+        PrefillBatchLimits limits{cfg_.max_prefill_tokens,
+                                  cfg_.max_prefill_requests};
+        PrefillBatch batch = form_prefill_batch(prefill_q_, limits, blocks_);
+        if (batch.empty())
+            return; // KV pressure: wait for blocks
+        for (Request *r : batch.requests) {
+            if (r->prefill_start_time == workload::kNoTime)
+                r->prefill_start_time = sim_.now();
+            r->state = RequestState::Prefilling;
+        }
+        double dur =
+            sampler_.prefill(static_cast<double>(batch.total_tokens));
+        batch.started = sim_.now();
+        batch.expected_end = sim_.now() + dur;
+        slots_[s] = std::move(batch);
+        slot_busy_[s] = true;
+        sim_.schedule(dur, [this, s] { complete_prefill_batch(s); });
+    }
+}
+
+void
+Instance::complete_prefill_batch(std::size_t slot)
+{
+    PrefillBatch batch = std::move(slots_[slot]);
+    slot_busy_[slot] = false;
+    ++prefill_passes_;
+    if (callbacks.on_prefill_observation) {
+        callbacks.on_prefill_observation(
+            static_cast<double>(batch.total_tokens),
+            batch.expected_end - batch.started);
+    }
+    for (Request *r : batch.requests)
+        finish_prefill_of(r);
+    if (callbacks.on_step)
+        callbacks.on_step();
+    pump();
+}
+
+// ---------------------------------------------------------------------
+// stream-based disaggregation (assist prefills on the decode instance)
+// ---------------------------------------------------------------------
+
+void
+Instance::try_start_sbd_stream()
+{
+    if (sbd_active_ || assist_q_.empty())
+        return;
+    std::vector<Request *> batch;
+    std::size_t tokens = 0;
+    while (!assist_q_.empty() &&
+           tokens < cfg_.max_prefill_tokens) {
+        Request *r = assist_q_.front();
+        if (!blocks_.can_allocate(r->prompt_tokens)) {
+            // The coordinator's slot check raced with decode growth:
+            // hand the job back to the global scheduler.
+            assist_q_.pop_front();
+            if (callbacks.on_assist_bounce)
+                callbacks.on_assist_bounce(r);
+            continue;
+        }
+    blocks_.allocate(r->id, r->prompt_tokens);
+        assist_q_.pop_front();
+        if (r->prefill_start_time == workload::kNoTime)
+            r->prefill_start_time = sim_.now();
+        r->state = RequestState::Prefilling;
+        batch.push_back(r);
+        tokens += r->prompt_tokens;
+    }
+    if (batch.empty())
+        return;
+    double dur = sampler_.sbd_prefill(static_cast<double>(tokens));
+    sbd_batch_ = std::move(batch);
+    sbd_tokens_ = tokens;
+    sbd_active_ = true;
+    sbd_end_ = sim_.now() + dur;
+    sim_.schedule(dur, [this] { complete_sbd_stream(); });
+}
+
+void
+Instance::complete_sbd_stream()
+{
+    std::vector<Request *> batch = std::move(sbd_batch_);
+    sbd_batch_.clear();
+    sbd_active_ = false;
+    sbd_tokens_ = 0;
+    ++prefill_passes_;
+    for (Request *r : batch)
+        finish_prefill_of(r);
+    if (callbacks.on_step)
+        callbacks.on_step();
+    pump();
+}
+
+// ---------------------------------------------------------------------
+// decode groups (continuous batching)
+// ---------------------------------------------------------------------
+
+void
+Instance::try_start_group(std::size_t g)
+{
+    DecodeGroup &grp = groups_[g];
+    if (grp.busy)
+        return;
+
+    std::size_t batch = grp.size();
+    std::size_t sum_l = grp.sum_context();
+
+    // Chunked-prefill work available for this pass? A partially-chunked
+    // head must be finished via chunking even if chunk mode has since
+    // deactivated (e.g. all migrated decodes drained mid-prompt).
+    std::size_t chunk_tokens = 0;
+    if (chunk_mode_active() || chunk_head_[g] != nullptr) {
+        if (chunk_head_[g] == nullptr && !prefill_q_.empty()) {
+            Request *cand = prefill_q_.front();
+            if (blocks_.can_allocate(cand->prompt_tokens)) {
+                blocks_.allocate(cand->id, cand->prompt_tokens);
+                prefill_q_.pop_front();
+                if (cand->prefill_start_time == workload::kNoTime)
+                    cand->prefill_start_time = sim_.now();
+                cand->state = RequestState::Prefilling;
+                cand->was_chunked = true;
+                chunk_head_[g] = cand;
+            }
+        }
+        if (chunk_head_[g] != nullptr) {
+            chunk_tokens = std::min(
+                cfg_.chunk_size,
+                chunk_head_[g]->prompt_tokens - chunk_head_[g]->prefilled);
+        }
+    }
+
+    // Hybrid assist prefills (WindServe-no-split: one stream, one pass).
+    std::vector<Request *> hybrid;
+    std::size_t hybrid_tokens = 0;
+    if (cfg_.role == InstanceRole::Decode &&
+        !cfg_.stream_based_disaggregation) {
+        while (!assist_q_.empty()) {
+            Request *r = assist_q_.front();
+            if (!blocks_.can_allocate(r->prompt_tokens)) {
+                assist_q_.pop_front();
+                if (callbacks.on_assist_bounce)
+                    callbacks.on_assist_bounce(r);
+                continue;
+            }
+            blocks_.allocate(r->id, r->prompt_tokens);
+            assist_q_.pop_front();
+            if (r->prefill_start_time == workload::kNoTime)
+                r->prefill_start_time = sim_.now();
+            r->state = RequestState::Prefilling;
+            hybrid.push_back(r);
+            hybrid_tokens += r->prompt_tokens;
+        }
+    }
+
+    if (batch == 0 && chunk_tokens == 0 && hybrid.empty())
+        return;
+
+    double dur;
+    if (!hybrid.empty()) {
+        dur = sampler_.hybrid(static_cast<double>(hybrid_tokens),
+                              static_cast<double>(batch),
+                              static_cast<double>(sum_l));
+        hybrid_assists_[g] = std::move(hybrid);
+    } else if (chunk_tokens > 0) {
+        dur = sampler_.chunked(
+            static_cast<double>(chunk_tokens),
+            static_cast<double>(chunk_head_[g]->prefilled),
+            static_cast<double>(batch), static_cast<double>(sum_l));
+        group_chunk_[g] = chunk_tokens;
+    } else if (sbd_active_) {
+        dur = sampler_.sbd_decode(static_cast<double>(batch),
+                                  static_cast<double>(sum_l));
+    } else {
+        dur = sampler_.decode(static_cast<double>(batch),
+                              static_cast<double>(sum_l));
+        if (callbacks.on_decode_observation) {
+            callbacks.on_decode_observation(static_cast<double>(batch),
+                                            static_cast<double>(sum_l), dur);
+        }
+    }
+
+    for (Request *r : grp.members) {
+        if (r->decode_start_time == workload::kNoTime)
+            r->decode_start_time = sim_.now();
+        // A migrating member keeps its Migrating state: the swap-victim
+        // and exhaustion guards key off it, and clobbering it here would
+        // let the request be swapped out mid-migration (double-owned).
+        if (r->state != RequestState::Migrating)
+            r->state = RequestState::Decoding;
+    }
+    grp.busy = true;
+    grp.iteration_end = sim_.now() + dur;
+    sim_.schedule(dur, [this, g] { complete_group(g); });
+}
+
+void
+Instance::complete_group(std::size_t g)
+{
+    DecodeGroup &grp = groups_[g];
+    grp.busy = false;
+    if (!grp.members.empty())
+        ++decode_iters_;
+
+    // Chunk bookkeeping.
+    auto chunk_it = group_chunk_.find(g);
+    if (chunk_it != group_chunk_.end()) {
+        std::size_t c = chunk_it->second;
+        group_chunk_.erase(chunk_it);
+        Request *r = chunk_head_[g];
+        assert(r != nullptr);
+        r->prefilled += c;
+        if (r->prefilled >= r->prompt_tokens) {
+            chunk_head_[g] = nullptr;
+            finish_prefill_of(r);
+        }
+    }
+
+    // Hybrid assist prefills complete with the pass.
+    auto hy_it = hybrid_assists_.find(g);
+    if (hy_it != hybrid_assists_.end()) {
+        std::vector<Request *> done = std::move(hy_it->second);
+        hybrid_assists_.erase(hy_it);
+        for (Request *r : done) {
+            r->prefilled = r->prompt_tokens;
+            finish_prefill_of(r);
+        }
+    }
+
+    // Token generation for every member still resident in the group.
+    // An earlier member's block exhaustion may have swapped a later
+    // member out DURING this loop; a swapped-out member's pass result
+    // is discarded with its KV, so it must not receive the token (and
+    // certainly must not "finish" while sitting in the waiting queue).
+    std::vector<Request *> members = grp.members;
+    for (Request *r : members) {
+        if (!grp.contains(r))
+            continue;
+        ++r->generated;
+        r->note_token(sim_.now());
+        if (r->generated >= r->output_tokens) {
+            finish_request(r);
+        } else if (!blocks_.grow(r->id, r->context_length())) {
+            handle_block_exhaustion(r, g);
+        }
+    }
+
+    if (callbacks.on_step)
+        callbacks.on_step();
+    pump();
+}
+
+// ---------------------------------------------------------------------
+// lifecycle helpers
+// ---------------------------------------------------------------------
+
+void
+Instance::finish_prefill_of(Request *r)
+{
+    r->prefilled = r->prompt_tokens;
+    r->generated = std::max<std::size_t>(r->generated, 1);
+    if (r->first_token_time == workload::kNoTime)
+        r->first_token_time = sim_.now();
+    r->note_token(sim_.now());
+    if (callbacks.on_prefill_complete)
+        callbacks.on_prefill_complete(r);
+}
+
+void
+Instance::finish_request(Request *r)
+{
+    r->finish_time = sim_.now();
+    r->state = RequestState::Finished;
+    for (auto &grp : groups_)
+        grp.remove(r);
+    blocks_.release(r->id);
+    swap_ready_.erase(r->id);
+    if (callbacks.on_finished)
+        callbacks.on_finished(r);
+}
+
+void
+Instance::handle_block_exhaustion(Request *r, std::size_t g)
+{
+    while (!blocks_.grow(r->id, r->context_length())) {
+        if (r->state == RequestState::Migrating) {
+            // A migrating request must never be swapped (its KV is mid-
+            // copy; the migration manager owns its fate). Un-earn the
+            // token whose KV could not be stored and pause decoding;
+            // the in-flight migration resumes it on the target.
+            --r->generated;
+            pause_decoding(r);
+            return;
+        }
+        if (!cfg_.swap_enabled) {
+            swap_out(r);
+            return;
+        }
+        // Victims come from this group or idle groups; busy groups are
+        // mid-pass and cannot lose members. Candidates are rebuilt every
+        // round: swap_out() removes the victim from the live groups, and
+        // a stale snapshot would offer the same victim twice.
+        std::vector<DecodeGroup> candidates;
+        candidates.push_back(groups_[g]);
+        for (std::size_t i = 0; i < groups_.size(); ++i)
+            if (i != g && !groups_[i].busy)
+                candidates.push_back(groups_[i]);
+        Request *victim = select_swap_victim(candidates, r);
+        if (victim == nullptr) {
+            swap_out(r);
+            return;
+        }
+        swap_out(victim);
+    }
+}
+
+void
+Instance::swap_out(Request *victim)
+{
+    WS_LOG(Debug, cfg_.name)
+        << "swap out req " << victim->id << " ctx "
+        << victim->context_length();
+    std::size_t ctx = victim->context_length();
+    blocks_.release(victim->id);
+    swap_.swap_out(victim->id, ctx);
+    ++victim->swap_outs;
+    victim->state = RequestState::SwappedOut;
+    for (auto &grp : groups_)
+        grp.remove(victim);
+    decode_q_.push_front(victim);
+    kvcache::ReqId id = victim->id;
+    host_channel_.submit(swap_.bytes_for(ctx), [this, id] {
+        swap_ready_.insert(id);
+        pump();
+    });
+}
+
+void
+Instance::try_swap_in()
+{
+    if (decode_q_.empty())
+        return;
+    Request *r = decode_q_.front();
+    if (r->state != RequestState::SwappedOut)
+        return;
+    if (!swap_ready_.count(r->id) || swapping_in_.count(r->id))
+        return;
+    std::size_t ctx = r->context_length();
+    if (!blocks_.can_allocate(ctx + cfg_.block_size))
+        return; // not enough headroom yet
+    blocks_.allocate(r->id, ctx);
+    swapping_in_.insert(r->id);
+    host_channel_.submit(swap_.bytes_for(ctx), [this, r] {
+        swap_.swap_in(r->id);
+        swapping_in_.erase(r->id);
+        swap_ready_.erase(r->id);
+        r->state = RequestState::WaitingDecode;
+        pump();
+    });
+}
+
+// ---------------------------------------------------------------------
+// migration support
+// ---------------------------------------------------------------------
+
+void
+Instance::pause_decoding(Request *r)
+{
+    for (auto &grp : groups_)
+        grp.remove(r);
+}
+
+void
+Instance::release_kv(Request *r)
+{
+    blocks_.release(r->id);
+    pump();
+}
+
+bool
+Instance::is_decoding(const Request *r) const
+{
+    for (const auto &grp : groups_)
+        if (grp.contains(r))
+            return true;
+    return false;
+}
+
+// ---------------------------------------------------------------------
+// introspection
+// ---------------------------------------------------------------------
+
+std::size_t
+Instance::waiting_prefill_tokens() const
+{
+    std::size_t sum = 0;
+    for (const Request *r : prefill_q_)
+        sum += r->prompt_tokens;
+    for (const Request *head : chunk_head_)
+        if (head != nullptr)
+            sum += head->prompt_tokens - head->prefilled;
+    return sum;
+}
+
+double
+Instance::inflight_prefill_remaining() const
+{
+    double rem = 0.0;
+    for (std::size_t s = 0; s < slots_.size(); ++s)
+        if (slot_busy_[s])
+            rem += std::max(0.0, slots_[s].expected_end - sim_.now());
+    return rem;
+}
+
+std::size_t
+Instance::assist_tokens_pending() const
+{
+    std::size_t sum = sbd_active_ ? sbd_tokens_ : 0;
+    for (const Request *r : assist_q_)
+        sum += r->prompt_tokens;
+    return sum;
+}
+
+std::size_t
+Instance::running_decode_requests() const
+{
+    std::size_t n = 0;
+    for (const auto &grp : groups_)
+        n += grp.size();
+    return n;
+}
+
+std::size_t
+Instance::running_decode_context() const
+{
+    std::size_t n = 0;
+    for (const auto &grp : groups_)
+        n += grp.sum_context();
+    return n;
+}
+
+void
+Instance::refresh_utilization()
+{
+    const model::CostModel &cm = sampler_.cost();
+    double compute = 0.0, bw = 0.0;
+    for (std::size_t s = 0; s < slots_.size(); ++s) {
+        if (slot_busy_[s]) {
+            compute += cm.prefill_compute_utilization(
+                static_cast<double>(slots_[s].total_tokens));
+        }
+    }
+    if (sbd_active_) {
+        compute += cm.prefill_compute_utilization(
+            static_cast<double>(sbd_tokens_));
+    }
+    for (std::size_t g = 0; g < groups_.size(); ++g) {
+        const DecodeGroup &grp = groups_[g];
+        if (!grp.busy)
+            continue;
+        bw += cm.decode_bandwidth_utilization(
+            static_cast<double>(grp.size()),
+            static_cast<double>(grp.sum_context()));
+        auto it = group_chunk_.find(g);
+        if (it != group_chunk_.end()) {
+            compute += cm.prefill_compute_utilization(
+                static_cast<double>(it->second));
+        }
+    }
+    compute_util_.set_level(sim_.now(), std::min(1.0, compute));
+    bw_util_.set_level(sim_.now(), std::min(1.0, bw));
+}
+
+double
+Instance::mean_compute_utilization()
+{
+    compute_util_.finalize(sim_.now());
+    return compute_util_.mean_utilization();
+}
+
+double
+Instance::mean_bandwidth_utilization()
+{
+    bw_util_.finalize(sim_.now());
+    return bw_util_.mean_utilization();
+}
+
+void
+Instance::finalize_stats()
+{
+    compute_util_.finalize(sim_.now());
+    bw_util_.finalize(sim_.now());
+}
+
+} // namespace windserve::engine

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Common interface of the serving systems under evaluation
+ * (WindServe, DistServe, co-located vLLM).
+ *
+ * A system owns its Simulator, instances and interconnect channels,
+ * replays a workload trace to completion, and exposes the per-request
+ * results plus instance-level utilization for the metrics layer.
+ */
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "metrics/collector.hpp"
+#include "workload/request.hpp"
+
+namespace windserve::engine {
+
+/** Abstract serving system driven by the experiment harness. */
+class ServingSystem
+{
+  public:
+    virtual ~ServingSystem() = default;
+
+    /** Human-readable system name for tables. */
+    virtual std::string name() const = 0;
+
+    /**
+     * Replay @p trace (sorted by arrival) until every request finishes
+     * or @p horizon simulated seconds elapse. Unfinished requests remain
+     * in their last state and count against SLO attainment.
+     */
+    virtual void run(const std::vector<workload::Request> &trace,
+                     double horizon = 7200.0) = 0;
+
+    /** Per-request results after run(). */
+    virtual const std::vector<workload::Request> &requests() const = 0;
+
+    /** Fill instance-level utilization/counters into @p m. */
+    virtual void fill_system_metrics(metrics::RunMetrics &m) = 0;
+
+    /** GPUs this deployment occupies (for per-GPU rate normalisation). */
+    virtual std::size_t num_gpus() const = 0;
+};
+
+} // namespace windserve::engine

@@ -1,0 +1,116 @@
+#include "harness/cluster.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace windserve::harness {
+
+const char *
+to_string(RoutePolicy p)
+{
+    switch (p) {
+      case RoutePolicy::RoundRobin:
+        return "round-robin";
+      case RoutePolicy::LeastPendingTokens:
+        return "least-pending-tokens";
+    }
+    return "unknown";
+}
+
+std::vector<std::size_t>
+route_trace(const std::vector<workload::Request> &trace,
+            std::size_t num_replicas, RoutePolicy policy)
+{
+    if (num_replicas == 0)
+        throw std::invalid_argument("route_trace: need >= 1 replica");
+    std::vector<std::size_t> shard(trace.size(), 0);
+    switch (policy) {
+      case RoutePolicy::RoundRobin: {
+        for (std::size_t i = 0; i < trace.size(); ++i)
+            shard[i] = i % num_replicas;
+        break;
+      }
+      case RoutePolicy::LeastPendingTokens: {
+        // Greedy token-aware router: track an exponentially-decaying
+        // load estimate per replica (outstanding prompt+output tokens)
+        // and send each request to the least-loaded one. The decay
+        // models requests draining between arrivals.
+        std::vector<double> load(num_replicas, 0.0);
+        double last_t = trace.empty() ? 0.0 : trace.front().arrival_time;
+        const double drain_tau = 10.0; // seconds of estimated residency
+        for (std::size_t i = 0; i < trace.size(); ++i) {
+            double dt = trace[i].arrival_time - last_t;
+            last_t = trace[i].arrival_time;
+            double decay = dt > 0 ? std::exp(-dt / drain_tau) : 1.0;
+            for (auto &l : load)
+                l *= decay;
+            std::size_t best = 0;
+            for (std::size_t r = 1; r < num_replicas; ++r)
+                if (load[r] < load[best])
+                    best = r;
+            shard[i] = best;
+            load[best] += static_cast<double>(trace[i].prompt_tokens +
+                                              trace[i].output_tokens);
+        }
+        break;
+      }
+    }
+    return shard;
+}
+
+ClusterResult
+run_cluster(const ClusterConfig &cfg)
+{
+    if (cfg.num_replicas == 0)
+        throw std::invalid_argument("run_cluster: need >= 1 replica");
+
+    // One cluster-wide trace at the aggregate rate.
+    ExperimentConfig gen = cfg.replica;
+    workload::TraceConfig tc;
+    tc.dataset = gen.scenario.dataset;
+    tc.arrival.kind = workload::ArrivalKind::Poisson;
+    tc.arrival.rate = gen.per_gpu_rate *
+                      static_cast<double>(gen.scenario.num_gpus()) *
+                      static_cast<double>(cfg.num_replicas);
+    tc.num_requests = gen.num_requests;
+    tc.seed = gen.seed;
+    auto trace = workload::TraceBuilder(tc).build();
+
+    auto shard = route_trace(trace, cfg.num_replicas, cfg.policy);
+
+    ClusterResult out;
+    out.assigned.assign(cfg.num_replicas, 0);
+    std::vector<workload::Request> merged;
+    merged.reserve(trace.size());
+
+    for (std::size_t r = 0; r < cfg.num_replicas; ++r) {
+        std::vector<workload::Request> sub;
+        for (std::size_t i = 0; i < trace.size(); ++i)
+            if (shard[i] == r)
+                sub.push_back(trace[i]);
+        out.assigned[r] = sub.size();
+
+        ExperimentConfig ec = cfg.replica;
+        ec.seed = cfg.replica.seed + 7919 * (r + 1); // distinct jitter
+        auto system = make_system(ec);
+        system->run(sub, ec.horizon);
+
+        ExperimentResult res;
+        res.system_name = to_string(ec.system);
+        res.per_gpu_rate = ec.per_gpu_rate;
+        metrics::Collector collector(ec.scenario.slo);
+        res.metrics = collector.collect(system->requests());
+        system->fill_system_metrics(res.metrics);
+        out.per_replica.push_back(std::move(res));
+
+        merged.insert(merged.end(), system->requests().begin(),
+                      system->requests().end());
+    }
+
+    metrics::Collector collector(cfg.replica.scenario.slo);
+    out.metrics = collector.collect(merged);
+    return out;
+}
+
+} // namespace windserve::harness

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Multi-replica deployments and front-end load balancing.
+ *
+ * The paper evaluates one prefill/decode instance pair and scales load
+ * by the *linear scaling rule* (per-GPU request rate, §2.2); §7 lists
+ * "load balancing across instances" as future work for large-scale
+ * deployment. This module provides that layer: a cluster of N
+ * independent PD replica pairs with a front-end router that assigns
+ * each request on arrival.
+ *
+ * Replicas do not share GPUs, queues, or KV — the only coupling is the
+ * routing decision — so each replica simulates on its own kernel and
+ * the per-request results merge exactly.
+ */
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "harness/experiment.hpp"
+
+namespace windserve::harness {
+
+/** Front-end routing policies. */
+enum class RoutePolicy {
+    RoundRobin,        ///< classic stateless rotation
+    LeastPendingTokens ///< token-aware: fewest outstanding prompt+output
+                       ///< tokens among requests routed so far
+};
+
+const char *to_string(RoutePolicy p);
+
+/** Configuration of a replicated deployment. */
+struct ClusterConfig {
+    /** Per-replica experiment template (system, scenario, seed...).
+     *  per_gpu_rate applies to the WHOLE cluster: the generated trace
+     *  targets per_gpu_rate * num_replicas * replica GPUs. */
+    ExperimentConfig replica;
+    std::size_t num_replicas = 2;
+    RoutePolicy policy = RoutePolicy::RoundRobin;
+};
+
+/** Merged outcome of a cluster run. */
+struct ClusterResult {
+    metrics::RunMetrics metrics;          ///< merged across replicas
+    std::vector<ExperimentResult> per_replica;
+    /** Requests routed to each replica. */
+    std::vector<std::size_t> assigned;
+};
+
+/**
+ * Split @p trace across replicas according to @p policy. Arrival order
+ * is preserved within each shard. @return shard index per request.
+ */
+std::vector<std::size_t> route_trace(const std::vector<workload::Request> &trace,
+                                     std::size_t num_replicas,
+                                     RoutePolicy policy);
+
+/** Run the full cluster: generate, route, simulate replicas, merge. */
+ClusterResult run_cluster(const ClusterConfig &cfg);
+
+} // namespace windserve::harness

@@ -1,0 +1,66 @@
+#include "harness/configs.hpp"
+
+namespace windserve::harness {
+
+Scenario
+Scenario::opt13b_sharegpt()
+{
+    Scenario s;
+    s.name = "OPT-13B/ShareGPT";
+    s.model = model::ModelSpec::opt_13b();
+    s.dataset = workload::DatasetConfig::sharegpt(s.model.max_context);
+    s.slo = metrics::SloSpec::opt_13b_sharegpt();
+    s.prefill_parallelism = {2, 1};
+    s.decode_parallelism = {2, 1};
+    return s;
+}
+
+Scenario
+Scenario::opt66b_sharegpt()
+{
+    Scenario s;
+    s.name = "OPT-66B/ShareGPT";
+    s.model = model::ModelSpec::opt_66b();
+    s.dataset = workload::DatasetConfig::sharegpt(s.model.max_context);
+    s.slo = metrics::SloSpec::opt_66b_sharegpt();
+    s.prefill_parallelism = {2, 2};
+    s.decode_parallelism = {2, 2};
+    return s;
+}
+
+Scenario
+Scenario::llama2_13b_longbench()
+{
+    Scenario s;
+    s.name = "LLaMA2-13B/LongBench";
+    s.model = model::ModelSpec::llama2_13b();
+    s.dataset = workload::DatasetConfig::longbench(s.model.max_context);
+    s.slo = metrics::SloSpec::llama2_13b_longbench();
+    s.prefill_parallelism = {2, 1};
+    s.decode_parallelism = {2, 1};
+    return s;
+}
+
+Scenario
+Scenario::llama2_70b_longbench()
+{
+    Scenario s;
+    s.name = "LLaMA2-70B/LongBench";
+    s.model = model::ModelSpec::llama2_70b();
+    s.dataset = workload::DatasetConfig::longbench(s.model.max_context);
+    s.slo = metrics::SloSpec::llama2_70b_longbench();
+    s.prefill_parallelism = {2, 2};
+    s.decode_parallelism = {2, 2};
+    return s;
+}
+
+Scenario
+Scenario::opt13b_sharegpt_small_decode()
+{
+    Scenario s = opt13b_sharegpt();
+    s.name = "OPT-13B/ShareGPT [TP-2,TP-1]";
+    s.decode_parallelism = {1, 1};
+    return s;
+}
+
+} // namespace windserve::harness

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Evaluation scenarios — the paper's Tables 2, 3 and 4 in code.
+ *
+ * A Scenario bundles model, dataset, SLOs and instance placements:
+ *
+ *   OPT-13B    ShareGPT  [TP-2,PP-1 | TP-2,PP-1]  TTFT 0.25s TPOT 0.10s
+ *   OPT-66B    ShareGPT  [TP-2,PP-2 | TP-2,PP-2]  TTFT 0.80s TPOT 0.15s
+ *   LLaMA2-13B LongBench [TP-2,PP-1 | TP-2,PP-1]  TTFT 4s    TPOT 0.10s
+ *   LLaMA2-70B LongBench [TP-2,PP-2 | TP-2,PP-2]  TTFT 15s   TPOT 0.50s
+ *
+ * The vLLM baseline replicates engines of the same parallelism over the
+ * same GPU count (its "recommended placement" in the paper's setup).
+ */
+#pragma once
+
+#include <string>
+
+#include "hw/topology.hpp"
+#include "metrics/slo.hpp"
+#include "model/model_spec.hpp"
+#include "model/parallelism.hpp"
+#include "workload/dataset.hpp"
+
+namespace windserve::harness {
+
+/** One (model, dataset, SLO, placement) evaluation setting. */
+struct Scenario {
+    std::string name;
+    model::ModelSpec model;
+    workload::DatasetConfig dataset;
+    metrics::SloSpec slo;
+    model::ParallelismConfig prefill_parallelism;
+    model::ParallelismConfig decode_parallelism;
+    hw::TopologyConfig topology;
+
+    /** GPUs a PD deployment of this scenario occupies. */
+    std::size_t num_gpus() const
+    {
+        return prefill_parallelism.num_gpus() +
+               decode_parallelism.num_gpus();
+    }
+
+    /** Table 3/4 rows. */
+    static Scenario opt13b_sharegpt();
+    static Scenario opt66b_sharegpt();
+    static Scenario llama2_13b_longbench();
+    static Scenario llama2_70b_longbench();
+
+    /** Fig. 3 / Fig. 12 left: decode instance shrunk to one GPU. */
+    static Scenario opt13b_sharegpt_small_decode();
+};
+
+} // namespace windserve::harness

@@ -1,0 +1,144 @@
+#include "harness/experiment.hpp"
+
+namespace windserve::harness {
+
+const char *
+to_string(SystemKind k)
+{
+    switch (k) {
+      case SystemKind::WindServe:
+        return "WindServe";
+      case SystemKind::DistServe:
+        return "DistServe";
+      case SystemKind::Vllm:
+        return "vLLM";
+      case SystemKind::WindServeNoSplit:
+        return "WindServe-no-split";
+      case SystemKind::WindServeNoResche:
+        return "WindServe-no-resche";
+      case SystemKind::WindServeNoDispatch:
+        return "WindServe-no-dispatch";
+    }
+    return "unknown";
+}
+
+namespace {
+
+std::unique_ptr<core::WindServeSystem>
+make_windserve(const ExperimentConfig &cfg)
+{
+    const Scenario &sc = cfg.scenario;
+    core::WindServeConfig ws;
+    ws.model = sc.model;
+    ws.topology = sc.topology;
+    ws.prefill_parallelism = sc.prefill_parallelism;
+    ws.decode_parallelism = sc.decode_parallelism;
+    ws.ttft_slo = sc.slo.ttft;
+    ws.tpot_slo = sc.slo.tpot;
+    // "we set the threshold slightly below the TTFT SLO" (§3.2.2).
+    ws.coordinator.thrd = cfg.thrd.value_or(0.8 * sc.slo.ttft);
+    ws.migration.stall_free = cfg.stall_free;
+    if (cfg.transfer_policy)
+        ws.transfer.policy = *cfg.transfer_policy;
+    ws.coordinator.enable_backup = cfg.enable_backup;
+    ws.seed = cfg.seed ^ 0x9e3779b97f4a7c15ULL;
+    switch (cfg.system) {
+      case SystemKind::WindServeNoSplit:
+        ws.enable_sbd = false;
+        break;
+      case SystemKind::WindServeNoResche:
+        ws.coordinator.enable_rescheduling = false;
+        ws.coordinator.enable_backup = false;
+        break;
+      case SystemKind::WindServeNoDispatch:
+        ws.coordinator.enable_dispatch = false;
+        break;
+      default:
+        break;
+    }
+    return std::make_unique<core::WindServeSystem>(ws);
+}
+
+} // namespace
+
+std::unique_ptr<engine::ServingSystem>
+make_system(const ExperimentConfig &cfg)
+{
+    const Scenario &sc = cfg.scenario;
+    switch (cfg.system) {
+      case SystemKind::WindServe:
+      case SystemKind::WindServeNoSplit:
+      case SystemKind::WindServeNoResche:
+      case SystemKind::WindServeNoDispatch:
+        return make_windserve(cfg);
+      case SystemKind::DistServe: {
+        baselines::DistServeConfig ds;
+        ds.model = sc.model;
+        ds.topology = sc.topology;
+        ds.prefill_parallelism = sc.prefill_parallelism;
+        ds.decode_parallelism = sc.decode_parallelism;
+        ds.seed = cfg.seed ^ 0x9e3779b97f4a7c15ULL;
+        return std::make_unique<baselines::DistServeSystem>(ds);
+      }
+      case SystemKind::Vllm: {
+        baselines::VllmConfig vc;
+        vc.model = sc.model;
+        vc.topology = sc.topology;
+        // Same parallelism per engine as one PD instance, replicated
+        // over the scenario's full GPU budget.
+        vc.engine_parallelism = sc.prefill_parallelism;
+        vc.num_engines =
+            sc.num_gpus() / sc.prefill_parallelism.num_gpus();
+        vc.seed = cfg.seed ^ 0x9e3779b97f4a7c15ULL;
+        return std::make_unique<baselines::VllmColocatedSystem>(vc);
+      }
+    }
+    throw std::logic_error("make_system: unknown system kind");
+}
+
+std::vector<workload::Request>
+make_trace(const ExperimentConfig &cfg)
+{
+    workload::TraceConfig tc;
+    tc.dataset = cfg.scenario.dataset;
+    tc.arrival.kind = workload::ArrivalKind::Poisson;
+    tc.arrival.rate =
+        cfg.per_gpu_rate * static_cast<double>(cfg.scenario.num_gpus());
+    tc.num_requests = cfg.num_requests;
+    tc.seed = cfg.seed;
+    return workload::TraceBuilder(tc).build();
+}
+
+ExperimentResult
+run_experiment(const ExperimentConfig &cfg)
+{
+    auto system = make_system(cfg);
+    auto trace = make_trace(cfg);
+    system->run(trace, cfg.horizon);
+
+    ExperimentResult result;
+    result.system_name = to_string(cfg.system);
+    result.per_gpu_rate = cfg.per_gpu_rate;
+    metrics::Collector collector(cfg.scenario.slo);
+    result.metrics = collector.collect(system->requests());
+    system->fill_system_metrics(result.metrics);
+
+    if (auto *ws = dynamic_cast<core::WindServeSystem *>(system.get())) {
+        result.dispatches = ws->scheduler().coordinator().dispatches();
+        result.reschedules = ws->scheduler().coordinator().reschedules();
+        result.migrations_completed = ws->migration().completed();
+        result.backups = ws->backup().backups_taken();
+        result.decode_swap_outs = ws->decode_instance().swap_out_events();
+    } else if (auto *ds = dynamic_cast<baselines::DistServeSystem *>(
+                   system.get())) {
+        result.decode_swap_outs = ds->decode_instance().swap_out_events();
+    } else if (auto *vs = dynamic_cast<baselines::VllmColocatedSystem *>(
+                   system.get())) {
+        for (std::size_t i = 0; i < vs->num_engines(); ++i)
+            result.decode_swap_outs +=
+                vs->engine_instance(i).swap_out_events();
+    }
+    return result;
+}
+
+} // namespace windserve::harness

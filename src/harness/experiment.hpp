@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Single-experiment runner: build a serving system for a scenario,
+ * replay a trace at a given per-GPU rate, and collect metrics.
+ */
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "baselines/distserve_system.hpp"
+#include "baselines/vllm_system.hpp"
+#include "core/windserve_system.hpp"
+#include "harness/configs.hpp"
+#include "metrics/collector.hpp"
+#include "workload/trace.hpp"
+
+namespace windserve::harness {
+
+/** Which serving system to instantiate. */
+enum class SystemKind {
+    WindServe,
+    DistServe,
+    Vllm,
+    WindServeNoSplit,  ///< ablation: no stream-based disaggregation
+    WindServeNoResche, ///< ablation: no dynamic rescheduling
+    WindServeNoDispatch, ///< extra ablation: no dynamic prefill dispatch
+};
+
+const char *to_string(SystemKind k);
+
+/** One experiment = (scenario, system, rate, trace size, seed). */
+struct ExperimentConfig {
+    Scenario scenario = Scenario::opt13b_sharegpt();
+    SystemKind system = SystemKind::WindServe;
+    /** Per-GPU request rate (the paper's linear scaling rule, §2.2). */
+    double per_gpu_rate = 1.0;
+    std::size_t num_requests = 2500;
+    std::uint64_t seed = 42;
+    double horizon = 7200.0;
+    /** Optional dispatch-threshold override (Fig. 5 sweep). */
+    std::optional<double> thrd;
+    /** Stall-free migration on (off = blocking-migration ablation). */
+    bool stall_free = true;
+    /** Optional KV-transfer policy override (Overlapped by default for
+     *  WindServe; Synchronous reproduces DistServe's blocking copy). */
+    std::optional<transfer::TransferPolicy> transfer_policy;
+    /** Proactive KV backups (off = backup ablation). */
+    bool enable_backup = true;
+};
+
+/** Outcome of one experiment. */
+struct ExperimentResult {
+    std::string system_name;
+    double per_gpu_rate = 0.0;
+    metrics::RunMetrics metrics;
+    // system-internal counters
+    std::uint64_t dispatches = 0;
+    std::uint64_t reschedules = 0;
+    std::uint64_t migrations_completed = 0;
+    std::uint64_t backups = 0;
+    std::uint64_t decode_swap_outs = 0;
+};
+
+/** Build the serving system an ExperimentConfig describes. */
+std::unique_ptr<engine::ServingSystem>
+make_system(const ExperimentConfig &cfg);
+
+/** Build the workload trace an ExperimentConfig describes. */
+std::vector<workload::Request> make_trace(const ExperimentConfig &cfg);
+
+/** Run one experiment end to end. */
+ExperimentResult run_experiment(const ExperimentConfig &cfg);
+
+} // namespace windserve::harness

@@ -1,0 +1,107 @@
+#include "harness/placement_search.hpp"
+
+#include <algorithm>
+
+#include "hw/gpu_spec.hpp"
+
+namespace windserve::harness {
+
+std::string
+PlacementCandidate::to_string() const
+{
+    return "[" + prefill.to_string() + " | " + decode.to_string() + "]";
+}
+
+namespace {
+
+/** True when the model's weights fit the parallelism on this GPU. */
+bool
+fits(const model::ModelSpec &m, model::ParallelismConfig par,
+     const hw::GpuSpec &gpu, const model::CostModelParams &params)
+{
+    try {
+        model::CostModel probe(m, gpu, par, params);
+        // Require non-trivial KV space too (a placement whose KV pool
+        // is nearly empty can never serve).
+        return probe.kv_capacity_tokens() >
+               2.0 * static_cast<double>(m.max_context);
+    } catch (const std::invalid_argument &) {
+        return false;
+    }
+}
+
+} // namespace
+
+std::vector<PlacementCandidate>
+enumerate_placements(const PlacementSearchConfig &cfg)
+{
+    std::vector<PlacementCandidate> out;
+    hw::Topology topo(cfg.scenario.topology);
+    const auto &gpu = topo.gpu(0);
+    model::CostModelParams params;
+    for (std::size_t ptp : cfg.tp_options) {
+        for (std::size_t ppp : cfg.pp_options) {
+            model::ParallelismConfig p{ptp, ppp};
+            if (!fits(cfg.scenario.model, p, gpu, params))
+                continue;
+            for (std::size_t dtp : cfg.tp_options) {
+                for (std::size_t dpp : cfg.pp_options) {
+                    model::ParallelismConfig d{dtp, dpp};
+                    if (!fits(cfg.scenario.model, d, gpu, params))
+                        continue;
+                    PlacementCandidate c{p, d};
+                    if (c.num_gpus() > cfg.max_gpus)
+                        continue;
+                    out.push_back(c);
+                }
+            }
+        }
+    }
+    return out;
+}
+
+PlacementScore
+evaluate_placement(const PlacementSearchConfig &cfg,
+                   const PlacementCandidate &candidate)
+{
+    PlacementScore score;
+    score.placement = candidate;
+    ExperimentConfig ec;
+    ec.scenario = cfg.scenario;
+    ec.scenario.prefill_parallelism = candidate.prefill;
+    ec.scenario.decode_parallelism = candidate.decode;
+    ec.system = cfg.system;
+    ec.per_gpu_rate = cfg.per_gpu_rate;
+    ec.num_requests = cfg.num_requests;
+    ec.seed = cfg.seed;
+    try {
+        ExperimentResult r = run_experiment(ec);
+        score.metrics = r.metrics;
+        score.feasible = true;
+    } catch (const std::exception &) {
+        score.feasible = false;
+    }
+    return score;
+}
+
+std::vector<PlacementScore>
+search_placements(const PlacementSearchConfig &cfg)
+{
+    std::vector<PlacementScore> scores;
+    for (const auto &cand : enumerate_placements(cfg))
+        scores.push_back(evaluate_placement(cfg, cand));
+    std::stable_sort(
+        scores.begin(), scores.end(),
+        [](const PlacementScore &a, const PlacementScore &b) {
+            if (a.feasible != b.feasible)
+                return a.feasible;
+            if (a.metrics.slo_attainment != b.metrics.slo_attainment)
+                return a.metrics.slo_attainment > b.metrics.slo_attainment;
+            if (a.placement.num_gpus() != b.placement.num_gpus())
+                return a.placement.num_gpus() < b.placement.num_gpus();
+            return a.metrics.ttft.median() < b.metrics.ttft.median();
+        });
+    return scores;
+}
+
+} // namespace windserve::harness

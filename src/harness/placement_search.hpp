@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Simulation-driven placement search.
+ *
+ * The paper (§5.1): "Based on the model, latency requirements and SLO
+ * attainment targets, DistServe determines the placement of prefill
+ * and decoding instances by simulation. WindServe adopts the same
+ * method to establish its parallelism strategy."
+ *
+ * This module enumerates feasible [TP-x,PP-y | TP-x,PP-y] placements
+ * within a GPU budget, runs a short simulation of each, and ranks them
+ * by SLO attainment (ties: fewer GPUs, then lower TTFT median). The
+ * Table 3 placements fall out of exactly this procedure.
+ */
+#pragma once
+
+#include <vector>
+
+#include "harness/experiment.hpp"
+
+namespace windserve::harness {
+
+/** One candidate placement. */
+struct PlacementCandidate {
+    model::ParallelismConfig prefill;
+    model::ParallelismConfig decode;
+
+    std::size_t num_gpus() const
+    {
+        return prefill.num_gpus() + decode.num_gpus();
+    }
+    std::string to_string() const;
+};
+
+/** Search configuration. */
+struct PlacementSearchConfig {
+    Scenario scenario = Scenario::opt13b_sharegpt();
+    SystemKind system = SystemKind::WindServe;
+    double per_gpu_rate = 2.0;
+    std::size_t num_requests = 800;
+    std::uint64_t seed = 42;
+    /** Total GPU budget (the testbed node has 8). */
+    std::size_t max_gpus = 8;
+    /** Candidate TP and PP degrees per instance. */
+    std::vector<std::size_t> tp_options{1, 2, 4};
+    std::vector<std::size_t> pp_options{1, 2};
+};
+
+/** Scored candidate. */
+struct PlacementScore {
+    PlacementCandidate placement;
+    metrics::RunMetrics metrics;
+    bool feasible = false; ///< model fits and the simulation completed
+};
+
+/**
+ * Enumerate candidates whose model fits in memory and whose GPU count
+ * stays within the budget (infeasible weight splits are dropped).
+ */
+std::vector<PlacementCandidate>
+enumerate_placements(const PlacementSearchConfig &cfg);
+
+/** Simulate one candidate and score it. */
+PlacementScore evaluate_placement(const PlacementSearchConfig &cfg,
+                                  const PlacementCandidate &candidate);
+
+/**
+ * Run the full search. @return all scores, best first (attainment desc,
+ * then fewer GPUs, then TTFT median).
+ */
+std::vector<PlacementScore>
+search_placements(const PlacementSearchConfig &cfg);
+
+} // namespace windserve::harness

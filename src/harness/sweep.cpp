@@ -1,0 +1,30 @@
+#include "harness/sweep.hpp"
+
+namespace windserve::harness {
+
+SweepResult
+run_sweep(const SweepConfig &cfg,
+          const std::function<void(const ExperimentResult &)> &progress)
+{
+    SweepResult out;
+    out.config = cfg;
+    out.results.resize(cfg.systems.size());
+    for (std::size_t i = 0; i < cfg.systems.size(); ++i) {
+        for (double rate : cfg.per_gpu_rates) {
+            ExperimentConfig ec;
+            ec.scenario = cfg.scenario;
+            ec.system = cfg.systems[i];
+            ec.per_gpu_rate = rate;
+            ec.num_requests = cfg.num_requests;
+            ec.seed = cfg.seed;
+            ec.horizon = cfg.horizon;
+            ExperimentResult r = run_experiment(ec);
+            if (progress)
+                progress(r);
+            out.results[i].push_back(std::move(r));
+        }
+    }
+    return out;
+}
+
+} // namespace windserve::harness

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Request-rate sweeps across systems — the x-axis of Figs. 1, 10, 11.
+ */
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "harness/experiment.hpp"
+
+namespace windserve::harness {
+
+/** A grid of (system, per-GPU rate) experiments over one scenario. */
+struct SweepConfig {
+    Scenario scenario = Scenario::opt13b_sharegpt();
+    std::vector<SystemKind> systems{SystemKind::WindServe,
+                                    SystemKind::DistServe,
+                                    SystemKind::Vllm};
+    std::vector<double> per_gpu_rates{1.0, 2.0, 3.0, 4.0, 5.0};
+    std::size_t num_requests = 2500;
+    std::uint64_t seed = 42;
+    double horizon = 7200.0;
+};
+
+/** Results grouped by system, in rate order. */
+struct SweepResult {
+    SweepConfig config;
+    /** results[i][j]: systems[i] at per_gpu_rates[j]. */
+    std::vector<std::vector<ExperimentResult>> results;
+};
+
+/**
+ * Run the full grid. @p progress (optional) is invoked after each cell
+ * with the finished result.
+ */
+SweepResult run_sweep(
+    const SweepConfig &cfg,
+    const std::function<void(const ExperimentResult &)> &progress = {});
+
+} // namespace windserve::harness

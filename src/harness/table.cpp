@@ -1,0 +1,72 @@
+#include "harness/table.hpp"
+
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+
+namespace windserve::harness {
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header))
+{}
+
+void
+TextTable::add_row(std::vector<std::string> row)
+{
+    if (row.size() != header_.size())
+        throw std::invalid_argument("TextTable: row width mismatch");
+    rows_.push_back(std::move(row));
+}
+
+std::string
+TextTable::render() const
+{
+    std::vector<std::size_t> widths(header_.size());
+    for (std::size_t c = 0; c < header_.size(); ++c)
+        widths[c] = header_[c].size();
+    for (const auto &row : rows_)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    std::ostringstream out;
+    auto emit = [&](const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            out << row[c]
+                << std::string(widths[c] - row[c].size() + 2, ' ');
+        }
+        out << "\n";
+    };
+    emit(header_);
+    std::size_t total = 0;
+    for (auto w : widths)
+        total += w + 2;
+    out << std::string(total, '-') << "\n";
+    for (const auto &row : rows_)
+        emit(row);
+    return out.str();
+}
+
+std::string
+TextTable::csv() const
+{
+    std::ostringstream out;
+    auto emit = [&](const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < row.size(); ++c)
+            out << row[c] << (c + 1 < row.size() ? "," : "");
+        out << "\n";
+    };
+    emit(header_);
+    for (const auto &row : rows_)
+        emit(row);
+    return out.str();
+}
+
+std::string
+cell(double v, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+    return buf;
+}
+
+} // namespace windserve::harness

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Plain-text table / CSV emitters for the benchmark binaries.
+ */
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace windserve::harness {
+
+/** Column-aligned text table with a header row. */
+class TextTable
+{
+  public:
+    explicit TextTable(std::vector<std::string> header);
+
+    /** Add a data row (must match the header width). */
+    void add_row(std::vector<std::string> row);
+
+    /** Render with aligned columns. */
+    std::string render() const;
+
+    /** Render as CSV. */
+    std::string csv() const;
+
+    std::size_t rows() const { return rows_.size(); }
+
+  private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** printf-style float formatting helper for table cells. */
+std::string cell(double v, int precision = 3);
+
+} // namespace windserve::harness

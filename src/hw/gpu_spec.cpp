@@ -1,0 +1,25 @@
+#include "hw/gpu_spec.hpp"
+
+namespace windserve::hw {
+
+GpuSpec
+GpuSpec::a800_80g()
+{
+    // A800 = A100 compute: 312 TFLOP/s dense FP16 tensor, 2039 GB/s HBM2e.
+    return GpuSpec{"A800-80G", 312e12, gb(2039.0), gb(80.0)};
+}
+
+GpuSpec
+GpuSpec::a100_80g()
+{
+    return GpuSpec{"A100-80G", 312e12, gb(2039.0), gb(80.0)};
+}
+
+GpuSpec
+GpuSpec::rtx4090()
+{
+    // 330 TFLOP/s dense FP16 (with FP32 accumulate: 165), 1008 GB/s GDDR6X.
+    return GpuSpec{"RTX-4090", 165e12, gb(1008.0), gb(24.0)};
+}
+
+} // namespace windserve::hw

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * GPU hardware descriptions.
+ *
+ * The paper's testbed is a node of 8 NVIDIA A800-80GB PCIe GPUs (§5.1).
+ * The A800 is the export variant of the A100: identical compute/HBM, with
+ * NVLink capped at 400 GB/s bidirectional. The future-work section also
+ * discusses RTX 4090-class parts for heterogeneous prefill, so we carry a
+ * spec for that too.
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace windserve::hw {
+
+/** Static capability description of one GPU. */
+struct GpuSpec {
+    std::string name;
+    /** Peak dense FP16 tensor throughput, FLOP/s. */
+    double peak_fp16_flops;
+    /** Peak HBM bandwidth, bytes/s. */
+    double mem_bandwidth;
+    /** Global memory capacity, bytes. */
+    double mem_capacity;
+
+    /** NVIDIA A800-80GB PCIe (paper testbed GPU). */
+    static GpuSpec a800_80g();
+    /** NVIDIA A100-80GB SXM (reference part with identical compute). */
+    static GpuSpec a100_80g();
+    /** NVIDIA RTX 4090 (heterogeneous-prefill candidate from §7). */
+    static GpuSpec rtx4090();
+};
+
+/** Gigabytes helper (decimal, matching vendor link/memory marketing units). */
+constexpr double
+gb(double x)
+{
+    return x * 1e9;
+}
+
+} // namespace windserve::hw

@@ -1,0 +1,124 @@
+#include "hw/topology.hpp"
+
+#include <limits>
+
+namespace windserve::hw {
+
+Topology::Topology(TopologyConfig cfg) : cfg_(cfg)
+{
+    if (cfg_.num_gpus == 0 || cfg_.gpus_per_numa == 0)
+        throw std::invalid_argument("Topology: need at least one GPU");
+    if (cfg_.num_gpus % cfg_.gpus_per_numa != 0)
+        throw std::invalid_argument(
+            "Topology: num_gpus must be a multiple of gpus_per_numa");
+}
+
+const GpuSpec &
+Topology::gpu(GpuId id) const
+{
+    if (id >= cfg_.num_gpus)
+        throw std::out_of_range("Topology::gpu: bad id");
+    return cfg_.gpu;
+}
+
+std::size_t
+Topology::numa_of(GpuId id) const
+{
+    if (id >= cfg_.num_gpus)
+        throw std::out_of_range("Topology::numa_of: bad id");
+    return id / cfg_.gpus_per_numa;
+}
+
+LinkType
+Topology::classify(GpuId a, GpuId b) const
+{
+    if (a >= cfg_.num_gpus || b >= cfg_.num_gpus)
+        throw std::out_of_range("Topology::classify: bad id");
+    if (a == b)
+        return LinkType::Loopback;
+    if (a / 2 == b / 2)
+        return LinkType::NVLink;
+    if (numa_of(a) == numa_of(b))
+        return LinkType::PCIeSwitch;
+    return LinkType::PCIeRC;
+}
+
+Link
+Topology::link(GpuId a, GpuId b) const
+{
+    switch (classify(a, b)) {
+      case LinkType::Loopback:
+        return {LinkType::Loopback,
+                std::numeric_limits<double>::infinity(), 0.0};
+      case LinkType::NVLink:
+        return {LinkType::NVLink, cfg_.nvlink_bw, cfg_.link_latency};
+      case LinkType::PCIeSwitch:
+        return {LinkType::PCIeSwitch, cfg_.pcie_bw, cfg_.link_latency};
+      case LinkType::PCIeRC:
+      default:
+        return {LinkType::PCIeRC, cfg_.pcie_rc_bw, 2 * cfg_.link_latency};
+    }
+}
+
+Link
+Topology::host_link(GpuId id) const
+{
+    if (id >= cfg_.num_gpus)
+        throw std::out_of_range("Topology::host_link: bad id");
+    return {LinkType::HostPCIe, cfg_.host_bw, cfg_.link_latency};
+}
+
+Link
+Topology::best_link(const std::vector<GpuId> &group_a,
+                    const std::vector<GpuId> &group_b) const
+{
+    Link best{LinkType::PCIeRC, 0.0, cfg_.link_latency};
+    bool found = false;
+    for (GpuId a : group_a) {
+        for (GpuId b : group_b) {
+            if (a == b)
+                continue;
+            Link l = link(a, b);
+            if (!found || l.bandwidth > best.bandwidth) {
+                best = l;
+                found = true;
+            }
+        }
+    }
+    if (!found)
+        throw std::invalid_argument("Topology::best_link: no distinct pair");
+    return best;
+}
+
+PdPlacement
+default_pd_placement(const Topology &topo, std::size_t n_prefill,
+                     std::size_t n_decode)
+{
+    if (n_prefill + n_decode > topo.num_gpus())
+        throw std::invalid_argument(
+            "default_pd_placement: more GPUs requested than available");
+    PdPlacement out;
+    // Hand out NVLink pairs (2i, 2i+1) alternately, prefill first.
+    GpuId next = 0;
+    bool to_prefill = true;
+    while (out.prefill.size() < n_prefill || out.decode.size() < n_decode) {
+        auto &dst = to_prefill && out.prefill.size() < n_prefill
+                        ? out.prefill
+                        : out.decode;
+        auto &other = (&dst == &out.prefill) ? out.decode : out.prefill;
+        std::size_t want = (&dst == &out.prefill) ? n_prefill : n_decode;
+        for (int k = 0; k < 2 && next < topo.num_gpus(); ++k) {
+            if (dst.size() < want)
+                dst.push_back(next++);
+            else if (other.size() <
+                     ((&other == &out.prefill) ? n_prefill : n_decode))
+                other.push_back(next++);
+            else
+                ++next;
+        }
+        to_prefill = !to_prefill;
+    }
+    return out;
+}
+
+} // namespace windserve::hw

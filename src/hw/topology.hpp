@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Node interconnect topology (paper Figure 9).
+ *
+ * The testbed has two NUMA nodes with four GPUs each. GPUs are paired by
+ * NVLink bridges (GPU0-GPU1, GPU2-GPU3, ...); pairs within a NUMA node
+ * reach each other through a PCIe switch; cross-NUMA traffic goes through
+ * the root complex (RC). Each GPU also has a host (CPU DRAM) path over
+ * PCIe used for KV-cache swapping.
+ */
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <vector>
+
+#include "hw/gpu_spec.hpp"
+
+namespace windserve::hw {
+
+/** Identifier of a GPU within the node (0-based). */
+using GpuId = std::size_t;
+
+/** Kinds of point-to-point paths in the node. */
+enum class LinkType {
+    NVLink,     ///< NVLink bridge between a GPU pair
+    PCIeSwitch, ///< same-NUMA, different pair, via PCIe switch
+    PCIeRC,     ///< cross-NUMA via root complex
+    HostPCIe,   ///< GPU <-> CPU DRAM (swap path)
+    Loopback,   ///< same GPU (infinite bandwidth)
+};
+
+/** A physical path with an effective bandwidth and fixed latency. */
+struct Link {
+    LinkType type;
+    double bandwidth; ///< achievable bytes/s (one direction)
+    double latency;   ///< fixed per-transfer latency, seconds
+};
+
+/** Parameters for building the standard Figure 9 topology. */
+struct TopologyConfig {
+    std::size_t num_gpus = 8;
+    std::size_t gpus_per_numa = 4;
+    GpuSpec gpu = GpuSpec::a800_80g();
+    /**
+     * NVLink bridge: 400 GB/s bidirectional -> 200 GB/s per direction,
+     * ~85% achievable.
+     */
+    double nvlink_bw = gb(170.0);
+    /**
+     * PCIe Gen4 x16: 64 GB/s bidirectional -> 32 GB/s raw per direction.
+     * The paper's own example (1.5 GB in ~65 ms) implies ~23 GB/s
+     * effective, which is what we use.
+     */
+    double pcie_bw = gb(23.0);
+    /** Cross-NUMA through the root complex is slower in practice. */
+    double pcie_rc_bw = gb(16.0);
+    /** GPU <-> host DRAM effective bandwidth (shared with transfers). */
+    double host_bw = gb(20.0);
+    double link_latency = 10e-6;
+};
+
+/**
+ * The node topology: classifies every GPU pair and exposes per-path links.
+ *
+ * GPU pairing follows the testbed: GPUs 2i and 2i+1 share an NVLink
+ * bridge. link(a, b) is symmetric.
+ */
+class Topology
+{
+  public:
+    explicit Topology(TopologyConfig cfg = {});
+
+    std::size_t num_gpus() const { return cfg_.num_gpus; }
+    const GpuSpec &gpu(GpuId id) const;
+    const TopologyConfig &config() const { return cfg_; }
+
+    /** NUMA node of a GPU. */
+    std::size_t numa_of(GpuId id) const;
+
+    /** Classify the path between two GPUs. */
+    LinkType classify(GpuId a, GpuId b) const;
+
+    /** The link (bandwidth/latency) between two GPUs. */
+    Link link(GpuId a, GpuId b) const;
+
+    /** The host (swap) link of a GPU. */
+    Link host_link(GpuId id) const;
+
+    /**
+     * Best (highest-bandwidth) link between any GPU in @p group_a and any
+     * in @p group_b — the path a multi-GPU instance pair would use for KV
+     * transfers (DistServe/WindServe stripe KV over the best pairing).
+     */
+    Link best_link(const std::vector<GpuId> &group_a,
+                   const std::vector<GpuId> &group_b) const;
+
+  private:
+    TopologyConfig cfg_;
+};
+
+/**
+ * Default phase-disaggregated placement: NVLink pairs are assigned
+ * alternately to the prefill and decode instance so TP collectives ride
+ * NVLink while the inter-instance KV path stays within a NUMA node
+ * (PCIe switch) wherever possible — the testbed layout of Fig. 9.
+ */
+struct PdPlacement {
+    std::vector<GpuId> prefill;
+    std::vector<GpuId> decode;
+};
+
+PdPlacement default_pd_placement(const Topology &topo,
+                                 std::size_t n_prefill, std::size_t n_decode);
+
+} // namespace windserve::hw

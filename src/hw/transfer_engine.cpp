@@ -1,0 +1,156 @@
+#include "hw/transfer_engine.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace windserve::hw {
+
+Channel::Channel(sim::Simulator &sim, Link link, std::string name)
+    : sim_(sim), link_(link), name_(std::move(name)), util_(sim.now())
+{
+    if (link_.bandwidth <= 0.0)
+        throw std::invalid_argument("Channel: bandwidth must be positive");
+}
+
+TransferId
+Channel::submit(double bytes, std::function<void()> on_complete)
+{
+    if (bytes < 0.0)
+        throw std::invalid_argument("Channel::submit: negative bytes");
+    TransferId id = next_id_++;
+    done_[id] = false;
+    total_bytes_ += bytes;
+    queue_.push_back(Transfer{id, bytes, 0.0, std::move(on_complete)});
+    if (!active_)
+        start_next();
+    return id;
+}
+
+void
+Channel::settle_active_progress()
+{
+    if (!active_)
+        return;
+    double elapsed = sim_.now() - active_started_;
+    double lat_used = std::min(elapsed, active_latency_left_);
+    double wire_time = elapsed - lat_used;
+    active_latency_left_ -= lat_used;
+    double moved = std::min(active_->bytes - active_->sent,
+                            wire_time * link_.bandwidth);
+    active_->sent += moved;
+    active_started_ = sim_.now();
+}
+
+void
+Channel::reschedule_active()
+{
+    if (!active_)
+        return;
+    if (active_event_valid_) {
+        sim_.cancel(active_event_);
+        active_event_valid_ = false;
+    }
+    double remaining = active_->bytes - active_->sent;
+    double dur = active_latency_left_ + remaining / link_.bandwidth;
+    active_event_ = sim_.schedule(dur, [this] {
+        active_event_valid_ = false;
+        settle_active_progress();
+        finish_active();
+    });
+    active_event_valid_ = true;
+}
+
+void
+Channel::start_next()
+{
+    if (active_ || queue_.empty())
+        return;
+    active_ = std::make_unique<Transfer>(std::move(queue_.front()));
+    queue_.pop_front();
+    active_started_ = sim_.now();
+    active_latency_left_ = link_.latency;
+    util_.set_busy(sim_.now(), true);
+    reschedule_active();
+}
+
+void
+Channel::finish_active()
+{
+    auto done = std::move(active_);
+    active_.reset();
+    done_[done->id] = true;
+    ++completed_;
+    if (queue_.empty())
+        util_.set_busy(sim_.now(), false);
+    else
+        start_next();
+    if (done->on_complete)
+        done->on_complete();
+    // A callback may have submitted more work while the channel was idle;
+    // submit() handles starting it, so nothing further to do here.
+}
+
+void
+Channel::append(TransferId id, double bytes)
+{
+    if (bytes < 0.0)
+        throw std::invalid_argument("Channel::append: negative bytes");
+    if (bytes == 0.0)
+        return;
+    auto it = done_.find(id);
+    if (it == done_.end())
+        throw std::invalid_argument("Channel::append: unknown transfer");
+    if (it->second)
+        throw std::logic_error("Channel::append: transfer already complete");
+    total_bytes_ += bytes;
+    if (active_ && active_->id == id) {
+        settle_active_progress();
+        active_->bytes += bytes;
+        reschedule_active();
+        return;
+    }
+    for (auto &t : queue_) {
+        if (t.id == id) {
+            t.bytes += bytes;
+            return;
+        }
+    }
+    throw std::logic_error("Channel::append: transfer not found in queue");
+}
+
+double
+Channel::remaining_bytes(TransferId id) const
+{
+    auto it = done_.find(id);
+    if (it == done_.end() || it->second)
+        return 0.0;
+    if (active_ && active_->id == id) {
+        double elapsed = sim_.now() - active_started_;
+        double wire_time =
+            std::max(0.0, elapsed - active_latency_left_);
+        double moved = std::min(active_->bytes - active_->sent,
+                                wire_time * link_.bandwidth);
+        return active_->bytes - active_->sent - moved;
+    }
+    for (const auto &t : queue_)
+        if (t.id == id)
+            return t.bytes;
+    return 0.0;
+}
+
+bool
+Channel::is_done(TransferId id) const
+{
+    auto it = done_.find(id);
+    return it != done_.end() && it->second;
+}
+
+double
+Channel::mean_utilization(sim::SimTime now)
+{
+    util_.finalize(now);
+    return util_.mean_utilization();
+}
+
+} // namespace windserve::hw

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Link-level data movement with FIFO serialization.
+ *
+ * A Channel models one direction of one physical path (NVLink pair,
+ * PCIe switch hop, host DMA). Transfers queue FIFO and occupy the full
+ * link bandwidth while active — the behaviour of NCCL P2P copies and
+ * cudaMemcpyAsync on a dedicated copy engine.
+ *
+ * Stall-free rescheduling (paper §3.3) needs two extra operations that
+ * plain "send N bytes, call me back" APIs lack:
+ *  - append(): grow an in-flight transfer (the migrating request keeps
+ *    decoding, so its KV tail keeps growing while the transfer drains);
+ *  - remaining_bytes(): the coordinator pauses the request only when the
+ *    untransferred remainder falls below a threshold.
+ */
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "hw/topology.hpp"
+#include "simcore/simulator.hpp"
+#include "simcore/utilization.hpp"
+
+namespace windserve::hw {
+
+/** Handle for an outstanding transfer. */
+using TransferId = std::uint64_t;
+
+/**
+ * One direction of a physical link. FIFO, work-conserving, appendable.
+ */
+class Channel
+{
+  public:
+    /**
+     * @param sim   the shared simulation kernel
+     * @param link  bandwidth/latency of the underlying path
+     * @param name  diagnostic label
+     */
+    Channel(sim::Simulator &sim, Link link, std::string name = "chan");
+
+    /**
+     * Enqueue a transfer of @p bytes; @p on_complete fires when the last
+     * byte lands. Zero-byte transfers complete after the link latency.
+     */
+    TransferId submit(double bytes, std::function<void()> on_complete);
+
+    /**
+     * Add @p bytes to a transfer that has not completed yet. The extra
+     * bytes extend the same FIFO slot (no new latency term).
+     */
+    void append(TransferId id, double bytes);
+
+    /** Bytes not yet on the wire for @p id (0 when complete/unknown). */
+    double remaining_bytes(TransferId id) const;
+
+    /** True once @p id 's completion callback has fired. */
+    bool is_done(TransferId id) const;
+
+    /** Transfers queued or active. */
+    std::size_t inflight() const { return queue_.size() + (active_ ? 1 : 0); }
+
+    /** True while any transfer is active or queued. */
+    bool busy() const { return inflight() > 0; }
+
+    /** Total bytes ever submitted (including appends). */
+    double total_bytes() const { return total_bytes_; }
+
+    /** Total transfers completed. */
+    std::uint64_t completed() const { return completed_; }
+
+    /** Time-averaged busy fraction of the channel. */
+    double mean_utilization(sim::SimTime now);
+
+    const Link &link() const { return link_; }
+
+  private:
+    struct Transfer {
+        TransferId id;
+        double bytes;     ///< total bytes to move (grows via append)
+        double sent;      ///< bytes already on the wire (active only)
+        std::function<void()> on_complete;
+    };
+
+    void start_next();
+    void reschedule_active();
+    void settle_active_progress();
+    void finish_active();
+
+    sim::Simulator &sim_;
+    Link link_;
+    std::string name_;
+    std::deque<Transfer> queue_;
+    std::unique_ptr<Transfer> active_;
+    sim::SimTime active_started_ = 0.0;   ///< when current segment began
+    double active_latency_left_ = 0.0;    ///< unpaid fixed latency
+    sim::EventId active_event_ = 0;
+    bool active_event_valid_ = false;
+    std::unordered_map<TransferId, bool> done_;
+    TransferId next_id_ = 1;
+    double total_bytes_ = 0.0;
+    std::uint64_t completed_ = 0;
+    sim::UtilizationTracker util_;
+};
+
+} // namespace windserve::hw

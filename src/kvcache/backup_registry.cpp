@@ -1,0 +1,53 @@
+#include "kvcache/backup_registry.hpp"
+
+#include <numeric>
+#include <stdexcept>
+
+namespace windserve::kvcache {
+
+void
+BackupRegistry::record(ReqId id, std::size_t tokens)
+{
+    auto it = tokens_.find(id);
+    if (it == tokens_.end()) {
+        tokens_[id] = tokens;
+    } else {
+        if (tokens < it->second)
+            throw std::logic_error("BackupRegistry: backup cannot shrink");
+        it->second = tokens;
+    }
+}
+
+std::size_t
+BackupRegistry::backed_up_tokens(ReqId id) const
+{
+    auto it = tokens_.find(id);
+    return it == tokens_.end() ? 0 : it->second;
+}
+
+void
+BackupRegistry::drop(ReqId id)
+{
+    tokens_.erase(id);
+}
+
+std::size_t
+BackupRegistry::total_tokens() const
+{
+    std::size_t sum = 0;
+    for (const auto &[id, t] : tokens_)
+        sum += t;
+    return sum;
+}
+
+std::vector<ReqId>
+BackupRegistry::ids() const
+{
+    std::vector<ReqId> out;
+    out.reserve(tokens_.size());
+    for (const auto &[id, t] : tokens_)
+        out.push_back(id);
+    return out;
+}
+
+} // namespace windserve::kvcache

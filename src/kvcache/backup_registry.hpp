@@ -1,0 +1,51 @@
+/**
+ * @file
+ * KV backup bookkeeping for cheap rescheduling (paper §3.3).
+ *
+ * "To minimize migration overheads, the prefill instance dynamically
+ * backs up the KV cache of some long-context requests when there is
+ * sufficient KV blocks [in the prefill instance] and relatively limited
+ * KV blocks in the decoding instance. These backups can reduce migration
+ * costs when the backed-up requests are later rescheduled."
+ *
+ * The registry records how many tokens of each request's KV already sit
+ * on the prefill instance, so a later migration only ships the delta.
+ */
+#pragma once
+
+#include <cstddef>
+#include <unordered_map>
+#include <vector>
+
+#include "kvcache/block_manager.hpp"
+
+namespace windserve::kvcache {
+
+/** Tracks per-request backed-up token prefixes on the prefill instance. */
+class BackupRegistry
+{
+  public:
+    /** Record (or extend) a backup of the first @p tokens tokens. */
+    void record(ReqId id, std::size_t tokens);
+
+    /** Tokens of @p id already present on the prefill side (0 if none). */
+    std::size_t backed_up_tokens(ReqId id) const;
+
+    bool has_backup(ReqId id) const { return tokens_.count(id) > 0; }
+
+    /** Drop a request's backup (request finished or migrated). */
+    void drop(ReqId id);
+
+    std::size_t num_backups() const { return tokens_.size(); }
+
+    /** Sum of backed-up tokens across all requests. */
+    std::size_t total_tokens() const;
+
+    /** Ids with a live backup (unspecified order). */
+    std::vector<ReqId> ids() const;
+
+  private:
+    std::unordered_map<ReqId, std::size_t> tokens_;
+};
+
+} // namespace windserve::kvcache

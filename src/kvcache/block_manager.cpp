@@ -1,0 +1,94 @@
+#include "kvcache/block_manager.hpp"
+
+#include <stdexcept>
+
+namespace windserve::kvcache {
+
+BlockManager::BlockManager(std::size_t total_blocks, std::size_t block_size)
+    : total_blocks_(total_blocks), block_size_(block_size)
+{
+    if (block_size_ == 0)
+        throw std::invalid_argument("BlockManager: block_size must be > 0");
+}
+
+std::size_t
+BlockManager::blocks_for(std::size_t tokens) const
+{
+    return (tokens + block_size_ - 1) / block_size_;
+}
+
+bool
+BlockManager::can_allocate(std::size_t tokens) const
+{
+    return blocks_for(tokens) <= free_blocks();
+}
+
+bool
+BlockManager::allocate(ReqId id, std::size_t tokens)
+{
+    if (per_req_.count(id))
+        throw std::logic_error("BlockManager::allocate: id already held");
+    std::size_t need = blocks_for(tokens);
+    if (need > free_blocks())
+        return false;
+    used_blocks_ += need;
+    total_tokens_ += tokens;
+    per_req_[id] = Alloc{tokens, need};
+    return true;
+}
+
+bool
+BlockManager::grow(ReqId id, std::size_t new_tokens)
+{
+    auto it = per_req_.find(id);
+    if (it == per_req_.end())
+        throw std::logic_error("BlockManager::grow: unknown id");
+    if (new_tokens < it->second.tokens)
+        throw std::logic_error("BlockManager::grow: shrinking not allowed");
+    std::size_t need = blocks_for(new_tokens);
+    std::size_t extra = need > it->second.blocks
+                            ? need - it->second.blocks
+                            : 0;
+    if (extra > free_blocks())
+        return false;
+    used_blocks_ += extra;
+    total_tokens_ += new_tokens - it->second.tokens;
+    it->second.tokens = new_tokens;
+    it->second.blocks = need;
+    return true;
+}
+
+void
+BlockManager::release(ReqId id)
+{
+    auto it = per_req_.find(id);
+    if (it == per_req_.end())
+        return;
+    used_blocks_ -= it->second.blocks;
+    total_tokens_ -= it->second.tokens;
+    per_req_.erase(it);
+}
+
+std::size_t
+BlockManager::tokens_of(ReqId id) const
+{
+    auto it = per_req_.find(id);
+    return it == per_req_.end() ? 0 : it->second.tokens;
+}
+
+std::size_t
+BlockManager::blocks_of(ReqId id) const
+{
+    auto it = per_req_.find(id);
+    return it == per_req_.end() ? 0 : it->second.blocks;
+}
+
+double
+BlockManager::occupancy() const
+{
+    return total_blocks_ ? static_cast<double>(used_blocks_) /
+                               static_cast<double>(total_blocks_)
+                         : 1.0;
+}
+
+} // namespace windserve::kvcache

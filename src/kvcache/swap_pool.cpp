@@ -1,0 +1,55 @@
+#include "kvcache/swap_pool.hpp"
+
+#include <stdexcept>
+
+namespace windserve::kvcache {
+
+SwapPool::SwapPool(double capacity_bytes, double bytes_per_token)
+    : capacity_bytes_(capacity_bytes), bytes_per_token_(bytes_per_token)
+{
+    if (bytes_per_token_ <= 0.0)
+        throw std::invalid_argument("SwapPool: bytes_per_token must be > 0");
+}
+
+bool
+SwapPool::swap_out(ReqId id, std::size_t tokens)
+{
+    if (tokens_.count(id))
+        throw std::logic_error("SwapPool::swap_out: id already swapped");
+    double bytes = bytes_for(tokens);
+    if (used_bytes_ + bytes > capacity_bytes_)
+        return false;
+    tokens_[id] = tokens;
+    used_bytes_ += bytes;
+    ++swap_out_events_;
+    swapped_bytes_total_ += bytes;
+    return true;
+}
+
+void
+SwapPool::swap_in(ReqId id)
+{
+    auto it = tokens_.find(id);
+    if (it == tokens_.end())
+        throw std::logic_error("SwapPool::swap_in: id not swapped");
+    double bytes = bytes_for(it->second);
+    used_bytes_ -= bytes;
+    swapped_bytes_total_ += bytes;
+    ++swap_in_events_;
+    tokens_.erase(it);
+}
+
+std::size_t
+SwapPool::tokens_of(ReqId id) const
+{
+    auto it = tokens_.find(id);
+    return it == tokens_.end() ? 0 : it->second;
+}
+
+double
+SwapPool::bytes_for(std::size_t tokens) const
+{
+    return static_cast<double>(tokens) * bytes_per_token_;
+}
+
+} // namespace windserve::kvcache

@@ -1,0 +1,51 @@
+#include "metrics/collector.hpp"
+
+namespace windserve::metrics {
+
+RunMetrics
+Collector::collect(const std::vector<workload::Request> &requests) const
+{
+    RunMetrics m;
+    m.num_requests = requests.size();
+    std::size_t ok_both = 0, ok_ttft = 0, ok_tpot = 0;
+    for (const auto &r : requests) {
+        if (!r.finished())
+            continue;
+        ++m.num_finished;
+        if (double t = r.ttft(); t != workload::kNoTime)
+            m.ttft.add(t);
+        if (double t = r.tpot(); t != workload::kNoTime)
+            m.tpot.add(t);
+        if (double t = r.e2e_latency(); t != workload::kNoTime)
+            m.e2e.add(t);
+        if (double t = r.prefill_queueing_delay(); t != workload::kNoTime)
+            m.prefill_queueing.add(t);
+        if (double t = r.decode_queueing_delay(); t != workload::kNoTime)
+            m.decode_queueing.add(t);
+        if (r.output_tokens > 1)
+            m.itl_max.add(r.max_token_gap);
+        m.swap_out_events += r.swap_outs;
+        m.migrations += r.migrations;
+        if (r.prefill_dispatched)
+            ++m.prefill_dispatches;
+        if (meets_ttft(r, slo_))
+            ++ok_ttft;
+        if (meets_tpot(r, slo_))
+            ++ok_tpot;
+        if (meets_slo(r, slo_))
+            ++ok_both;
+        if (r.finish_time > m.makespan)
+            m.makespan = r.finish_time;
+    }
+    // Unfinished requests count against attainment: a request the system
+    // never completed certainly missed its SLO.
+    double n = static_cast<double>(m.num_requests);
+    if (n > 0) {
+        m.slo_attainment = static_cast<double>(ok_both) / n;
+        m.ttft_attainment = static_cast<double>(ok_ttft) / n;
+        m.tpot_attainment = static_cast<double>(ok_tpot) / n;
+    }
+    return m;
+}
+
+} // namespace windserve::metrics

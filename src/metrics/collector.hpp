@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Aggregation of per-request measurements into the paper's metrics.
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "metrics/slo.hpp"
+#include "simcore/stats.hpp"
+#include "workload/request.hpp"
+
+namespace windserve::metrics {
+
+/** Everything the evaluation section reports for one run. */
+struct RunMetrics {
+    sim::Sample ttft;
+    sim::Sample tpot;
+    sim::Sample e2e;
+    sim::Sample prefill_queueing;
+    sim::Sample decode_queueing;
+    /** Per-request WORST inter-token gap (stalls show up here even when
+     *  the average TPOT hides them). */
+    sim::Sample itl_max;
+
+    std::size_t num_requests = 0;
+    std::size_t num_finished = 0;
+
+    double slo_attainment = 0.0;  ///< both objectives
+    double ttft_attainment = 0.0;
+    double tpot_attainment = 0.0;
+
+    std::uint64_t swap_out_events = 0;
+    std::uint64_t migrations = 0;
+    std::uint64_t prefill_dispatches = 0;
+
+    // instance-level utilization, filled in by the serving system
+    double prefill_compute_util = 0.0;  ///< mean tensor-core util (Fig. 2)
+    double decode_bandwidth_util = 0.0; ///< mean HBM BW util (Fig. 2)
+    double decode_compute_util = 0.0;
+    double prefill_bandwidth_util = 0.0;
+
+    double makespan = 0.0; ///< simulated completion time of the trace
+};
+
+/** Builds RunMetrics from the finished request set. */
+class Collector
+{
+  public:
+    explicit Collector(SloSpec slo) : slo_(slo) {}
+
+    /** Aggregate a trace (requests in any order, finished or not). */
+    RunMetrics collect(const std::vector<workload::Request> &requests) const;
+
+    const SloSpec &slo() const { return slo_; }
+
+  private:
+    SloSpec slo_;
+};
+
+} // namespace windserve::metrics

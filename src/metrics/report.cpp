@@ -1,0 +1,63 @@
+#include "metrics/report.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+namespace windserve::metrics {
+
+std::string
+fmt_seconds(double s)
+{
+    char buf[48];
+    if (s == workload::kNoTime) {
+        return "n/a";
+    } else if (s < 1.0) {
+        std::snprintf(buf, sizeof(buf), "%.1fms", s * 1e3);
+    } else {
+        std::snprintf(buf, sizeof(buf), "%.2fs", s);
+    }
+    return buf;
+}
+
+std::string
+fmt_percent(double f)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.1f%%", f * 100.0);
+    return buf;
+}
+
+std::string
+summary_line(const RunMetrics &m)
+{
+    std::ostringstream out;
+    out << "ttft p50=" << fmt_seconds(m.ttft.median())
+        << " p99=" << fmt_seconds(m.ttft.p99())
+        << " | tpot p90=" << fmt_seconds(m.tpot.p90())
+        << " p99=" << fmt_seconds(m.tpot.p99())
+        << " | slo=" << fmt_percent(m.slo_attainment)
+        << " (" << m.num_finished << "/" << m.num_requests << " done)";
+    return out.str();
+}
+
+std::string
+detailed_report(const RunMetrics &m)
+{
+    std::ostringstream out;
+    out << summary_line(m) << "\n"
+        << "  queueing: prefill p50=" << fmt_seconds(m.prefill_queueing.median())
+        << " p99=" << fmt_seconds(m.prefill_queueing.p99())
+        << ", decode p50=" << fmt_seconds(m.decode_queueing.median())
+        << " p99=" << fmt_seconds(m.decode_queueing.p99()) << "\n"
+        << "  attainment: ttft=" << fmt_percent(m.ttft_attainment)
+        << " tpot=" << fmt_percent(m.tpot_attainment) << "\n"
+        << "  events: swaps=" << m.swap_out_events
+        << " migrations=" << m.migrations
+        << " prefill-dispatches=" << m.prefill_dispatches << "\n"
+        << "  util: prefill-compute=" << fmt_percent(m.prefill_compute_util)
+        << " decode-bw=" << fmt_percent(m.decode_bandwidth_util) << "\n"
+        << "  makespan=" << fmt_seconds(m.makespan);
+    return out.str();
+}
+
+} // namespace windserve::metrics

@@ -1,0 +1,25 @@
+/**
+ * @file
+ * Human-readable rendering of RunMetrics.
+ */
+#pragma once
+
+#include <string>
+
+#include "metrics/collector.hpp"
+
+namespace windserve::metrics {
+
+/** One-line summary: ttft p50/p99, tpot p90/p99, slo. */
+std::string summary_line(const RunMetrics &m);
+
+/** Multi-line detailed report including queueing and utilization. */
+std::string detailed_report(const RunMetrics &m);
+
+/** Format seconds compactly: "12.3ms" / "1.24s". */
+std::string fmt_seconds(double s);
+
+/** Format a [0,1] fraction as a percentage: "93.1%". */
+std::string fmt_percent(double f);
+
+} // namespace windserve::metrics

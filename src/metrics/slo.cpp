@@ -1,0 +1,29 @@
+#include "metrics/slo.hpp"
+
+namespace windserve::metrics {
+
+bool
+meets_ttft(const workload::Request &r, const SloSpec &slo)
+{
+    double t = r.ttft();
+    return t != workload::kNoTime && t <= slo.ttft;
+}
+
+bool
+meets_tpot(const workload::Request &r, const SloSpec &slo)
+{
+    double t = r.tpot();
+    // Single-output-token requests have no TPOT sample; the TTFT check
+    // alone governs them.
+    if (t == workload::kNoTime)
+        return r.finished();
+    return t <= slo.tpot;
+}
+
+bool
+meets_slo(const workload::Request &r, const SloSpec &slo)
+{
+    return meets_ttft(r, slo) && meets_tpot(r, slo);
+}
+
+} // namespace windserve::metrics

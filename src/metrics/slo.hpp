@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Service-level objectives (paper Table 4).
+ *
+ * A request attains its SLO when BOTH its TTFT and TPOT are within the
+ * limits ("the percentage of requests meeting both TTFT and TPOT SLOs",
+ * §5.1). TPOT SLOs are ~4x the undisturbed decoding iteration time at
+ * batch 16 and dataset-average context; TTFT SLOs are set empirically
+ * per scenario.
+ */
+#pragma once
+
+#include <string>
+
+#include "workload/request.hpp"
+
+namespace windserve::metrics {
+
+/** TTFT/TPOT limits for one (model, scenario) pair. */
+struct SloSpec {
+    double ttft = 0.25; ///< seconds
+    double tpot = 0.10; ///< seconds per output token
+
+    /** Table 4 rows. */
+    static SloSpec opt_13b_sharegpt() { return {0.25, 0.10}; }
+    static SloSpec opt_66b_sharegpt() { return {0.80, 0.15}; }
+    static SloSpec llama2_13b_longbench() { return {4.0, 0.10}; }
+    static SloSpec llama2_70b_longbench() { return {15.0, 0.50}; }
+};
+
+/** Whether a finished request met its TTFT objective. */
+bool meets_ttft(const workload::Request &r, const SloSpec &slo);
+
+/** Whether a finished request met its TPOT objective. */
+bool meets_tpot(const workload::Request &r, const SloSpec &slo);
+
+/** Whether a finished request met both objectives. */
+bool meets_slo(const workload::Request &r, const SloSpec &slo);
+
+} // namespace windserve::metrics

@@ -1,0 +1,104 @@
+#include "metrics/timeline.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+namespace windserve::metrics {
+
+TimelineRecorder::TimelineRecorder(sim::Simulator &sim, double interval)
+    : sim_(sim), interval_(interval)
+{
+    if (interval_ <= 0.0)
+        throw std::invalid_argument("TimelineRecorder: interval must be > 0");
+}
+
+void
+TimelineRecorder::add_probe(std::string name, std::function<double()> sample)
+{
+    if (running_)
+        throw std::logic_error("TimelineRecorder: add_probe after start");
+    probes_.push_back(TimelineProbe{std::move(name), std::move(sample)});
+    series_.emplace_back();
+}
+
+void
+TimelineRecorder::start(double horizon)
+{
+    horizon_ = horizon;
+    running_ = true;
+    tick();
+}
+
+void
+TimelineRecorder::stop()
+{
+    running_ = false;
+}
+
+void
+TimelineRecorder::tick()
+{
+    if (!running_ || sim_.now() > horizon_)
+        return;
+    times_.push_back(sim_.now());
+    for (std::size_t i = 0; i < probes_.size(); ++i)
+        series_[i].push_back(probes_[i].sample());
+    sim_.schedule(interval_, [this] { tick(); });
+}
+
+const std::vector<double> &
+TimelineRecorder::series(std::size_t i) const
+{
+    return series_.at(i);
+}
+
+std::size_t
+TimelineRecorder::probe_index(const std::string &name) const
+{
+    for (std::size_t i = 0; i < probes_.size(); ++i)
+        if (probes_[i].name == name)
+            return i;
+    throw std::invalid_argument("TimelineRecorder: unknown probe " + name);
+}
+
+std::string
+TimelineRecorder::csv() const
+{
+    std::ostringstream out;
+    out << "time";
+    for (const auto &p : probes_)
+        out << "," << p.name;
+    out << "\n";
+    for (std::size_t t = 0; t < times_.size(); ++t) {
+        out << times_[t];
+        for (const auto &s : series_)
+            out << "," << s[t];
+        out << "\n";
+    }
+    return out.str();
+}
+
+double
+TimelineRecorder::peak(const std::string &name) const
+{
+    const auto &s = series_[probe_index(name)];
+    double best = 0.0;
+    for (double v : s)
+        best = std::max(best, v);
+    return best;
+}
+
+double
+TimelineRecorder::mean(const std::string &name) const
+{
+    const auto &s = series_[probe_index(name)];
+    if (s.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (double v : s)
+        sum += v;
+    return sum / static_cast<double>(s.size());
+}
+
+} // namespace windserve::metrics

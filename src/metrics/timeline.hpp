@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Time-series recording of system state during a run.
+ *
+ * The paper's motivation figures plot quantities evolving with load
+ * (queue depths, KV occupancy, swap activity). TimelineRecorder samples
+ * a set of named probes at a fixed simulated-time interval and renders
+ * the series as a table or CSV for plotting.
+ */
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "simcore/simulator.hpp"
+
+namespace windserve::metrics {
+
+/** One named quantity to sample. */
+struct TimelineProbe {
+    std::string name;
+    std::function<double()> sample;
+};
+
+/** Periodically samples probes on a shared simulator. */
+class TimelineRecorder
+{
+  public:
+    /**
+     * @param sim      the simulation kernel to piggyback on
+     * @param interval sampling period, simulated seconds
+     */
+    TimelineRecorder(sim::Simulator &sim, double interval = 1.0);
+
+    /** Register a probe (before start()). */
+    void add_probe(std::string name, std::function<double()> sample);
+
+    /**
+     * Begin sampling at the current simulated time. Sampling stops at
+     * @p horizon or when stop() is called.
+     */
+    void start(double horizon);
+
+    /** Stop sampling (no further events are scheduled). */
+    void stop();
+
+    std::size_t num_probes() const { return probes_.size(); }
+    std::size_t num_samples() const { return times_.size(); }
+
+    /** Sample timestamps. */
+    const std::vector<double> &times() const { return times_; }
+
+    /** Series for probe @p i, aligned with times(). */
+    const std::vector<double> &series(std::size_t i) const;
+
+    /** Index of a probe by name; throws if unknown. */
+    std::size_t probe_index(const std::string &name) const;
+
+    /** Render as CSV: time,<probe0>,<probe1>,... */
+    std::string csv() const;
+
+    /** Maximum value a probe reached. */
+    double peak(const std::string &name) const;
+
+    /** Time-averaged value of a probe (mean over samples). */
+    double mean(const std::string &name) const;
+
+  private:
+    void tick();
+
+    sim::Simulator &sim_;
+    double interval_;
+    double horizon_ = 0.0;
+    bool running_ = false;
+    std::vector<TimelineProbe> probes_;
+    std::vector<double> times_;
+    std::vector<std::vector<double>> series_;
+};
+
+} // namespace windserve::metrics

@@ -1,0 +1,191 @@
+#include "model/cost_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace windserve::model {
+
+CostModel::CostModel(ModelSpec model, hw::GpuSpec gpu, ParallelismConfig par,
+                     CostModelParams params, ParallelEfficiency eff)
+    : model_(std::move(model)), gpu_(std::move(gpu)), par_(par),
+      params_(params), eff_(eff)
+{
+    if (par_.tp == 0 || par_.pp == 0)
+        throw std::invalid_argument("CostModel: tp/pp must be >= 1");
+    double weights_per_gpu =
+        model_.weight_bytes() / static_cast<double>(par_.num_gpus());
+    double budget = gpu_.mem_capacity * params_.usable_memory_fraction -
+                    params_.activation_reserve_bytes;
+    if (weights_per_gpu >= budget)
+        throw std::invalid_argument("CostModel: model does not fit on " +
+                                    std::to_string(par_.num_gpus()) + "x " +
+                                    gpu_.name);
+}
+
+double
+CostModel::effective_flops() const
+{
+    double tp = static_cast<double>(par_.tp);
+    return gpu_.peak_fp16_flops * tp * eff_.tp_efficiency(par_.tp);
+}
+
+double
+CostModel::effective_bandwidth() const
+{
+    double tp = static_cast<double>(par_.tp);
+    // HBM traffic shards almost perfectly across TP ranks.
+    return gpu_.mem_bandwidth * tp * params_.bw_efficiency;
+}
+
+double
+CostModel::pass_time(const PassCost &cost, double mfu) const
+{
+    double compute = cost.flops / (effective_flops() * mfu);
+    double io = cost.io_bytes / effective_bandwidth();
+    double layers = static_cast<double>(model_.num_layers);
+    double comm = par_.tp > 1
+                      ? layers * eff_.tp_allreduce_latency_per_layer
+                      : 0.0;
+    double hops = static_cast<double>(par_.pp - 1) * eff_.pp_hop_latency;
+    return std::max(compute, io) + comm + hops + params_.fixed_overhead;
+}
+
+double
+CostModel::prefill_time(double n) const
+{
+    if (n <= 0.0)
+        return 0.0;
+    return pass_time(prefill_pass(model_, n), params_.mfu_prefill);
+}
+
+double
+CostModel::decode_time(double b, double sum_context) const
+{
+    if (b <= 0.0)
+        return 0.0;
+    return pass_time(decode_pass(model_, b, sum_context),
+                     params_.mfu_decode);
+}
+
+double
+CostModel::hybrid_time(double n_prefill, double b, double sum_context) const
+{
+    if (n_prefill <= 0.0)
+        return decode_time(b, sum_context);
+    if (b <= 0.0)
+        return prefill_time(n_prefill);
+    // One stream: the pass serialises prefill-heavy and decode-heavy
+    // work; the decode share is discounted because weight reads are
+    // amortised with the prefill GEMMs.
+    double t_p = prefill_time(n_prefill);
+    double t_d = decode_time(b, sum_context);
+    return t_p + params_.hybrid_decode_discount *
+                     (t_d - params_.fixed_overhead);
+}
+
+double
+CostModel::sbd_prefill_time(double n) const
+{
+    return prefill_time(n) * params_.sbd_prefill_slowdown;
+}
+
+double
+CostModel::sbd_decode_time(double b, double sum_context) const
+{
+    return decode_time(b, sum_context) * params_.sbd_decode_slowdown;
+}
+
+double
+CostModel::chunked_iteration_time(double chunk, double prefix_len, double b,
+                                  double sum_context) const
+{
+    if (chunk <= 0.0)
+        return decode_time(b, sum_context);
+    // The chunk attends to the already-prefilled prefix, so the attention
+    // quadratic term is chunk * (prefix + chunk) rather than chunk^2.
+    PassCost pc = prefill_pass(model_, chunk);
+    double h = static_cast<double>(model_.hidden_size);
+    double kv_frac = static_cast<double>(model_.num_kv_heads) /
+                     static_cast<double>(model_.num_heads);
+    double layers = static_cast<double>(model_.num_layers);
+    pc.flops += layers * 4.0 * chunk * prefix_len * h * kv_frac;
+    pc.io_bytes += layers * 2.0 * prefix_len * h * kv_frac *
+                   model_.bytes_per_param;
+    // Small chunks under-utilise the tensor cores (short GEMM tiles).
+    double mfu = params_.mfu_prefill * chunk /
+                 (chunk + params_.chunk_mfu_halfpoint);
+    double t_chunk = pass_time(pc, mfu);
+    double t_d = b > 0.0 ? decode_time(b, sum_context) : 0.0;
+    double hybrid_extra =
+        b > 0.0 ? params_.hybrid_decode_discount *
+                      (t_d - params_.fixed_overhead)
+                : 0.0;
+    return t_chunk + hybrid_extra + params_.chunk_overhead;
+}
+
+double
+CostModel::kv_capacity_tokens() const
+{
+    double total_mem = gpu_.mem_capacity *
+                       static_cast<double>(par_.num_gpus());
+    double usable = total_mem * params_.usable_memory_fraction -
+                    model_.weight_bytes() -
+                    params_.activation_reserve_bytes *
+                        static_cast<double>(par_.num_gpus());
+    return std::max(0.0, usable / model_.kv_bytes_per_token());
+}
+
+void
+CostModel::prefill_coefficients(double &a, double &b, double &c) const
+{
+    // T(N) = a N + b N^2 + c. Derive from two probe points; the model is
+    // exactly quadratic in N when compute-bound.
+    double t1 = prefill_time(512.0);
+    double t2 = prefill_time(1024.0);
+    c = params_.fixed_overhead +
+        (par_.tp > 1 ? static_cast<double>(model_.num_layers) *
+                           eff_.tp_allreduce_latency_per_layer
+                     : 0.0) +
+        static_cast<double>(par_.pp - 1) * eff_.pp_hop_latency;
+    // Solve a*512 + b*512^2 = t1 - c ; a*1024 + b*1024^2 = t2 - c.
+    double y1 = t1 - c, y2 = t2 - c;
+    b = (y2 / 1024.0 - y1 / 512.0) / (1024.0 - 512.0);
+    a = y1 / 512.0 - b * 512.0;
+}
+
+void
+CostModel::decode_coefficients(double &a, double &c) const
+{
+    // T(sumL) = a sumL + c at a representative batch size of 16.
+    double t1 = decode_time(16.0, 8192.0);
+    double t2 = decode_time(16.0, 32768.0);
+    a = (t2 - t1) / (32768.0 - 8192.0);
+    c = t1 - a * 8192.0;
+}
+
+double
+CostModel::prefill_compute_utilization(double n) const
+{
+    if (n <= 0.0)
+        return 0.0;
+    PassCost pc = prefill_pass(model_, n);
+    double t = prefill_time(n);
+    double peak = gpu_.peak_fp16_flops *
+                  static_cast<double>(par_.num_gpus());
+    return std::min(1.0, pc.flops / (t * peak));
+}
+
+double
+CostModel::decode_bandwidth_utilization(double b, double sum_context) const
+{
+    if (b <= 0.0)
+        return 0.0;
+    PassCost pc = decode_pass(model_, b, sum_context);
+    double t = decode_time(b, sum_context);
+    double peak = gpu_.mem_bandwidth *
+                  static_cast<double>(par_.num_gpus());
+    return std::min(1.0, pc.io_bytes / (t * peak));
+}
+
+} // namespace windserve::model

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Roofline iteration-time model for one serving instance.
+ *
+ * Converts the Table 1 FLOPs/IO counts into wall-clock seconds on a given
+ * GPU + parallelism configuration. The functional forms reproduce the
+ * paper's Eq. (1)/(2):
+ *
+ *     T_prefill(N)        = a_p N + b_p N^2 + c_p     (compute-bound)
+ *     T_decode(B, sumL)   = a_d sumL + c_d(B)         (IO-bound)
+ *
+ * plus the three co-location execution modes the paper compares:
+ *  - regular hybrid batching (vLLM-style single stream),
+ *  - chunked-prefill (SARATHI-style piggybacking),
+ *  - stream-based disaggregation (the paper's §3.4), whose slowdown
+ *    factors are calibrated against the paper's Fig. 8 measurements.
+ *
+ * All calibration constants live in CostModelParams so EXPERIMENTS.md can
+ * document them in one place.
+ */
+#pragma once
+
+#include <cstddef>
+
+#include "hw/gpu_spec.hpp"
+#include "model/flops.hpp"
+#include "model/model_spec.hpp"
+#include "model/parallelism.hpp"
+
+namespace windserve::model {
+
+/** Calibration knobs mapping ideal roofline numbers to a real system. */
+struct CostModelParams {
+    /** Model-FLOPs utilization achieved by dense prefill kernels. */
+    double mfu_prefill = 0.55;
+    /** FLOPs utilization of the small GEMMs in decode (rarely binding). */
+    double mfu_decode = 0.25;
+    /** Fraction of peak HBM bandwidth achieved by decode kernels. */
+    double bw_efficiency = 0.55;
+    /**
+     * Fixed per-iteration overhead (kernel launches, sampling, Python
+     * scheduler tick) — the paper's c_p / c_d intercepts.
+     */
+    double fixed_overhead = 6.0e-3;
+    /**
+     * Regular hybrid batch: the pass costs the prefill time plus this
+     * fraction of the standalone decode time (kernels partially benefit
+     * from the shared weight reads), and *all* results arrive at the end
+     * of the pass — which is why hybrid batching hurts TPOT.
+     */
+    double hybrid_decode_discount = 0.60;
+    /**
+     * Stream-based disaggregation slowdowns (Fig. 8 calibration:
+     * LLaMA2-70B decode 0.35 s -> 0.34 s alongside a 2048-token prefill;
+     * prefill 0.75 s vs ~0.7 s standalone).
+     */
+    double sbd_prefill_slowdown = 1.10;
+    double sbd_decode_slowdown = 1.08;
+    /** Extra per-chunk overhead of chunked-prefill (re-reads KV prefix). */
+    double chunk_overhead = 1.5e-3;
+    /**
+     * Small prefill chunks run at degraded GEMM efficiency: effective
+     * MFU = mfu_prefill * chunk / (chunk + halfpoint). Calibrated so a
+     * 512-token chunked prefill of LLaMA2-70B costs ~2x its monolithic
+     * pass, matching the paper's §3.4 case study (1.4 s vs 0.75 s).
+     */
+    double chunk_mfu_halfpoint = 320.0;
+    /** Fraction of GPU memory usable (vLLM's gpu_memory_utilization). */
+    double usable_memory_fraction = 0.90;
+    /** Activation / workspace reserve per GPU, bytes. */
+    double activation_reserve_bytes = 6.0e9;
+};
+
+/**
+ * Iteration-time and memory-capacity oracle for (model, GPU, parallelism).
+ *
+ * This class is the simulator's ground truth; the WindServe Profiler
+ * (core/profiler) re-derives the same coefficients by regression on noisy
+ * observations, exactly as the real system profiles before runtime.
+ */
+class CostModel
+{
+  public:
+    CostModel(ModelSpec model, hw::GpuSpec gpu, ParallelismConfig par,
+              CostModelParams params = {}, ParallelEfficiency eff = {});
+
+    const ModelSpec &model() const { return model_; }
+    const ParallelismConfig &parallelism() const { return par_; }
+    const CostModelParams &params() const { return params_; }
+
+    /** Latency of a full prefill pass over @p n_tokens prompt tokens. */
+    double prefill_time(double n_tokens) const;
+
+    /** Latency of one decode iteration (batch @p b, contexts sum sumL). */
+    double decode_time(double b, double sum_context) const;
+
+    /**
+     * Latency of a regular (single-stream) hybrid pass combining
+     * @p n_prefill prompt tokens with a decode batch.
+     */
+    double hybrid_time(double n_prefill, double b, double sum_context) const;
+
+    /** SBD: prefill stream latency while a decode stream runs alongside. */
+    double sbd_prefill_time(double n_tokens) const;
+
+    /** SBD: decode iteration latency while a prefill stream runs alongside. */
+    double sbd_decode_time(double b, double sum_context) const;
+
+    /**
+     * Chunked-prefill: latency of one piggybacked iteration processing a
+     * chunk of @p chunk_tokens (with @p prefix_len tokens already done)
+     * on top of the decode batch.
+     */
+    double chunked_iteration_time(double chunk_tokens, double prefix_len,
+                                  double b, double sum_context) const;
+
+    /** KV-cache capacity of the instance, in tokens. */
+    double kv_capacity_tokens() const;
+
+    /** Ideal Eq.(1) coefficients (a_p, b_p, c_p) of this configuration. */
+    void prefill_coefficients(double &a, double &b, double &c) const;
+
+    /** Ideal Eq.(2) coefficients (a_d, c_d) of this configuration. */
+    void decode_coefficients(double &a, double &c) const;
+
+    /** Achieved fraction of peak FLOPs during a prefill pass. */
+    double prefill_compute_utilization(double n_tokens) const;
+
+    /** Achieved fraction of peak HBM bandwidth during a decode pass. */
+    double decode_bandwidth_utilization(double b, double sum_context) const;
+
+    /** Effective aggregate compute of the instance, FLOP/s (pre-MFU). */
+    double effective_flops() const;
+
+    /** Effective aggregate HBM bandwidth of the instance, bytes/s. */
+    double effective_bandwidth() const;
+
+  private:
+    double pass_time(const PassCost &cost, double mfu) const;
+
+    ModelSpec model_;
+    hw::GpuSpec gpu_;
+    ParallelismConfig par_;
+    CostModelParams params_;
+    ParallelEfficiency eff_;
+};
+
+} // namespace windserve::model

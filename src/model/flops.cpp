@@ -1,0 +1,91 @@
+#include "model/flops.hpp"
+
+namespace windserve::model {
+namespace table1 {
+
+double
+attn_prefill_flops(double n, double h)
+{
+    return 8.0 * n * h * h + 4.0 * n * n * h;
+}
+
+double
+attn_decode_flops(double b, double sum_l, double h)
+{
+    return 8.0 * b * h * h + 4.0 * sum_l * h;
+}
+
+double
+ffn_prefill_flops(double n, double h)
+{
+    return 16.0 * n * h * h;
+}
+
+double
+ffn_decode_flops(double b, double h)
+{
+    return 16.0 * b * h * h;
+}
+
+double
+ffn_io_bytes(double h)
+{
+    return 16.0 * h * h;
+}
+
+double
+attn_weight_io_bytes(double h)
+{
+    return 8.0 * h * h;
+}
+
+double
+attn_kv_io_bytes(double sum_l, double h)
+{
+    return 4.0 * sum_l * h;
+}
+
+} // namespace table1
+
+PassCost
+prefill_pass(const ModelSpec &m, double n)
+{
+    double h = static_cast<double>(m.hidden_size);
+    double f = static_cast<double>(m.ffn_hidden);
+    double kv_frac = static_cast<double>(m.num_kv_heads) /
+                     static_cast<double>(m.num_heads);
+    // QKVO projections: Q,O full (4NH^2 FLOPs), K,V scaled by GQA ratio.
+    double attn_proj = (4.0 + 4.0 * kv_frac) * n * h * h;
+    double attn_score = 4.0 * n * n * h; // QK^T and AV
+    double ffn = 4.0 * n * h * f;        // up + down projections
+    double per_layer_flops = attn_proj + attn_score + ffn;
+    double per_layer_io =
+        (2.0 + 2.0 * kv_frac) * h * h * m.bytes_per_param +
+        2.0 * h * f * m.bytes_per_param +
+        // activations in/out, small next to weights for realistic N
+        2.0 * n * h * m.bytes_per_param;
+    double layers = static_cast<double>(m.num_layers);
+    return PassCost{layers * per_layer_flops, layers * per_layer_io};
+}
+
+PassCost
+decode_pass(const ModelSpec &m, double b, double sum_context)
+{
+    double h = static_cast<double>(m.hidden_size);
+    double f = static_cast<double>(m.ffn_hidden);
+    double kv_frac = static_cast<double>(m.num_kv_heads) /
+                     static_cast<double>(m.num_heads);
+    double attn_proj = (4.0 + 4.0 * kv_frac) * b * h * h;
+    double attn_score = 4.0 * sum_context * h * kv_frac;
+    double ffn = 4.0 * b * h * f;
+    double per_layer_flops = attn_proj + attn_score + ffn;
+    // IO: weights once per layer + the KV history of every request.
+    double weight_io = ((2.0 + 2.0 * kv_frac) * h * h + 2.0 * h * f) *
+                       m.bytes_per_param;
+    double kv_io = 2.0 * sum_context * h * kv_frac * m.bytes_per_param;
+    double per_layer_io = weight_io + kv_io;
+    double layers = static_cast<double>(m.num_layers);
+    return PassCost{layers * per_layer_flops, layers * per_layer_io};
+}
+
+} // namespace windserve::model

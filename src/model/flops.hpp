@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Per-layer FLOPs and IO-byte formulas — the paper's Table 1.
+ *
+ * Symbols follow the paper: B = decode batch size, H = hidden size,
+ * N = number of prefill input tokens, sumL = sum of context lengths of
+ * the decode batch. Formulas are for the OPT family (FFN intermediate
+ * 4H, MHA); the generalized entry points take a ModelSpec so LLaMA2's
+ * gated FFN and GQA are handled too.
+ */
+#pragma once
+
+#include "model/model_spec.hpp"
+
+namespace windserve::model {
+
+/** Table 1 exactly as printed (OPT family, FP16). */
+namespace table1 {
+
+/** Attention prefill FLOPs per layer: 8NH^2 + 4N^2H. */
+double attn_prefill_flops(double n, double h);
+
+/** Attention decode FLOPs per layer: 8BH^2 + 4 sumL H. */
+double attn_decode_flops(double b, double sum_l, double h);
+
+/** FFN prefill FLOPs per layer: 16NH^2. */
+double ffn_prefill_flops(double n, double h);
+
+/** FFN decode FLOPs per layer: 16BH^2. */
+double ffn_decode_flops(double b, double h);
+
+/** FFN weight IO bytes per layer: 16H^2 (FP16: two 4H*H mats). */
+double ffn_io_bytes(double h);
+
+/** Attention weight IO bytes per layer: 8H^2 (four H*H mats, FP16). */
+double attn_weight_io_bytes(double h);
+
+/** Attention KV IO bytes per layer during decode: 4 sumL H (K+V, FP16). */
+double attn_kv_io_bytes(double sum_l, double h);
+
+} // namespace table1
+
+/** Aggregate per-forward-pass costs for an arbitrary ModelSpec. */
+struct PassCost {
+    double flops;    ///< total floating-point operations
+    double io_bytes; ///< total HBM traffic (weights + KV)
+};
+
+/**
+ * Cost of prefilling @p n_tokens prompt tokens (all layers).
+ * Quadratic attention term included; FlashAttention's effect is handled
+ * in the CostModel's time conversion, not here.
+ */
+PassCost prefill_pass(const ModelSpec &m, double n_tokens);
+
+/**
+ * Cost of one decode iteration for a batch of @p batch requests whose
+ * context lengths sum to @p sum_context (all layers).
+ */
+PassCost decode_pass(const ModelSpec &m, double batch, double sum_context);
+
+} // namespace windserve::model

@@ -1,0 +1,62 @@
+#include "model/model_spec.hpp"
+
+namespace windserve::model {
+
+double
+ModelSpec::num_params() const
+{
+    double h = static_cast<double>(hidden_size);
+    double f = static_cast<double>(ffn_hidden);
+    double kv_frac = static_cast<double>(num_kv_heads) /
+                     static_cast<double>(num_heads);
+    // Per layer: Q and O projections (2 H^2), K/V projections shrunk by
+    // the GQA ratio (2 H^2 * kv_frac), FFN up+down (2 H f; LLaMA's gated
+    // FFN is folded into its larger ffn_hidden).
+    double per_layer = (2.0 + 2.0 * kv_frac) * h * h + 2.0 * h * f;
+    double embed = static_cast<double>(vocab_size) * h;
+    return static_cast<double>(num_layers) * per_layer + 2.0 * embed;
+}
+
+double
+ModelSpec::kv_bytes_per_token() const
+{
+    double h_kv = static_cast<double>(hidden_size) *
+                  static_cast<double>(num_kv_heads) /
+                  static_cast<double>(num_heads);
+    return 2.0 * h_kv * static_cast<double>(num_layers) * bytes_per_param;
+}
+
+ModelSpec
+ModelSpec::opt_13b()
+{
+    return ModelSpec{"OPT-13B", 40, 5120, 40, 40, 4 * 5120, 2048, 50272};
+}
+
+ModelSpec
+ModelSpec::opt_66b()
+{
+    return ModelSpec{"OPT-66B", 64, 9216, 72, 72, 4 * 9216, 2048, 50272};
+}
+
+ModelSpec
+ModelSpec::opt_175b()
+{
+    return ModelSpec{"OPT-175B", 96, 12288, 96, 96, 4 * 12288, 2048, 50272};
+}
+
+ModelSpec
+ModelSpec::llama2_13b()
+{
+    // Gated FFN with intermediate 13824: 3 mats ~ equivalent IO/FLOPs of a
+    // plain FFN with hidden 1.5 * 13824.
+    return ModelSpec{"LLaMA2-13B", 40, 5120, 40, 40, 20736, 4096, 32000};
+}
+
+ModelSpec
+ModelSpec::llama2_70b()
+{
+    // GQA: 8 KV heads of 64 heads. Gated FFN intermediate 28672 -> 1.5x.
+    return ModelSpec{"LLaMA2-70B", 80, 8192, 64, 8, 43008, 4096, 32000};
+}
+
+} // namespace windserve::model

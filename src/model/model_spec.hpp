@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Architecture descriptions of the LLMs served in the paper's evaluation.
+ *
+ * The paper evaluates OPT-13B/66B (chatbot, ShareGPT) and LLaMA2-13B/70B
+ * (summarization, LongBench). LLaMA2-70B uses grouped-query attention,
+ * which shrinks the KV cache 8x — the paper calls this out as the reason
+ * its asynchronous-transfer advantage is smaller there (§5.2).
+ */
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace windserve::model {
+
+/** Attention flavour (Table 4 lists it per model). */
+enum class AttentionKind { MHA, GQA };
+
+/** Static architecture parameters of a decoder-only transformer. */
+struct ModelSpec {
+    std::string name;
+    std::size_t num_layers;
+    std::size_t hidden_size;      ///< H
+    std::size_t num_heads;
+    std::size_t num_kv_heads;     ///< == num_heads for MHA
+    std::size_t ffn_hidden;       ///< FFN intermediate size (4H for OPT)
+    std::size_t max_context;      ///< maximum supported context length
+    std::size_t vocab_size;
+    double bytes_per_param = 2.0; ///< FP16 everywhere in the evaluation
+
+    AttentionKind attention() const
+    {
+        return num_kv_heads == num_heads ? AttentionKind::MHA
+                                         : AttentionKind::GQA;
+    }
+
+    /** Total parameter count (embedding + per-layer weights), approximate. */
+    double num_params() const;
+
+    /** Bytes of weights resident on the serving instance. */
+    double weight_bytes() const { return num_params() * bytes_per_param; }
+
+    /**
+     * KV-cache bytes per token across all layers (K and V, FP16).
+     * For OPT-13B this is ~2 * 5120 * 40 * 2 B = 819 KB/token, i.e.
+     * ~1.68 GB for a full 2048-token context — matching the paper's
+     * "approximately 1.5 GB" example in §2.2.
+     */
+    double kv_bytes_per_token() const;
+
+    static ModelSpec opt_13b();
+    static ModelSpec opt_66b();
+    static ModelSpec opt_175b();
+    static ModelSpec llama2_13b();
+    static ModelSpec llama2_70b();
+};
+
+} // namespace windserve::model

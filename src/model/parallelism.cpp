@@ -1,0 +1,30 @@
+#include "model/parallelism.hpp"
+
+namespace windserve::model {
+
+std::string
+ParallelismConfig::to_string() const
+{
+    return "TP-" + std::to_string(tp) + ",PP-" + std::to_string(pp);
+}
+
+double
+ParallelEfficiency::tp_efficiency(std::size_t tp) const
+{
+    switch (tp) {
+      case 1:
+        return 1.0;
+      case 2:
+        return 0.90; // the pair shares an NVLink bridge
+      case 4:
+        // The testbed's NVLink is pairwise only (Fig. 9): a TP-4 group
+        // all-reduces across PCIe, costing far more than TP-2.
+        return 0.68;
+      case 8:
+        return 0.52;
+      default:
+        return 0.50;
+    }
+}
+
+} // namespace windserve::model

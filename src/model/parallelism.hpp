@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Tensor/pipeline parallelism configuration and its performance effects.
+ *
+ * The paper's placement notation "[TP-2, PP-1]" (Table 3, Fig. 3) maps
+ * to ParallelismConfig{2, 1}. TP shards each layer's compute, HBM
+ * traffic, weights, and KV cache across tp GPUs at an efficiency below
+ * 1.0 (all-reduce per layer); PP splits layers into pp sequential
+ * stages, which multiplies in-flight capacity but not per-pass latency.
+ */
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace windserve::model {
+
+/** Degree of tensor and pipeline parallelism of one serving instance. */
+struct ParallelismConfig {
+    std::size_t tp = 1;
+    std::size_t pp = 1;
+
+    std::size_t num_gpus() const { return tp * pp; }
+    std::string to_string() const;
+
+    bool operator==(const ParallelismConfig &) const = default;
+};
+
+/** Scaling-efficiency model for collective communication overheads. */
+struct ParallelEfficiency {
+    /**
+     * Fraction of linear speedup realised by TP-k (NCCL all-reduce and
+     * kernel-split overheads). Defaults fit A100-class measurements.
+     */
+    double tp_efficiency(std::size_t tp) const;
+
+    /** Extra latency per pipeline stage hop (activations over PCIe/NVLink). */
+    double pp_hop_latency = 0.4e-3;
+
+    /** Fixed all-reduce latency per layer per TP step beyond 1. */
+    double tp_allreduce_latency_per_layer = 4e-6;
+};
+
+} // namespace windserve::model

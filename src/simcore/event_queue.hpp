@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Discrete-event priority queue used by the cluster simulator.
+ *
+ * Events are closures ordered by (time, insertion sequence). The sequence
+ * tie-break makes simulation runs fully deterministic: two events scheduled
+ * for the same instant fire in the order they were scheduled.
+ */
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace windserve::sim {
+
+/** Simulated time in seconds. */
+using SimTime = double;
+
+/** Opaque handle identifying a scheduled event (usable for cancellation). */
+using EventId = std::uint64_t;
+
+/**
+ * A min-heap of timestamped closures.
+ *
+ * Supports lazy cancellation: cancel() marks the id; the event is dropped
+ * when it reaches the top of the heap.
+ */
+class EventQueue
+{
+  public:
+    EventQueue() = default;
+
+    /**
+     * Schedule @p fn to run at absolute time @p when.
+     * @return an id usable with cancel().
+     */
+    EventId push(SimTime when, std::function<void()> fn);
+
+    /** Mark an event as cancelled. Cancelling an already-fired id is a no-op. */
+    void cancel(EventId id);
+
+    /** True when no live (non-cancelled) events remain. */
+    bool empty() const;
+
+    /** Number of live events. */
+    std::size_t size() const { return live_; }
+
+    /** Timestamp of the next live event. Requires !empty(). */
+    SimTime next_time() const;
+
+    /**
+     * Pop and run the next live event.
+     * @return the time at which the event fired. Requires !empty().
+     */
+    SimTime pop_and_run();
+
+    /** Total number of events ever pushed (for diagnostics). */
+    std::uint64_t total_pushed() const { return next_id_; }
+
+  private:
+    struct Entry {
+        SimTime when;
+        EventId id;
+        std::function<void()> fn;
+    };
+    struct Later {
+        bool operator()(const Entry &a, const Entry &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.id > b.id;
+        }
+    };
+
+    /** Drop cancelled entries sitting at the heap top. */
+    void skip_dead() const;
+
+    mutable std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+    mutable std::vector<bool> cancelled_;
+    std::size_t live_ = 0;
+    EventId next_id_ = 0;
+};
+
+} // namespace windserve::sim

@@ -1,0 +1,40 @@
+#include "simcore/log.hpp"
+
+#include <cstdio>
+
+namespace windserve::sim {
+
+LogLevel Log::level_ = LogLevel::Off;
+
+LogLevel
+Log::level()
+{
+    return level_;
+}
+
+void
+Log::set_level(LogLevel lvl)
+{
+    level_ = lvl;
+}
+
+void
+Log::write(LogLevel lvl, const std::string &component,
+           const std::string &message)
+{
+    if (level_ < lvl)
+        return;
+    static const char *names[] = {"off", "error", "warn",
+                                  "info", "debug", "trace"};
+    std::fprintf(stderr, "[%s] %s: %s\n",
+                 names[static_cast<int>(lvl)], component.c_str(),
+                 message.c_str());
+}
+
+LogLine::~LogLine()
+{
+    if (Log::level() >= lvl_)
+        Log::write(lvl_, component_, stream_.str());
+}
+
+} // namespace windserve::sim

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Minimal leveled logger for simulator diagnostics.
+ *
+ * Off by default so benchmark binaries stay quiet; tests and examples can
+ * raise the level to trace scheduling decisions.
+ */
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace windserve::sim {
+
+enum class LogLevel { Off = 0, Error, Warn, Info, Debug, Trace };
+
+/** Global log configuration (process-wide; simulator is single-threaded). */
+class Log
+{
+  public:
+    static LogLevel level();
+    static void set_level(LogLevel lvl);
+
+    /** Emit a message when @p lvl is enabled. */
+    static void write(LogLevel lvl, const std::string &component,
+                      const std::string &message);
+
+  private:
+    static LogLevel level_;
+};
+
+/** Streaming helper: WS_LOG(Debug, "engine") << "batch size " << n; */
+class LogLine
+{
+  public:
+    LogLine(LogLevel lvl, std::string component)
+        : lvl_(lvl), component_(std::move(component))
+    {}
+    ~LogLine();
+
+    template <typename T>
+    LogLine &operator<<(const T &v)
+    {
+        if (Log::level() >= lvl_)
+            stream_ << v;
+        return *this;
+    }
+
+  private:
+    LogLevel lvl_;
+    std::string component_;
+    std::ostringstream stream_;
+};
+
+#define WS_LOG(lvl, component) \
+    ::windserve::sim::LogLine(::windserve::sim::LogLevel::lvl, component)
+
+} // namespace windserve::sim

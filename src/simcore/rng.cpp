@@ -1,0 +1,67 @@
+#include "simcore/rng.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace windserve::sim {
+
+double
+Rng::uniform(double lo, double hi)
+{
+    return std::uniform_real_distribution<double>(lo, hi)(gen_);
+}
+
+std::int64_t
+Rng::uniform_int(std::int64_t lo, std::int64_t hi)
+{
+    return std::uniform_int_distribution<std::int64_t>(lo, hi)(gen_);
+}
+
+double
+Rng::exponential(double rate)
+{
+    return std::exponential_distribution<double>(rate)(gen_);
+}
+
+double
+Rng::normal(double mean, double stddev)
+{
+    return std::normal_distribution<double>(mean, stddev)(gen_);
+}
+
+double
+Rng::lognormal(double mu, double sigma)
+{
+    return std::lognormal_distribution<double>(mu, sigma)(gen_);
+}
+
+bool
+Rng::chance(double p)
+{
+    return std::bernoulli_distribution(std::clamp(p, 0.0, 1.0))(gen_);
+}
+
+std::size_t
+Rng::weighted_choice(const std::vector<double> &weights)
+{
+    double total = std::accumulate(weights.begin(), weights.end(), 0.0);
+    if (weights.empty() || total <= 0.0)
+        throw std::invalid_argument("weighted_choice: weights must sum > 0");
+    double x = uniform(0.0, total);
+    double acc = 0.0;
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+        acc += weights[i];
+        if (x < acc)
+            return i;
+    }
+    return weights.size() - 1;
+}
+
+Rng
+Rng::fork()
+{
+    return Rng(gen_());
+}
+
+} // namespace windserve::sim

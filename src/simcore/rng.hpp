@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Deterministic random-number generation for workload synthesis.
+ *
+ * Every experiment owns exactly one Rng seeded from its config, so traces
+ * and simulation outcomes are reproducible bit-for-bit across runs.
+ */
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace windserve::sim {
+
+/**
+ * Seeded random source wrapping std::mt19937_64 with the distribution
+ * helpers the workload generators need.
+ */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 0x5eedc0deULL) : gen_(seed) {}
+
+    /** Uniform double in [lo, hi). */
+    double uniform(double lo = 0.0, double hi = 1.0);
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+    /** Exponential with given rate (events per second). */
+    double exponential(double rate);
+
+    /** Normal with mean/stddev. */
+    double normal(double mean, double stddev);
+
+    /** Lognormal parameterised by the underlying normal's mu/sigma. */
+    double lognormal(double mu, double sigma);
+
+    /** Bernoulli trial. */
+    bool chance(double p);
+
+    /**
+     * Pick an index in [0, weights.size()) with probability proportional
+     * to weights. Weights must be non-negative with a positive sum.
+     */
+    std::size_t weighted_choice(const std::vector<double> &weights);
+
+    /** Derive an independent child generator (e.g. per sub-component). */
+    Rng fork();
+
+    /** Access to the raw engine for std:: distributions. */
+    std::mt19937_64 &engine() { return gen_; }
+
+  private:
+    std::mt19937_64 gen_;
+};
+
+} // namespace windserve::sim

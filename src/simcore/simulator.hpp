@@ -1,0 +1,69 @@
+/**
+ * @file
+ * The simulation kernel: a clock plus an event queue.
+ *
+ * All subsystems (instances, transfer engine, schedulers) share one
+ * Simulator and advance exclusively through scheduled events, so a whole
+ * serving-cluster run is a deterministic function of (config, seed).
+ */
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+
+#include "simcore/event_queue.hpp"
+
+namespace windserve::sim {
+
+/**
+ * Discrete-event simulation driver.
+ *
+ * Usage: schedule initial events (e.g. request arrivals), then run() or
+ * run_until(). Event handlers schedule follow-up events; the simulation
+ * terminates when the queue drains or the horizon is reached.
+ */
+class Simulator
+{
+  public:
+    Simulator() = default;
+    Simulator(const Simulator &) = delete;
+    Simulator &operator=(const Simulator &) = delete;
+
+    /** Current simulated time in seconds. */
+    SimTime now() const { return now_; }
+
+    /** Schedule @p fn to fire @p delay seconds from now (delay clamped >= 0). */
+    EventId schedule(SimTime delay, std::function<void()> fn);
+
+    /** Schedule @p fn at absolute time @p when (clamped to >= now). */
+    EventId schedule_at(SimTime when, std::function<void()> fn);
+
+    /** Cancel a previously scheduled event. */
+    void cancel(EventId id) { queue_.cancel(id); }
+
+    /** Run until the event queue is empty. @return final time. */
+    SimTime run();
+
+    /**
+     * Run until the queue is empty or the next event is past @p horizon.
+     * Events at exactly @p horizon still fire. @return final time.
+     */
+    SimTime run_until(SimTime horizon);
+
+    /** Fire at most one event. @return false if the queue was empty. */
+    bool step();
+
+    /** Number of events fired so far. */
+    std::uint64_t events_fired() const { return fired_; }
+
+    /** Live events still pending. */
+    std::size_t pending() const { return queue_.size(); }
+
+  private:
+    EventQueue queue_;
+    SimTime now_ = 0.0;
+    std::uint64_t fired_ = 0;
+};
+
+} // namespace windserve::sim

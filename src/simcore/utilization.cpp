@@ -1,0 +1,42 @@
+#include "simcore/utilization.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+namespace windserve::sim {
+
+void
+UtilizationTracker::advance(SimTime now)
+{
+    if (now < last_time_) {
+        throw std::logic_error(
+            "UtilizationTracker: time went backwards (now=" +
+            std::to_string(now) + " last=" + std::to_string(last_time_) +
+            ")");
+    }
+    integral_ += level_ * (now - last_time_);
+    last_time_ = now;
+}
+
+void
+UtilizationTracker::set_level(SimTime now, double level)
+{
+    advance(now);
+    level_ = std::clamp(level, 0.0, 1.0);
+}
+
+void
+UtilizationTracker::finalize(SimTime end)
+{
+    advance(end);
+}
+
+double
+UtilizationTracker::mean_utilization() const
+{
+    double w = window();
+    return w > 0.0 ? integral_ / w : 0.0;
+}
+
+} // namespace windserve::sim

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Time-weighted utilization tracking.
+ *
+ * Figure 2 of the paper reports mean tensor-core utilization of prefill
+ * instances and mean memory-bandwidth utilization of decoding instances.
+ * UtilizationTracker integrates a piecewise-constant "level" signal
+ * (0..1, e.g. fraction of peak FLOPs in use) over simulated time so that
+ * mean_utilization() is the exact time average.
+ */
+#pragma once
+
+#include <cstddef>
+
+#include "simcore/event_queue.hpp"
+
+namespace windserve::sim {
+
+/**
+ * Integrates a piecewise-constant utilization level over time.
+ *
+ * set_level() records the level change at the given timestamp; timestamps
+ * must be non-decreasing. finalize() closes the last segment.
+ */
+class UtilizationTracker
+{
+  public:
+    /** Start tracking at @p start with level 0. */
+    explicit UtilizationTracker(SimTime start = 0.0)
+        : last_time_(start), start_(start)
+    {}
+
+    /** Change the level at time @p now (clamped to [0,1]). */
+    void set_level(SimTime now, double level);
+
+    /** Convenience: binary busy/idle signal. */
+    void set_busy(SimTime now, bool busy) { set_level(now, busy ? 1.0 : 0.0); }
+
+    /** Close the measurement window at @p end. */
+    void finalize(SimTime end);
+
+    /** Time-averaged level over [start, last update]. */
+    double mean_utilization() const;
+
+    /** Total level-weighted busy time (integral of the level). */
+    double busy_time() const { return integral_; }
+
+    /** Length of the observed window so far. */
+    double window() const { return last_time_ - start_; }
+
+    /** Current level. */
+    double level() const { return level_; }
+
+  private:
+    void advance(SimTime now);
+
+    SimTime last_time_;
+    SimTime start_;
+    double level_ = 0.0;
+    double integral_ = 0.0;
+};
+
+} // namespace windserve::sim

@@ -1,0 +1,32 @@
+#include "transfer/kv_transfer.hpp"
+
+namespace windserve::transfer {
+
+KvTransferManager::KvTransferManager(sim::Simulator &sim, hw::Link link,
+                                     const model::ModelSpec &model,
+                                     KvTransferConfig cfg)
+    : sim_(sim), cfg_(cfg), kv_bytes_per_token_(model.kv_bytes_per_token()),
+      p2d_(sim, link, "kv/p2d"), d2p_(sim, link, "kv/d2p")
+{}
+
+double
+KvTransferManager::bytes_for_tokens(double tokens) const
+{
+    return tokens * kv_bytes_per_token_;
+}
+
+void
+KvTransferManager::transfer_prefill_kv(workload::Request *r,
+                                       std::function<void()> done)
+{
+    double bytes = bytes_for_tokens(static_cast<double>(r->prompt_tokens));
+    if (cfg_.policy == TransferPolicy::Overlapped)
+        bytes *= cfg_.overlap_tail_fraction;
+    r->state = workload::RequestState::Transferring;
+    p2d_.submit(bytes, [this, r, done = std::move(done)] {
+        r->transfer_done_time = sim_.now();
+        done();
+    });
+}
+
+} // namespace windserve::transfer

@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Stall-free Dynamic Rescheduling (paper §3.3, Fig. 6) and KV backup.
+ *
+ * When the decode instance's KV blocks near exhaustion, WindServe
+ * migrates long-context requests to the prefill instance. The transfer
+ * runs while the request KEEPS DECODING at the source — newly generated
+ * KV is appended to the in-flight copy — and the request only pauses
+ * once the untransferred remainder falls below a threshold. After the
+ * tail flushes, decoding resumes on the prefill instance (which then
+ * serves its own prefills in chunked mode to bound interference).
+ *
+ * BackupManager implements the complementary optimisation: while the
+ * prefill instance has spare KV blocks and the decode instance is
+ * filling up, it proactively copies long requests' KV prefixes so a
+ * later migration only ships the delta.
+ */
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+
+#include "engine/instance.hpp"
+#include "kvcache/backup_registry.hpp"
+#include "transfer/kv_transfer.hpp"
+
+namespace windserve::transfer {
+
+/** Tunables of the migration machinery. */
+struct MigrationConfig {
+    /** Pause the request when fewer KV tokens than this remain to send. */
+    std::size_t pause_threshold_tokens = 64;
+    /**
+     * Stall-free on/off. When off the request pauses immediately at
+     * migration start (blocking migration, for the ablation).
+     */
+    bool stall_free = true;
+    /** Extra blocks of headroom required at the target before starting. */
+    std::size_t target_headroom_tokens = 256;
+};
+
+/**
+ * Orchestrates stall-free request migrations from a decode instance to
+ * a prefill instance.
+ */
+class MigrationManager
+{
+  public:
+    /**
+     * @param sim     simulation kernel
+     * @param xfer    transfer manager whose reverse channel we ride
+     * @param source  the overloaded decode instance
+     * @param target  the prefill instance that will continue decoding
+     * @param backups registry of prefix KV already present at the target
+     */
+    MigrationManager(sim::Simulator &sim, KvTransferManager &xfer,
+                     engine::Instance &source, engine::Instance &target,
+                     kvcache::BackupRegistry &backups,
+                     MigrationConfig cfg = {});
+
+    /** Fires when a request is ready to decode at the target. */
+    std::function<void(workload::Request *)> on_migrated;
+
+    /**
+     * Begin migrating @p r. @return false if the target cannot hold its
+     * context (no state is changed in that case).
+     */
+    bool start(workload::Request *r);
+
+    /**
+     * Progress hook — call after every source decode iteration. Appends
+     * freshly generated KV to in-flight copies and pauses requests whose
+     * remainder dropped below the threshold.
+     */
+    void on_source_step();
+
+    /** Notify that @p r finished at the source mid-migration. */
+    void on_request_finished(workload::Request *r);
+
+    bool is_migrating(const workload::Request *r) const;
+    std::size_t active() const { return active_.size(); }
+    std::uint64_t completed() const { return completed_; }
+    std::uint64_t aborted() const { return aborted_; }
+
+    const MigrationConfig &config() const { return cfg_; }
+
+  private:
+    struct Migration {
+        workload::Request *req;
+        hw::TransferId transfer;
+        std::size_t synced_tokens; ///< context tokens submitted so far
+        bool paused;
+        bool cancelled;
+    };
+
+    void complete(workload::RequestId id);
+    void pause(Migration &m);
+
+    sim::Simulator &sim_;
+    KvTransferManager &xfer_;
+    engine::Instance &source_;
+    engine::Instance &target_;
+    kvcache::BackupRegistry &backups_;
+    MigrationConfig cfg_;
+    std::unordered_map<workload::RequestId, Migration> active_;
+    std::uint64_t completed_ = 0;
+    std::uint64_t aborted_ = 0;
+};
+
+/** Proactive KV prefix backups (decode -> prefill). */
+class BackupManager
+{
+  public:
+    /** Thresholds controlling when backups run. */
+    struct Config {
+        /** Start backing up when decode occupancy exceeds this. */
+        double source_occupancy_trigger = 0.60;
+        /** Only while prefill occupancy stays below this. */
+        double target_occupancy_limit = 0.50;
+        /** Cap on concurrent backup copies. */
+        std::size_t max_inflight = 2;
+        /** Only requests at least this long are worth backing up. */
+        std::size_t min_context_tokens = 512;
+    };
+
+    BackupManager(sim::Simulator &sim, KvTransferManager &xfer,
+                  engine::Instance &source, engine::Instance &target,
+                  kvcache::BackupRegistry &registry, Config cfg);
+
+    /** Policy tick — call from the coordinator's step hook. */
+    void maybe_backup();
+
+    /** Release target-side blocks when a request completes or migrates. */
+    void on_request_done(workload::Request *r);
+
+    std::uint64_t backups_taken() const { return backups_taken_; }
+    std::size_t inflight() const { return inflight_.size(); }
+
+  private:
+    sim::Simulator &sim_;
+    KvTransferManager &xfer_;
+    engine::Instance &source_;
+    engine::Instance &target_;
+    kvcache::BackupRegistry &registry_;
+    Config cfg_;
+    std::unordered_map<workload::RequestId, std::size_t> inflight_;
+    std::uint64_t backups_taken_ = 0;
+};
+
+} // namespace windserve::transfer

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Umbrella header: the public API of the WindServe reproduction.
+ *
+ * Typical usage (see examples/quickstart.cpp):
+ *
+ *   auto scenario = windserve::harness::Scenario::opt13b_sharegpt();
+ *   windserve::harness::ExperimentConfig cfg;
+ *   cfg.scenario = scenario;
+ *   cfg.system = windserve::harness::SystemKind::WindServe;
+ *   cfg.per_gpu_rate = 4.0;
+ *   auto result = windserve::harness::run_experiment(cfg);
+ *   std::cout << windserve::metrics::summary_line(result.metrics);
+ */
+#pragma once
+
+// simulation kernel
+#include "simcore/event_queue.hpp"
+#include "simcore/log.hpp"
+#include "simcore/rng.hpp"
+#include "simcore/simulator.hpp"
+#include "simcore/stats.hpp"
+#include "simcore/utilization.hpp"
+
+// hardware substrate
+#include "hw/gpu_spec.hpp"
+#include "hw/topology.hpp"
+#include "hw/transfer_engine.hpp"
+
+// model cost layer
+#include "model/cost_model.hpp"
+#include "model/flops.hpp"
+#include "model/model_spec.hpp"
+#include "model/parallelism.hpp"
+
+// KV cache management
+#include "kvcache/backup_registry.hpp"
+#include "kvcache/block_manager.hpp"
+#include "kvcache/swap_pool.hpp"
+
+// workloads
+#include "workload/arrival.hpp"
+#include "workload/dataset.hpp"
+#include "workload/request.hpp"
+#include "workload/trace.hpp"
+#include "workload/trace_io.hpp"
+
+// serving engine
+#include "engine/batch.hpp"
+#include "engine/execution.hpp"
+#include "engine/instance.hpp"
+#include "engine/local_scheduler.hpp"
+#include "engine/serving_system.hpp"
+
+// KV transfer and migration
+#include "transfer/kv_transfer.hpp"
+#include "transfer/migration.hpp"
+
+// WindServe core
+#include "core/coordinator.hpp"
+#include "core/global_scheduler.hpp"
+#include "core/profiler.hpp"
+#include "core/windserve_system.hpp"
+
+// baselines
+#include "baselines/distserve_system.hpp"
+#include "baselines/vllm_system.hpp"
+
+// metrics
+#include "metrics/collector.hpp"
+#include "metrics/report.hpp"
+#include "metrics/slo.hpp"
+#include "metrics/timeline.hpp"
+
+// experiment harness
+#include "harness/cluster.hpp"
+#include "harness/configs.hpp"
+#include "harness/experiment.hpp"
+#include "harness/sweep.hpp"
+#include "harness/placement_search.hpp"
+#include "harness/table.hpp"

@@ -1,0 +1,43 @@
+#include "workload/arrival.hpp"
+
+#include <stdexcept>
+
+namespace windserve::workload {
+
+std::vector<double>
+ArrivalProcess::generate(std::size_t n, sim::Rng &rng) const
+{
+    if (cfg_.rate <= 0.0)
+        throw std::invalid_argument("ArrivalProcess: rate must be > 0");
+    std::vector<double> out;
+    out.reserve(n);
+    double t = 0.0;
+    switch (cfg_.kind) {
+      case ArrivalKind::Poisson:
+        for (std::size_t i = 0; i < n; ++i) {
+            t += rng.exponential(cfg_.rate);
+            out.push_back(t);
+        }
+        break;
+      case ArrivalKind::Uniform:
+        for (std::size_t i = 0; i < n; ++i) {
+            t += 1.0 / cfg_.rate;
+            out.push_back(t);
+        }
+        break;
+      case ArrivalKind::Burst: {
+        double gap = static_cast<double>(cfg_.burst_size) / cfg_.rate;
+        while (out.size() < n) {
+            for (std::size_t b = 0;
+                 b < cfg_.burst_size && out.size() < n; ++b) {
+                out.push_back(t);
+            }
+            t += gap;
+        }
+        break;
+      }
+    }
+    return out;
+}
+
+} // namespace windserve::workload

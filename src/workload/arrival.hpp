@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Request arrival processes.
+ *
+ * The paper's evaluation "employed a Poisson distribution to simulate
+ * the specified request rate" (§5.1) and sweeps *per-GPU* request rate
+ * under a linear scaling rule (§2.2), so rates here are specified per
+ * GPU and multiplied by the deployment's GPU count.
+ */
+#pragma once
+
+#include <vector>
+
+#include "simcore/rng.hpp"
+
+namespace windserve::workload {
+
+/** Kinds of arrival process. */
+enum class ArrivalKind { Poisson, Uniform, Burst };
+
+/** Configuration of the arrival process. */
+struct ArrivalConfig {
+    ArrivalKind kind = ArrivalKind::Poisson;
+    /** Aggregate arrival rate, requests per second. */
+    double rate = 1.0;
+    /** Burst mode: every 1/rate*burst_size seconds, burst_size arrivals. */
+    std::size_t burst_size = 8;
+};
+
+/** Generates a sorted sequence of arrival timestamps. */
+class ArrivalProcess
+{
+  public:
+    explicit ArrivalProcess(ArrivalConfig cfg) : cfg_(cfg) {}
+
+    /** Timestamps (seconds, ascending) for @p n arrivals from t=0. */
+    std::vector<double> generate(std::size_t n, sim::Rng &rng) const;
+
+    const ArrivalConfig &config() const { return cfg_; }
+
+  private:
+    ArrivalConfig cfg_;
+};
+
+} // namespace windserve::workload

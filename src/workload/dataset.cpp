@@ -1,0 +1,130 @@
+#include "workload/dataset.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace windserve::workload {
+
+namespace {
+
+std::size_t
+clamp_size(double x, std::size_t lo, std::size_t hi)
+{
+    if (x < static_cast<double>(lo))
+        return lo;
+    if (x > static_cast<double>(hi))
+        return hi;
+    return static_cast<std::size_t>(x);
+}
+
+} // namespace
+
+const char *
+to_string(DatasetKind k)
+{
+    switch (k) {
+      case DatasetKind::ShareGPT:
+        return "ShareGPT";
+      case DatasetKind::LongBench:
+        return "LongBench";
+      case DatasetKind::Fixed:
+        return "Fixed";
+      case DatasetKind::Uniform:
+        return "Uniform";
+    }
+    return "unknown";
+}
+
+DatasetConfig
+DatasetConfig::sharegpt(std::size_t max_context)
+{
+    DatasetConfig cfg;
+    cfg.kind = DatasetKind::ShareGPT;
+    cfg.max_context = max_context;
+    return cfg;
+}
+
+DatasetConfig
+DatasetConfig::longbench(std::size_t max_context)
+{
+    DatasetConfig cfg;
+    cfg.kind = DatasetKind::LongBench;
+    cfg.max_context = max_context;
+    return cfg;
+}
+
+DatasetConfig
+DatasetConfig::fixed(std::size_t prompt, std::size_t output)
+{
+    DatasetConfig cfg;
+    cfg.kind = DatasetKind::Fixed;
+    cfg.fixed_prompt = prompt;
+    cfg.fixed_output = output;
+    cfg.max_context = prompt + output;
+    return cfg;
+}
+
+LengthSample
+DatasetGenerator::sample_sharegpt(sim::Rng &rng) const
+{
+    // Prompt: lognormal(median 695, sigma 0.62), right tail clipped by
+    // the context limit — reproduces avg ~768 / P90 ~1556 after clipping.
+    double prompt = rng.lognormal(std::log(695.0), 0.62);
+    // Output: lognormal(median 87, sigma 1.30): avg ~196 / P90 ~518
+    // after clipping against the remaining context.
+    double output = rng.lognormal(std::log(87.0), 1.30);
+
+    std::size_t max_prompt = cfg_.max_context > 64
+                                 ? cfg_.max_context - 32
+                                 : cfg_.max_context - 1;
+    std::size_t p = clamp_size(prompt, 4, max_prompt);
+    std::size_t o = clamp_size(output, 1, cfg_.max_context - p);
+    return {p, o};
+}
+
+LengthSample
+DatasetGenerator::sample_longbench(sim::Rng &rng) const
+{
+    // Prompt: near-symmetric normal(2890, 706) per (median ~ mean,
+    // P90 - median = 905 = 1.2816 sigma).
+    double prompt = rng.normal(2890.0, 706.0);
+    // Output: 70/30 mixture of short extraction answers and long
+    // summaries (see header).
+    double output = rng.chance(0.70)
+                        ? rng.lognormal(std::log(9.0), 0.80)
+                        : rng.normal(300.0, 150.0);
+
+    std::size_t max_prompt = cfg_.max_context > 64
+                                 ? cfg_.max_context - 32
+                                 : cfg_.max_context - 1;
+    std::size_t p = clamp_size(prompt, 128, max_prompt);
+    std::size_t o = clamp_size(output, 1, cfg_.max_context - p);
+    return {p, o};
+}
+
+LengthSample
+DatasetGenerator::sample(sim::Rng &rng) const
+{
+    switch (cfg_.kind) {
+      case DatasetKind::ShareGPT:
+        return sample_sharegpt(rng);
+      case DatasetKind::LongBench:
+        return sample_longbench(rng);
+      case DatasetKind::Fixed:
+        return {cfg_.fixed_prompt, cfg_.fixed_output};
+      case DatasetKind::Uniform: {
+        auto p = static_cast<std::size_t>(rng.uniform_int(
+            static_cast<std::int64_t>(cfg_.uniform_prompt_lo),
+            static_cast<std::int64_t>(cfg_.uniform_prompt_hi)));
+        auto o = static_cast<std::size_t>(rng.uniform_int(
+            static_cast<std::int64_t>(cfg_.uniform_output_lo),
+            static_cast<std::int64_t>(cfg_.uniform_output_hi)));
+        p = std::min(p, cfg_.max_context - 1);
+        o = std::min(o, cfg_.max_context - p);
+        return {p, std::max<std::size_t>(o, 1)};
+      }
+    }
+    return {cfg_.fixed_prompt, cfg_.fixed_output};
+}
+
+} // namespace windserve::workload

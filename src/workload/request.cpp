@@ -1,0 +1,74 @@
+#include "workload/request.hpp"
+
+namespace windserve::workload {
+
+const char *
+to_string(RequestState s)
+{
+    switch (s) {
+      case RequestState::Created:
+        return "created";
+      case RequestState::WaitingPrefill:
+        return "waiting_prefill";
+      case RequestState::Prefilling:
+        return "prefilling";
+      case RequestState::Transferring:
+        return "transferring";
+      case RequestState::WaitingDecode:
+        return "waiting_decode";
+      case RequestState::Decoding:
+        return "decoding";
+      case RequestState::Migrating:
+        return "migrating";
+      case RequestState::SwappedOut:
+        return "swapped_out";
+      case RequestState::Finished:
+        return "finished";
+    }
+    return "unknown";
+}
+
+double
+Request::ttft() const
+{
+    if (first_token_time == kNoTime)
+        return kNoTime;
+    return first_token_time - arrival_time;
+}
+
+double
+Request::tpot() const
+{
+    if (finish_time == kNoTime || first_token_time == kNoTime ||
+        output_tokens <= 1) {
+        return kNoTime;
+    }
+    return (finish_time - first_token_time) /
+           static_cast<double>(output_tokens - 1);
+}
+
+double
+Request::prefill_queueing_delay() const
+{
+    if (prefill_start_time == kNoTime || prefill_enqueue_time == kNoTime)
+        return kNoTime;
+    return prefill_start_time - prefill_enqueue_time;
+}
+
+double
+Request::decode_queueing_delay() const
+{
+    if (decode_start_time == kNoTime || decode_enqueue_time == kNoTime)
+        return kNoTime;
+    return decode_start_time - decode_enqueue_time;
+}
+
+double
+Request::e2e_latency() const
+{
+    if (finish_time == kNoTime)
+        return kNoTime;
+    return finish_time - arrival_time;
+}
+
+} // namespace windserve::workload

@@ -1,0 +1,45 @@
+#include "workload/trace.hpp"
+
+namespace windserve::workload {
+
+std::vector<Request>
+TraceBuilder::build() const
+{
+    sim::Rng rng(cfg_.seed);
+    DatasetGenerator dataset(cfg_.dataset);
+    ArrivalProcess arrivals(cfg_.arrival);
+
+    std::vector<double> times = arrivals.generate(cfg_.num_requests, rng);
+    std::vector<Request> out;
+    out.reserve(cfg_.num_requests);
+    for (std::size_t i = 0; i < cfg_.num_requests; ++i) {
+        LengthSample len = dataset.sample(rng);
+        Request r;
+        r.id = i;
+        r.prompt_tokens = len.prompt_tokens;
+        r.output_tokens = len.output_tokens;
+        r.arrival_time = times[i];
+        out.push_back(r);
+    }
+    return out;
+}
+
+TraceStats
+TraceBuilder::stats(const std::vector<Request> &trace)
+{
+    TraceStats s;
+    for (const auto &r : trace) {
+        s.prompt.add(static_cast<double>(r.prompt_tokens));
+        s.output.add(static_cast<double>(r.output_tokens));
+    }
+    if (!trace.empty()) {
+        s.duration = trace.back().arrival_time - trace.front().arrival_time;
+        s.realised_rate = s.duration > 0.0
+                              ? static_cast<double>(trace.size() - 1) /
+                                    s.duration
+                              : 0.0;
+    }
+    return s;
+}
+
+} // namespace windserve::workload

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Complete workload traces: arrival times plus request lengths.
+ */
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "simcore/rng.hpp"
+#include "simcore/stats.hpp"
+#include "workload/arrival.hpp"
+#include "workload/dataset.hpp"
+#include "workload/request.hpp"
+
+namespace windserve::workload {
+
+/** Configuration of a full trace. */
+struct TraceConfig {
+    DatasetConfig dataset;
+    ArrivalConfig arrival;
+    std::size_t num_requests = 1000;
+    std::uint64_t seed = 42;
+};
+
+/** Aggregate statistics of a trace (for Table 2 validation). */
+struct TraceStats {
+    sim::Sample prompt;
+    sim::Sample output;
+    double duration = 0.0;
+    double realised_rate = 0.0;
+};
+
+/** Builds deterministic request traces. */
+class TraceBuilder
+{
+  public:
+    explicit TraceBuilder(TraceConfig cfg) : cfg_(cfg) {}
+
+    /** Generate the trace; requests come back sorted by arrival time. */
+    std::vector<Request> build() const;
+
+    /** Compute Table 2-style statistics for a trace. */
+    static TraceStats stats(const std::vector<Request> &trace);
+
+    const TraceConfig &config() const { return cfg_; }
+
+  private:
+    TraceConfig cfg_;
+};
+
+} // namespace windserve::workload

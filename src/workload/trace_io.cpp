@@ -1,0 +1,128 @@
+#include "workload/trace_io.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace windserve::workload {
+
+namespace {
+
+bool
+is_header_or_comment(const std::string &line)
+{
+    if (line.empty() || line[0] == '#')
+        return true;
+    // A header row contains a letter in the first field.
+    for (char c : line) {
+        if (c == ',')
+            break;
+        if (std::isalpha(static_cast<unsigned char>(c)))
+            return true;
+    }
+    return false;
+}
+
+} // namespace
+
+std::vector<Request>
+parse_trace_csv(std::istream &in)
+{
+    std::vector<Request> out;
+    std::string line;
+    std::size_t lineno = 0;
+    double last_arrival = 0.0;
+    while (std::getline(in, line)) {
+        ++lineno;
+        if (is_header_or_comment(line))
+            continue;
+        std::istringstream row(line);
+        std::string a, p, o;
+        if (!std::getline(row, a, ',') || !std::getline(row, p, ',') ||
+            !std::getline(row, o, ',')) {
+            throw std::runtime_error("trace csv: malformed line " +
+                                     std::to_string(lineno));
+        }
+        Request r;
+        try {
+            r.arrival_time = std::stod(a);
+            r.prompt_tokens = static_cast<std::size_t>(std::stoul(p));
+            r.output_tokens = static_cast<std::size_t>(std::stoul(o));
+        } catch (const std::exception &) {
+            throw std::runtime_error("trace csv: bad number on line " +
+                                     std::to_string(lineno));
+        }
+        if (r.arrival_time < last_arrival)
+            throw std::runtime_error(
+                "trace csv: arrivals must be non-decreasing (line " +
+                std::to_string(lineno) + ")");
+        if (r.prompt_tokens == 0 || r.output_tokens == 0)
+            throw std::runtime_error(
+                "trace csv: lengths must be positive (line " +
+                std::to_string(lineno) + ")");
+        last_arrival = r.arrival_time;
+        r.id = out.size();
+        out.push_back(r);
+    }
+    return out;
+}
+
+std::vector<Request>
+load_trace_csv(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        throw std::runtime_error("trace csv: cannot open " + path);
+    return parse_trace_csv(in);
+}
+
+void
+write_trace_csv(std::ostream &out, const std::vector<Request> &trace)
+{
+    out << "arrival_time,prompt_tokens,output_tokens\n";
+    for (const auto &r : trace) {
+        out << r.arrival_time << "," << r.prompt_tokens << ","
+            << r.output_tokens << "\n";
+    }
+}
+
+void
+write_results_csv(std::ostream &out, const std::vector<Request> &requests)
+{
+    out << "id,arrival,prompt_tokens,output_tokens,state,"
+           "prefill_enqueue,prefill_start,first_token,transfer_done,"
+           "decode_enqueue,decode_start,finish,ttft,tpot,"
+           "swap_outs,migrations,dispatched,chunked\n";
+    for (const auto &r : requests) {
+        out << r.id << "," << r.arrival_time << "," << r.prompt_tokens
+            << "," << r.output_tokens << "," << to_string(r.state) << ","
+            << r.prefill_enqueue_time << "," << r.prefill_start_time
+            << "," << r.first_token_time << "," << r.transfer_done_time
+            << "," << r.decode_enqueue_time << "," << r.decode_start_time
+            << "," << r.finish_time << "," << r.ttft() << "," << r.tpot()
+            << "," << r.swap_outs << "," << r.migrations << ","
+            << (r.prefill_dispatched ? 1 : 0) << ","
+            << (r.was_chunked ? 1 : 0) << "\n";
+    }
+}
+
+void
+save_trace_csv(const std::string &path, const std::vector<Request> &trace)
+{
+    std::ofstream out(path);
+    if (!out)
+        throw std::runtime_error("trace csv: cannot open " + path);
+    write_trace_csv(out, trace);
+}
+
+void
+save_results_csv(const std::string &path,
+                 const std::vector<Request> &requests)
+{
+    std::ofstream out(path);
+    if (!out)
+        throw std::runtime_error("trace csv: cannot open " + path);
+    write_results_csv(out, requests);
+}
+
+} // namespace windserve::workload

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Unit tests for multi-replica deployments and load balancing.
+ */
+#include <gtest/gtest.h>
+
+#include "harness/cluster.hpp"
+
+namespace hs = windserve::harness;
+namespace wl = windserve::workload;
+
+namespace {
+
+std::vector<wl::Request>
+make_trace(std::initializer_list<std::pair<double, std::size_t>> items)
+{
+    std::vector<wl::Request> out;
+    std::size_t id = 0;
+    for (auto [t, tokens] : items) {
+        wl::Request r;
+        r.id = id++;
+        r.arrival_time = t;
+        r.prompt_tokens = tokens;
+        r.output_tokens = 10;
+        out.push_back(r);
+    }
+    return out;
+}
+
+} // namespace
+
+TEST(Routing, RoundRobinCycles)
+{
+    auto trace = make_trace({{0, 10}, {1, 10}, {2, 10}, {3, 10}, {4, 10}});
+    auto shard = hs::route_trace(trace, 3, hs::RoutePolicy::RoundRobin);
+    EXPECT_EQ(shard, (std::vector<std::size_t>{0, 1, 2, 0, 1}));
+}
+
+TEST(Routing, LeastPendingAvoidsTheLoadedReplica)
+{
+    // A huge request lands on replica 0; the next small ones must all
+    // prefer replica 1 until the loads even out.
+    auto trace = make_trace({{0.0, 100000},
+                             {0.1, 100},
+                             {0.2, 100},
+                             {0.3, 100}});
+    auto shard =
+        hs::route_trace(trace, 2, hs::RoutePolicy::LeastPendingTokens);
+    EXPECT_EQ(shard[0], 0u);
+    EXPECT_EQ(shard[1], 1u);
+    EXPECT_EQ(shard[2], 1u);
+    EXPECT_EQ(shard[3], 1u);
+}
+
+TEST(Routing, LeastPendingDecaysOverTime)
+{
+    // After a long quiet gap, the big request has drained: routing
+    // returns to balance rather than avoiding replica 0 forever.
+    auto trace = make_trace({{0.0, 100000}, {500.0, 100}, {500.1, 100}});
+    auto shard =
+        hs::route_trace(trace, 2, hs::RoutePolicy::LeastPendingTokens);
+    // One of the late requests lands on replica 0 again.
+    EXPECT_TRUE(shard[1] == 0u || shard[2] == 0u);
+}
+
+TEST(Routing, ZeroReplicasThrows)
+{
+    auto trace = make_trace({{0, 10}});
+    EXPECT_THROW(hs::route_trace(trace, 0, hs::RoutePolicy::RoundRobin),
+                 std::invalid_argument);
+}
+
+TEST(Cluster, RunsAndMergesAllRequests)
+{
+    hs::ClusterConfig cc;
+    cc.replica.per_gpu_rate = 1.5;
+    cc.replica.num_requests = 400;
+    cc.num_replicas = 2;
+    auto result = hs::run_cluster(cc);
+    EXPECT_EQ(result.metrics.num_requests, 400u);
+    EXPECT_EQ(result.metrics.num_finished, 400u);
+    EXPECT_EQ(result.assigned[0] + result.assigned[1], 400u);
+    ASSERT_EQ(result.per_replica.size(), 2u);
+    EXPECT_EQ(result.per_replica[0].metrics.num_finished,
+              result.assigned[0]);
+}
+
+TEST(Cluster, LinearScalingRuleHolds)
+{
+    // Per the paper's linear scaling rule, doubling replicas at the
+    // same per-GPU rate should roughly preserve latency percentiles.
+    auto run = [](std::size_t replicas) {
+        hs::ClusterConfig cc;
+        cc.replica.per_gpu_rate = 1.5;
+        cc.replica.num_requests = 600;
+        cc.num_replicas = replicas;
+        return hs::run_cluster(cc);
+    };
+    auto one = run(1);
+    auto two = run(2);
+    EXPECT_NEAR(two.metrics.ttft.median(), one.metrics.ttft.median(),
+                0.5 * one.metrics.ttft.median());
+    EXPECT_NEAR(two.metrics.slo_attainment, one.metrics.slo_attainment,
+                0.12);
+}
+
+TEST(Cluster, TokenAwareRoutingBeatsRoundRobinOnSkewedLoad)
+{
+    // LongBench prompts are heavy and variable; at a rate near
+    // saturation the token-aware router should not lose to blind
+    // round-robin.
+    auto run = [](hs::RoutePolicy p) {
+        hs::ClusterConfig cc;
+        cc.replica.scenario = hs::Scenario::llama2_13b_longbench();
+        cc.replica.per_gpu_rate = 1.25;
+        cc.replica.num_requests = 700;
+        cc.num_replicas = 2;
+        cc.policy = p;
+        return hs::run_cluster(cc);
+    };
+    auto rr = run(hs::RoutePolicy::RoundRobin);
+    auto lp = run(hs::RoutePolicy::LeastPendingTokens);
+    EXPECT_GE(lp.metrics.slo_attainment + 0.03,
+              rr.metrics.slo_attainment);
+}
+
+TEST(Cluster, PolicyNames)
+{
+    EXPECT_STREQ(hs::to_string(hs::RoutePolicy::RoundRobin),
+                 "round-robin");
+    EXPECT_STREQ(hs::to_string(hs::RoutePolicy::LeastPendingTokens),
+                 "least-pending-tokens");
+}

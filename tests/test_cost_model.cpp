@@ -1,0 +1,243 @@
+/**
+ * @file
+ * Unit tests for the roofline cost model, including the Fig. 8
+ * stream-based-disaggregation relations.
+ */
+#include <gtest/gtest.h>
+
+#include "hw/gpu_spec.hpp"
+#include "model/cost_model.hpp"
+
+namespace md = windserve::model;
+namespace hw = windserve::hw;
+
+namespace {
+
+md::CostModel
+make(md::ModelSpec m = md::ModelSpec::opt_13b(),
+     md::ParallelismConfig par = {2, 1})
+{
+    return md::CostModel(std::move(m), hw::GpuSpec::a800_80g(), par);
+}
+
+} // namespace
+
+TEST(CostModel, PrefillTimeMonotoneInTokens)
+{
+    auto cm = make();
+    double last = 0.0;
+    for (double n : {128.0, 256.0, 512.0, 1024.0, 2048.0}) {
+        double t = cm.prefill_time(n);
+        EXPECT_GT(t, last);
+        last = t;
+    }
+}
+
+TEST(CostModel, PrefillZeroTokensIsFree)
+{
+    EXPECT_DOUBLE_EQ(make().prefill_time(0.0), 0.0);
+}
+
+TEST(CostModel, PrefillTimePlausibleAbsolute)
+{
+    // OPT-13B, TP-2, 1000 tokens: tens to ~150 ms on A800s.
+    double t = make().prefill_time(1000.0);
+    EXPECT_GT(t, 0.02);
+    EXPECT_LT(t, 0.2);
+}
+
+TEST(CostModel, DecodeTimeMonotoneInContext)
+{
+    auto cm = make();
+    double last = 0.0;
+    for (double l : {1024.0, 8192.0, 32768.0, 131072.0}) {
+        double t = cm.decode_time(16.0, l);
+        EXPECT_GT(t, last);
+        last = t;
+    }
+}
+
+TEST(CostModel, DecodeTimePlausibleAbsolute)
+{
+    // OPT-13B TP-2, batch 16, sum ctx 16k: ~10-40 ms per iteration.
+    double t = make().decode_time(16.0, 16384.0);
+    EXPECT_GT(t, 0.005);
+    EXPECT_LT(t, 0.06);
+}
+
+TEST(CostModel, TensorParallelismSpeedsUpPrefill)
+{
+    auto tp1 = make(md::ModelSpec::opt_13b(), {1, 1});
+    auto tp2 = make(md::ModelSpec::opt_13b(), {2, 1});
+    double t1 = tp1.prefill_time(2048.0);
+    double t2 = tp2.prefill_time(2048.0);
+    EXPECT_LT(t2, t1);
+    EXPECT_GT(t2, t1 / 2.0); // sublinear due to allreduce + efficiency
+}
+
+TEST(CostModel, PipelineHopsAddLatency)
+{
+    auto pp1 = make(md::ModelSpec::opt_13b(), {2, 1});
+    auto pp2 = make(md::ModelSpec::opt_13b(), {2, 2});
+    // Same TP: per-pass latency grows with the extra hop, never shrinks.
+    EXPECT_GT(pp2.decode_time(16.0, 16384.0),
+              pp1.decode_time(16.0, 16384.0));
+}
+
+TEST(CostModel, Eq1CoefficientsReproduceCurve)
+{
+    auto cm = make();
+    double a, b, c;
+    cm.prefill_coefficients(a, b, c);
+    EXPECT_GT(a, 0.0);
+    EXPECT_GE(b, 0.0);
+    EXPECT_GT(c, 0.0);
+    for (double n : {256.0, 768.0, 2048.0, 4096.0}) {
+        double pred = a * n + b * n * n + c;
+        EXPECT_NEAR(pred, cm.prefill_time(n), 0.05 * cm.prefill_time(n));
+    }
+}
+
+TEST(CostModel, Eq2CoefficientsReproduceCurve)
+{
+    auto cm = make();
+    double a, c;
+    cm.decode_coefficients(a, c);
+    EXPECT_GT(a, 0.0);
+    EXPECT_GT(c, 0.0);
+    for (double l : {4096.0, 16384.0, 65536.0}) {
+        double pred = a * l + c;
+        EXPECT_NEAR(pred, cm.decode_time(16.0, l),
+                    0.1 * cm.decode_time(16.0, l));
+    }
+}
+
+// Fig. 7/8 semantics: a regular hybrid pass is slower than either phase
+// alone, and SBD keeps decode almost unharmed.
+TEST(CostModel, HybridSlowerThanParts)
+{
+    auto cm = make();
+    double tp = cm.prefill_time(1024.0);
+    double td = cm.decode_time(16.0, 16384.0);
+    double th = cm.hybrid_time(1024.0, 16.0, 16384.0);
+    EXPECT_GT(th, tp);
+    EXPECT_GT(th, td);
+    EXPECT_LT(th, tp + td); // some amortisation
+}
+
+TEST(CostModel, HybridDegeneratesToPureCases)
+{
+    auto cm = make();
+    EXPECT_DOUBLE_EQ(cm.hybrid_time(0.0, 16.0, 16384.0),
+                     cm.decode_time(16.0, 16384.0));
+    EXPECT_DOUBLE_EQ(cm.hybrid_time(1024.0, 0.0, 0.0),
+                     cm.prefill_time(1024.0));
+}
+
+TEST(CostModel, SbdDecodeBarelySlower)
+{
+    // Fig. 8 calibration: decode alongside an SBD prefill slows by only
+    // a few percent (0.35 s -> 0.34 s in the paper's LLaMA2-70B case).
+    auto cm = make();
+    double td = cm.decode_time(16.0, 32768.0);
+    double ts = cm.sbd_decode_time(16.0, 32768.0);
+    EXPECT_GT(ts, td);
+    EXPECT_LT(ts, 1.15 * td);
+}
+
+TEST(CostModel, SbdPrefillMildSlowdown)
+{
+    auto cm = make();
+    double tp = cm.prefill_time(2048.0);
+    double ts = cm.sbd_prefill_time(2048.0);
+    EXPECT_GT(ts, tp);
+    EXPECT_LT(ts, 1.3 * tp);
+}
+
+// Fig. 8's headline: under co-located load, SBD finishes the prefill
+// far faster than chunked-prefill does, while both protect decode.
+TEST(CostModel, SbdPrefillBeatsChunkedPrefillCompletion)
+{
+    auto cm = make(md::ModelSpec::llama2_70b(), {2, 2});
+    double n = 2048, chunk = 512;
+    double sbd_total = cm.sbd_prefill_time(n);
+    double chunked_total = 0.0;
+    for (double done = 0; done < n; done += chunk)
+        chunked_total += cm.chunked_iteration_time(chunk, done, 16.0,
+                                                   16.0 * 2048.0);
+    EXPECT_LT(sbd_total, 0.7 * chunked_total);
+}
+
+// The paper's §3.4 case study: LLaMA2-70B, 2048-token prefill.
+// Chunked (512) prefill ~4x the single decode step; SBD prefill much
+// cheaper; SBD decode step nearly unchanged.
+TEST(CostModel, PaperFig8CaseStudyShape)
+{
+    auto cm = make(md::ModelSpec::llama2_70b(), {2, 2});
+    double decode_alone = cm.decode_time(16.0, 16.0 * 2048.0);
+    double sbd_decode = cm.sbd_decode_time(16.0, 16.0 * 2048.0);
+    EXPECT_LT((sbd_decode - decode_alone) / decode_alone, 0.12);
+    double sbd_prefill = cm.sbd_prefill_time(2048.0);
+    double chunked_total = 0.0;
+    for (double done = 0; done < 2048; done += 512)
+        chunked_total += cm.chunked_iteration_time(512, done, 16.0,
+                                                   16.0 * 2048.0);
+    EXPECT_GT(chunked_total / sbd_prefill, 1.5);
+}
+
+TEST(CostModel, ChunkedIterationCostsMoreWithDeeperPrefix)
+{
+    auto cm = make();
+    double early = cm.chunked_iteration_time(512, 0, 16.0, 16384.0);
+    double late = cm.chunked_iteration_time(512, 1536, 16.0, 16384.0);
+    EXPECT_GT(late, early);
+}
+
+TEST(CostModel, KvCapacityPositiveAndSane)
+{
+    auto cm = make();
+    double cap = cm.kv_capacity_tokens();
+    // 2x80 GB minus 26 GB weights: roughly 100-160k tokens for OPT-13B.
+    EXPECT_GT(cap, 60000.0);
+    EXPECT_LT(cap, 200000.0);
+}
+
+TEST(CostModel, KvCapacityGrowsWithGpus)
+{
+    auto small = make(md::ModelSpec::opt_13b(), {2, 1});
+    auto big = make(md::ModelSpec::opt_13b(), {2, 2});
+    EXPECT_GT(big.kv_capacity_tokens(), small.kv_capacity_tokens());
+}
+
+TEST(CostModel, ModelTooBigThrows)
+{
+    EXPECT_THROW(make(md::ModelSpec::opt_175b(), {1, 1}),
+                 std::invalid_argument);
+}
+
+TEST(CostModel, ZeroParallelismThrows)
+{
+    EXPECT_THROW(md::CostModel(md::ModelSpec::opt_13b(),
+                               hw::GpuSpec::a800_80g(), {0, 1}),
+                 std::invalid_argument);
+}
+
+TEST(CostModel, PrefillUtilizationHighDecodeComputeLow)
+{
+    // The Fig. 2 observation: prefill saturates tensor cores far more
+    // than decode does.
+    auto cm = make();
+    double up = cm.prefill_compute_utilization(2048.0);
+    EXPECT_GT(up, 0.35);
+    EXPECT_LE(up, 1.0);
+    double ud = cm.decode_bandwidth_utilization(16.0, 16384.0);
+    EXPECT_GT(ud, 0.2);
+    EXPECT_LE(ud, 1.0);
+}
+
+TEST(CostModel, UtilizationZeroWhenIdle)
+{
+    auto cm = make();
+    EXPECT_DOUBLE_EQ(cm.prefill_compute_utilization(0.0), 0.0);
+    EXPECT_DOUBLE_EQ(cm.decode_bandwidth_utilization(0.0, 0.0), 0.0);
+}

@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Unit tests for the discrete-event queue.
+ */
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <random>
+#include <vector>
+
+#include "simcore/event_queue.hpp"
+
+namespace ws = windserve::sim;
+
+TEST(EventQueue, StartsEmpty)
+{
+    ws::EventQueue q;
+    EXPECT_TRUE(q.empty());
+    EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(EventQueue, PopsInTimeOrder)
+{
+    ws::EventQueue q;
+    std::vector<int> fired;
+    q.push(3.0, [&] { fired.push_back(3); });
+    q.push(1.0, [&] { fired.push_back(1); });
+    q.push(2.0, [&] { fired.push_back(2); });
+    while (!q.empty())
+        q.pop_and_run();
+    EXPECT_EQ(fired, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, TieBreaksByInsertionOrder)
+{
+    ws::EventQueue q;
+    std::vector<int> fired;
+    for (int i = 0; i < 10; ++i)
+        q.push(5.0, [&fired, i] { fired.push_back(i); });
+    while (!q.empty())
+        q.pop_and_run();
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(fired[i], i);
+}
+
+TEST(EventQueue, NextTimeReportsEarliest)
+{
+    ws::EventQueue q;
+    q.push(7.5, [] {});
+    q.push(2.5, [] {});
+    EXPECT_DOUBLE_EQ(q.next_time(), 2.5);
+}
+
+TEST(EventQueue, PopReturnsFireTime)
+{
+    ws::EventQueue q;
+    q.push(4.25, [] {});
+    EXPECT_DOUBLE_EQ(q.pop_and_run(), 4.25);
+}
+
+TEST(EventQueue, CancelSkipsEvent)
+{
+    ws::EventQueue q;
+    bool fired = false;
+    auto id = q.push(1.0, [&] { fired = true; });
+    q.push(2.0, [] {});
+    q.cancel(id);
+    EXPECT_EQ(q.size(), 1u);
+    EXPECT_DOUBLE_EQ(q.next_time(), 2.0);
+    q.pop_and_run();
+    EXPECT_FALSE(fired);
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, CancelAllMakesEmpty)
+{
+    ws::EventQueue q;
+    auto a = q.push(1.0, [] {});
+    auto b = q.push(2.0, [] {});
+    q.cancel(a);
+    q.cancel(b);
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, DoubleCancelIsSafe)
+{
+    ws::EventQueue q;
+    auto a = q.push(1.0, [] {});
+    q.push(2.0, [] {});
+    q.cancel(a);
+    q.cancel(a);
+    EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(EventQueue, CancelFiredEventIsNoop)
+{
+    ws::EventQueue q;
+    auto a = q.push(1.0, [] {});
+    q.push(2.0, [] {});
+    q.pop_and_run();
+    q.cancel(a); // already fired
+    EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(EventQueue, PushDuringCallbackIsOrdered)
+{
+    ws::EventQueue q;
+    std::vector<double> times;
+    q.push(1.0, [&] {
+        times.push_back(1.0);
+        q.push(1.5, [&] { times.push_back(1.5); });
+        q.push(3.0, [&] { times.push_back(3.0); });
+    });
+    q.push(2.0, [&] { times.push_back(2.0); });
+    while (!q.empty())
+        q.pop_and_run();
+    EXPECT_EQ(times, (std::vector<double>{1.0, 1.5, 2.0, 3.0}));
+}
+
+TEST(EventQueue, EmptyPopThrows)
+{
+    ws::EventQueue q;
+    EXPECT_THROW(q.pop_and_run(), std::logic_error);
+    EXPECT_THROW(q.next_time(), std::logic_error);
+}
+
+TEST(EventQueue, LargeRandomOrderIsSorted)
+{
+    ws::EventQueue q;
+    std::mt19937_64 gen(99);
+    std::uniform_real_distribution<double> u(0.0, 100.0);
+    for (int i = 0; i < 5000; ++i)
+        q.push(u(gen), [] {});
+    double last = -1.0;
+    while (!q.empty()) {
+        double t = q.pop_and_run();
+        EXPECT_GE(t, last);
+        last = t;
+    }
+}
+
+TEST(EventQueue, CountsTotalPushed)
+{
+    ws::EventQueue q;
+    for (int i = 0; i < 17; ++i)
+        q.push(1.0, [] {});
+    EXPECT_EQ(q.total_pushed(), 17u);
+}
+
+// Regression: self-rescheduling events inside callbacks (the original
+// stale-clock bug surfaced as out-of-order firing with in-callback pushes).
+TEST(EventQueue, RecursivePushesStayOrdered)
+{
+    ws::EventQueue q;
+    double last = -1.0;
+    int fired = 0;
+    std::mt19937_64 gen(7);
+    std::uniform_real_distribution<double> u(0.0, 0.01);
+    double now = 0.0;
+    std::function<void()> chain = [&] {
+        ++fired;
+        if (fired < 5000) {
+            q.push(now + u(gen), [&] { chain(); });
+            q.push(now + u(gen), [&] { chain(); });
+        }
+    };
+    q.push(0.0, chain);
+    while (!q.empty()) {
+        now = q.next_time();
+        double t = q.pop_and_run();
+        ASSERT_GE(t, last);
+        last = t;
+    }
+    EXPECT_GE(fired, 5000);
+}

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Unit tests for the Table 1 FLOPs / IO formulas.
+ */
+#include <gtest/gtest.h>
+
+#include "model/flops.hpp"
+
+namespace md = windserve::model;
+using namespace md::table1;
+
+// Table 1, row "Attn", column "Prefill FLOPs": 8NH^2 + 4N^2H.
+TEST(Table1, AttnPrefillFlops)
+{
+    double h = 5120, n = 1000;
+    EXPECT_DOUBLE_EQ(attn_prefill_flops(n, h),
+                     8 * n * h * h + 4 * n * n * h);
+}
+
+// Table 1, row "Attn", column "Decode FLOPs": 8BH^2 + 4 sumL H.
+TEST(Table1, AttnDecodeFlops)
+{
+    double h = 5120, b = 16, sum_l = 16000;
+    EXPECT_DOUBLE_EQ(attn_decode_flops(b, sum_l, h),
+                     8 * b * h * h + 4 * sum_l * h);
+}
+
+// Table 1, row "FFN": 16NH^2 prefill, 16BH^2 decode, IO 16H^2.
+TEST(Table1, FfnFormulas)
+{
+    double h = 5120;
+    EXPECT_DOUBLE_EQ(ffn_prefill_flops(100, h), 16 * 100 * h * h);
+    EXPECT_DOUBLE_EQ(ffn_decode_flops(8, h), 16 * 8 * h * h);
+    EXPECT_DOUBLE_EQ(ffn_io_bytes(h), 16 * h * h);
+}
+
+// The paper's worked FFN example: first layer multiplies (B x H) by
+// (H x 4H) at 2 FLOPs per element = 8BH^2; both layers = 16BH^2.
+TEST(Table1, PaperFfnDerivation)
+{
+    double b = 4, h = 1024;
+    double first_layer = b * h * 4 * h * 2;
+    EXPECT_DOUBLE_EQ(ffn_decode_flops(b, h), 2 * first_layer);
+}
+
+TEST(Table1, KvIoBytesLinearInContext)
+{
+    double h = 5120;
+    EXPECT_DOUBLE_EQ(attn_kv_io_bytes(1000, h), 4 * 1000 * h);
+    EXPECT_DOUBLE_EQ(attn_kv_io_bytes(2000, h),
+                     2 * attn_kv_io_bytes(1000, h));
+}
+
+TEST(PassCost, PrefillScalesSuperlinearly)
+{
+    auto m = md::ModelSpec::opt_13b();
+    auto c1 = md::prefill_pass(m, 512);
+    auto c2 = md::prefill_pass(m, 1024);
+    // Doubling N more than doubles FLOPs (quadratic attention term).
+    EXPECT_GT(c2.flops, 2.0 * c1.flops);
+    EXPECT_LT(c2.flops, 4.0 * c1.flops);
+}
+
+TEST(PassCost, PrefillFlopsMatchTwoFlopsPerParamPerToken)
+{
+    auto m = md::ModelSpec::opt_13b();
+    double n = 256; // small N: quadratic term negligible
+    auto c = md::prefill_pass(m, n);
+    double expected = 2.0 * m.num_params() * n;
+    // Within 25% (embedding params don't do GEMM work).
+    EXPECT_NEAR(c.flops / expected, 1.0, 0.25);
+}
+
+TEST(PassCost, DecodeIoDominatedByWeightsAtSmallBatch)
+{
+    auto m = md::ModelSpec::opt_13b();
+    auto c = md::decode_pass(m, 1, 128);
+    // One request, tiny context: IO ~ weight bytes.
+    EXPECT_NEAR(c.io_bytes / m.weight_bytes(), 1.0, 0.3);
+}
+
+TEST(PassCost, DecodeIoGrowsWithContext)
+{
+    auto m = md::ModelSpec::opt_13b();
+    auto a = md::decode_pass(m, 16, 8192);
+    auto b = md::decode_pass(m, 16, 32768);
+    EXPECT_GT(b.io_bytes, a.io_bytes);
+    // The delta is exactly the KV bytes of the extra context.
+    double delta_tokens = 32768 - 8192;
+    EXPECT_NEAR(b.io_bytes - a.io_bytes,
+                delta_tokens * m.kv_bytes_per_token(), 1.0);
+}
+
+TEST(PassCost, DecodeFlopsLinearInBatch)
+{
+    auto m = md::ModelSpec::opt_13b();
+    auto a = md::decode_pass(m, 8, 8 * 1000);
+    auto b = md::decode_pass(m, 16, 16 * 1000);
+    EXPECT_NEAR(b.flops / a.flops, 2.0, 0.05);
+}
+
+TEST(PassCost, GqaReducesDecodeKvIo)
+{
+    auto m70 = md::ModelSpec::llama2_70b();
+    auto mha_like = m70;
+    mha_like.num_kv_heads = mha_like.num_heads;
+    auto gqa = md::decode_pass(m70, 16, 32768);
+    auto mha = md::decode_pass(mha_like, 16, 32768);
+    EXPECT_LT(gqa.io_bytes, mha.io_bytes);
+}
+
+TEST(PassCost, PrefillIsComputeHeavy)
+{
+    // Arithmetic intensity of prefill must far exceed decode's.
+    auto m = md::ModelSpec::opt_13b();
+    auto p = md::prefill_pass(m, 2048);
+    auto d = md::decode_pass(m, 16, 16 * 1024);
+    double ai_prefill = p.flops / p.io_bytes;
+    double ai_decode = d.flops / d.io_bytes;
+    EXPECT_GT(ai_prefill, 50.0 * ai_decode);
+}

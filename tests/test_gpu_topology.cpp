@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Unit tests for GPU specs and the Fig. 9 node topology.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "hw/gpu_spec.hpp"
+#include "hw/topology.hpp"
+
+namespace hw = windserve::hw;
+
+TEST(GpuSpec, A800Parameters)
+{
+    auto g = hw::GpuSpec::a800_80g();
+    EXPECT_DOUBLE_EQ(g.peak_fp16_flops, 312e12);
+    EXPECT_DOUBLE_EQ(g.mem_capacity, 80e9);
+    EXPECT_GT(g.mem_bandwidth, 2e12);
+}
+
+TEST(GpuSpec, Rtx4090HasLessMemory)
+{
+    auto a = hw::GpuSpec::a800_80g();
+    auto r = hw::GpuSpec::rtx4090();
+    EXPECT_LT(r.mem_capacity, a.mem_capacity);
+    EXPECT_LT(r.mem_bandwidth, a.mem_bandwidth);
+}
+
+TEST(Topology, DefaultIsEightGpusTwoNuma)
+{
+    hw::Topology topo;
+    EXPECT_EQ(topo.num_gpus(), 8u);
+    EXPECT_EQ(topo.numa_of(0), 0u);
+    EXPECT_EQ(topo.numa_of(3), 0u);
+    EXPECT_EQ(topo.numa_of(4), 1u);
+    EXPECT_EQ(topo.numa_of(7), 1u);
+}
+
+TEST(Topology, NvlinkPairsAreEvenOdd)
+{
+    hw::Topology topo;
+    EXPECT_EQ(topo.classify(0, 1), hw::LinkType::NVLink);
+    EXPECT_EQ(topo.classify(2, 3), hw::LinkType::NVLink);
+    EXPECT_EQ(topo.classify(6, 7), hw::LinkType::NVLink);
+    EXPECT_EQ(topo.classify(1, 2), hw::LinkType::PCIeSwitch);
+}
+
+TEST(Topology, CrossNumaIsRootComplex)
+{
+    hw::Topology topo;
+    EXPECT_EQ(topo.classify(3, 4), hw::LinkType::PCIeRC);
+    EXPECT_EQ(topo.classify(0, 7), hw::LinkType::PCIeRC);
+}
+
+TEST(Topology, LoopbackIsInfinite)
+{
+    hw::Topology topo;
+    EXPECT_EQ(topo.classify(2, 2), hw::LinkType::Loopback);
+    EXPECT_TRUE(std::isinf(topo.link(2, 2).bandwidth));
+}
+
+TEST(Topology, LinkIsSymmetric)
+{
+    hw::Topology topo;
+    for (hw::GpuId a = 0; a < 8; ++a)
+        for (hw::GpuId b = 0; b < 8; ++b)
+            EXPECT_EQ(topo.classify(a, b), topo.classify(b, a));
+}
+
+TEST(Topology, BandwidthOrdering)
+{
+    hw::Topology topo;
+    double nv = topo.link(0, 1).bandwidth;
+    double sw = topo.link(0, 2).bandwidth;
+    double rc = topo.link(0, 4).bandwidth;
+    EXPECT_GT(nv, sw);
+    EXPECT_GT(sw, rc);
+}
+
+TEST(Topology, PaperTransferExampleLandsNear65ms)
+{
+    // §2.2: transferring a 2048-token OPT-13B KV (~1.5 GB) over PCIe
+    // Gen4 takes ~65 ms.
+    hw::Topology topo;
+    double bytes = 1.68e9; // 2048 tokens x 819 KB
+    double t = bytes / topo.link(1, 2).bandwidth;
+    EXPECT_GT(t, 0.05);
+    EXPECT_LT(t, 0.09);
+}
+
+TEST(Topology, HostLinkAvailable)
+{
+    hw::Topology topo;
+    auto l = topo.host_link(5);
+    EXPECT_EQ(l.type, hw::LinkType::HostPCIe);
+    EXPECT_GT(l.bandwidth, 0.0);
+}
+
+TEST(Topology, BestLinkPicksFastest)
+{
+    hw::Topology topo;
+    // Groups {0,1} and {2,3}: best path is PCIe switch.
+    auto l = topo.best_link({0, 1}, {2, 3});
+    EXPECT_EQ(l.type, hw::LinkType::PCIeSwitch);
+    // Groups {0} and {1}: NVLink.
+    EXPECT_EQ(topo.best_link({0}, {1}).type, hw::LinkType::NVLink);
+    // Cross NUMA only.
+    EXPECT_EQ(topo.best_link({0, 1}, {4, 5}).type, hw::LinkType::PCIeRC);
+}
+
+TEST(Topology, BestLinkRejectsIdenticalSingleton)
+{
+    hw::Topology topo;
+    EXPECT_THROW(topo.best_link({0}, {0}), std::invalid_argument);
+}
+
+TEST(Topology, BadIdsThrow)
+{
+    hw::Topology topo;
+    EXPECT_THROW(topo.classify(0, 8), std::out_of_range);
+    EXPECT_THROW(topo.numa_of(9), std::out_of_range);
+    EXPECT_THROW(topo.host_link(8), std::out_of_range);
+}
+
+TEST(Topology, RejectsBadConfig)
+{
+    hw::TopologyConfig cfg;
+    cfg.num_gpus = 6;
+    cfg.gpus_per_numa = 4;
+    EXPECT_THROW(hw::Topology{cfg}, std::invalid_argument);
+}
+
+TEST(PdPlacement, TwoPlusTwoUsesAlternatePairs)
+{
+    hw::Topology topo;
+    auto p = hw::default_pd_placement(topo, 2, 2);
+    EXPECT_EQ(p.prefill, (std::vector<hw::GpuId>{0, 1}));
+    EXPECT_EQ(p.decode, (std::vector<hw::GpuId>{2, 3}));
+    // Transfer path stays within the NUMA node.
+    EXPECT_EQ(topo.best_link(p.prefill, p.decode).type,
+              hw::LinkType::PCIeSwitch);
+}
+
+TEST(PdPlacement, FourPlusFourInterleavesNuma)
+{
+    hw::Topology topo;
+    auto p = hw::default_pd_placement(topo, 4, 4);
+    EXPECT_EQ(p.prefill.size(), 4u);
+    EXPECT_EQ(p.decode.size(), 4u);
+    // All 8 GPUs used exactly once.
+    std::vector<bool> used(8, false);
+    for (auto g : p.prefill)
+        used[g] = true;
+    for (auto g : p.decode) {
+        EXPECT_FALSE(used[g]);
+        used[g] = true;
+    }
+    for (bool u : used)
+        EXPECT_TRUE(u);
+    // The inter-instance path should avoid the root complex.
+    EXPECT_EQ(topo.best_link(p.prefill, p.decode).type,
+              hw::LinkType::PCIeSwitch);
+}
+
+TEST(PdPlacement, AsymmetricPlacement)
+{
+    hw::Topology topo;
+    auto p = hw::default_pd_placement(topo, 2, 1);
+    EXPECT_EQ(p.prefill.size(), 2u);
+    EXPECT_EQ(p.decode.size(), 1u);
+}
+
+TEST(PdPlacement, TooManyGpusThrows)
+{
+    hw::Topology topo;
+    EXPECT_THROW(hw::default_pd_placement(topo, 6, 4),
+                 std::invalid_argument);
+}

@@ -1,0 +1,249 @@
+/**
+ * @file
+ * Unit tests for the FCFS local scheduling policies.
+ */
+#include <gtest/gtest.h>
+
+#include "engine/local_scheduler.hpp"
+
+namespace eng = windserve::engine;
+namespace kv = windserve::kvcache;
+namespace wl = windserve::workload;
+
+namespace {
+
+std::vector<wl::Request>
+make_requests(std::initializer_list<std::size_t> prompts)
+{
+    std::vector<wl::Request> out;
+    std::size_t id = 0;
+    for (auto p : prompts) {
+        wl::Request r;
+        r.id = id;
+        r.arrival_time = static_cast<double>(id);
+        ++id;
+        r.prompt_tokens = p;
+        r.output_tokens = 10;
+        out.push_back(r);
+    }
+    return out;
+}
+
+std::deque<wl::Request *>
+queue_of(std::vector<wl::Request> &reqs)
+{
+    std::deque<wl::Request *> q;
+    for (auto &r : reqs)
+        q.push_back(&r);
+    return q;
+}
+
+} // namespace
+
+TEST(PrefillBatchFormation, RespectsTokenBudget)
+{
+    auto reqs = make_requests({300, 300, 300, 300});
+    auto q = queue_of(reqs);
+    kv::BlockManager bm(1000, 16);
+    auto batch = eng::form_prefill_batch(q, {700, 10}, bm);
+    // 300+300 fits; adding the third would cross the 700 budget.
+    EXPECT_EQ(batch.size(), 2u);
+    EXPECT_EQ(batch.total_tokens, 600u);
+    EXPECT_EQ(q.size(), 2u);
+}
+
+TEST(PrefillBatchFormation, FcfsOrderPreserved)
+{
+    auto reqs = make_requests({100, 100, 100});
+    auto q = queue_of(reqs);
+    kv::BlockManager bm(1000, 16);
+    auto batch = eng::form_prefill_batch(q, {250, 10}, bm);
+    ASSERT_EQ(batch.size(), 2u);
+    EXPECT_EQ(batch.requests[0]->id, 0u);
+    EXPECT_EQ(batch.requests[1]->id, 1u);
+}
+
+TEST(PrefillBatchFormation, OversizedHeadRunsAlone)
+{
+    auto reqs = make_requests({5000, 100});
+    auto q = queue_of(reqs);
+    kv::BlockManager bm(1000, 16);
+    auto batch = eng::form_prefill_batch(q, {4096, 10}, bm);
+    ASSERT_EQ(batch.size(), 1u);
+    EXPECT_EQ(batch.total_tokens, 5000u);
+}
+
+TEST(PrefillBatchFormation, RespectsRequestCap)
+{
+    auto reqs = make_requests({10, 10, 10, 10, 10});
+    auto q = queue_of(reqs);
+    kv::BlockManager bm(1000, 16);
+    auto batch = eng::form_prefill_batch(q, {4096, 3}, bm);
+    EXPECT_EQ(batch.size(), 3u);
+}
+
+TEST(PrefillBatchFormation, AllocatesKvBlocks)
+{
+    auto reqs = make_requests({160});
+    auto q = queue_of(reqs);
+    kv::BlockManager bm(100, 16);
+    auto batch = eng::form_prefill_batch(q, {4096, 10}, bm);
+    ASSERT_EQ(batch.size(), 1u);
+    EXPECT_EQ(bm.used_blocks(), 10u);
+    EXPECT_TRUE(bm.holds(0));
+}
+
+TEST(PrefillBatchFormation, StopsWhenKvExhausted)
+{
+    auto reqs = make_requests({160, 160});
+    auto q = queue_of(reqs);
+    kv::BlockManager bm(15, 16); // only room for one request
+    auto batch = eng::form_prefill_batch(q, {4096, 10}, bm);
+    EXPECT_EQ(batch.size(), 1u);
+    EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(PrefillBatchFormation, EmptyWhenNoKvAtAll)
+{
+    auto reqs = make_requests({160});
+    auto q = queue_of(reqs);
+    kv::BlockManager bm(2, 16);
+    auto batch = eng::form_prefill_batch(q, {4096, 10}, bm);
+    EXPECT_TRUE(batch.empty());
+    EXPECT_EQ(q.size(), 1u); // untouched
+}
+
+TEST(DecodeAdmission, FillsSmallestGroupFirst)
+{
+    auto reqs = make_requests({16, 16, 16});
+    auto q = queue_of(reqs);
+    std::vector<eng::DecodeGroup> groups(2);
+    kv::BlockManager bm(1000, 16);
+    auto admitted = eng::admit_decodes(q, groups, 8, bm);
+    EXPECT_EQ(admitted.size(), 3u);
+    EXPECT_EQ(groups[0].size() + groups[1].size(), 3u);
+    EXPECT_LE(std::max(groups[0].size(), groups[1].size()), 2u);
+}
+
+TEST(DecodeAdmission, StopsAtGroupCap)
+{
+    auto reqs = make_requests({16, 16, 16, 16, 16});
+    auto q = queue_of(reqs);
+    std::vector<eng::DecodeGroup> groups(1);
+    kv::BlockManager bm(1000, 16);
+    auto admitted = eng::admit_decodes(q, groups, 3, bm);
+    EXPECT_EQ(admitted.size(), 3u);
+    EXPECT_EQ(q.size(), 2u);
+}
+
+TEST(DecodeAdmission, StopsWhenKvExhausted)
+{
+    auto reqs = make_requests({64, 64, 64});
+    auto q = queue_of(reqs);
+    std::vector<eng::DecodeGroup> groups(1);
+    kv::BlockManager bm(9, 16); // 2 requests of 4 blocks each fit
+    auto admitted = eng::admit_decodes(q, groups, 8, bm);
+    EXPECT_EQ(admitted.size(), 2u);
+}
+
+TEST(DecodeAdmission, SkipsAllocationIfResident)
+{
+    auto reqs = make_requests({64});
+    auto q = queue_of(reqs);
+    std::vector<eng::DecodeGroup> groups(1);
+    kv::BlockManager bm(100, 16);
+    bm.allocate(0, 64); // KV already resident (assist prefill case)
+    auto admitted = eng::admit_decodes(q, groups, 8, bm);
+    EXPECT_EQ(admitted.size(), 1u);
+    EXPECT_EQ(bm.blocks_of(0), 4u); // unchanged
+}
+
+TEST(DecodeAdmission, BlocksOnSwappedOutHead)
+{
+    auto reqs = make_requests({16, 16});
+    reqs[0].state = wl::RequestState::SwappedOut;
+    auto q = queue_of(reqs);
+    std::vector<eng::DecodeGroup> groups(1);
+    kv::BlockManager bm(100, 16);
+    auto admitted = eng::admit_decodes(q, groups, 8, bm);
+    // Strict FCFS: a swapped-out head blocks later arrivals.
+    EXPECT_TRUE(admitted.empty());
+}
+
+TEST(VictimSelection, SwapPicksLatestArrival)
+{
+    auto reqs = make_requests({16, 16, 16});
+    std::vector<eng::DecodeGroup> groups(1);
+    for (auto &r : reqs)
+        groups[0].members.push_back(&r);
+    auto *victim = eng::select_swap_victim(groups, nullptr);
+    ASSERT_NE(victim, nullptr);
+    EXPECT_EQ(victim->id, 2u); // latest arrival
+}
+
+TEST(VictimSelection, SwapExcludesProtected)
+{
+    auto reqs = make_requests({16, 16});
+    std::vector<eng::DecodeGroup> groups(1);
+    for (auto &r : reqs)
+        groups[0].members.push_back(&r);
+    auto *victim = eng::select_swap_victim(groups, &reqs[1]);
+    ASSERT_NE(victim, nullptr);
+    EXPECT_EQ(victim->id, 0u);
+}
+
+TEST(VictimSelection, SwapSkipsMigrating)
+{
+    auto reqs = make_requests({16, 16});
+    reqs[1].state = wl::RequestState::Migrating;
+    std::vector<eng::DecodeGroup> groups(1);
+    for (auto &r : reqs)
+        groups[0].members.push_back(&r);
+    auto *victim = eng::select_swap_victim(groups, nullptr);
+    ASSERT_NE(victim, nullptr);
+    EXPECT_EQ(victim->id, 0u);
+}
+
+TEST(VictimSelection, EmptyGroupsGiveNull)
+{
+    std::vector<eng::DecodeGroup> groups(2);
+    EXPECT_EQ(eng::select_swap_victim(groups, nullptr), nullptr);
+    EXPECT_EQ(eng::select_migration_victim(groups), nullptr);
+}
+
+// §3.3: "WindServe tends to migrate longer sequences" — opposite of
+// Llumnix's short-first policy.
+TEST(VictimSelection, MigrationPicksLongestContext)
+{
+    auto reqs = make_requests({100, 900, 400});
+    std::vector<eng::DecodeGroup> groups(1);
+    for (auto &r : reqs)
+        groups[0].members.push_back(&r);
+    auto *victim = eng::select_migration_victim(groups);
+    ASSERT_NE(victim, nullptr);
+    EXPECT_EQ(victim->prompt_tokens, 900u);
+}
+
+TEST(VictimSelection, MigrationCountsGeneratedTokens)
+{
+    auto reqs = make_requests({500, 450});
+    reqs[1].generated = 100; // context 550 > 500
+    std::vector<eng::DecodeGroup> groups(1);
+    for (auto &r : reqs)
+        groups[0].members.push_back(&r);
+    EXPECT_EQ(eng::select_migration_victim(groups)->id, 1u);
+}
+
+TEST(DecodeGroup, SumContextAndMembership)
+{
+    auto reqs = make_requests({100, 200});
+    reqs[0].generated = 5;
+    eng::DecodeGroup g;
+    g.members.push_back(&reqs[0]);
+    g.members.push_back(&reqs[1]);
+    EXPECT_EQ(g.sum_context(), 305u);
+    EXPECT_TRUE(g.contains(&reqs[0]));
+    EXPECT_TRUE(g.remove(&reqs[0]));
+    EXPECT_FALSE(g.remove(&reqs[0]));
+    EXPECT_EQ(g.size(), 1u);
+}

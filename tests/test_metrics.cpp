@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Unit tests for SLO logic and the metrics collector.
+ */
+#include <gtest/gtest.h>
+
+#include "metrics/collector.hpp"
+#include "metrics/report.hpp"
+
+namespace mt = windserve::metrics;
+namespace wl = windserve::workload;
+
+namespace {
+
+wl::Request
+finished_request(double ttft, double tpot, std::size_t output = 11)
+{
+    wl::Request r;
+    r.prompt_tokens = 100;
+    r.output_tokens = output;
+    r.arrival_time = 0.0;
+    r.first_token_time = ttft;
+    r.finish_time = ttft + tpot * static_cast<double>(output - 1);
+    r.state = wl::RequestState::Finished;
+    return r;
+}
+
+} // namespace
+
+TEST(Slo, Table4Values)
+{
+    EXPECT_DOUBLE_EQ(mt::SloSpec::opt_13b_sharegpt().ttft, 0.25);
+    EXPECT_DOUBLE_EQ(mt::SloSpec::opt_13b_sharegpt().tpot, 0.10);
+    EXPECT_DOUBLE_EQ(mt::SloSpec::opt_66b_sharegpt().ttft, 0.80);
+    EXPECT_DOUBLE_EQ(mt::SloSpec::opt_66b_sharegpt().tpot, 0.15);
+    EXPECT_DOUBLE_EQ(mt::SloSpec::llama2_13b_longbench().ttft, 4.0);
+    EXPECT_DOUBLE_EQ(mt::SloSpec::llama2_70b_longbench().ttft, 15.0);
+    EXPECT_DOUBLE_EQ(mt::SloSpec::llama2_70b_longbench().tpot, 0.50);
+}
+
+TEST(Slo, BothRequiredForAttainment)
+{
+    mt::SloSpec slo{0.25, 0.10};
+    EXPECT_TRUE(mt::meets_slo(finished_request(0.2, 0.05), slo));
+    EXPECT_FALSE(mt::meets_slo(finished_request(0.3, 0.05), slo));
+    EXPECT_FALSE(mt::meets_slo(finished_request(0.2, 0.15), slo));
+    EXPECT_FALSE(mt::meets_slo(finished_request(0.3, 0.15), slo));
+}
+
+TEST(Slo, BoundaryIsInclusive)
+{
+    mt::SloSpec slo{0.25, 0.10};
+    EXPECT_TRUE(mt::meets_slo(finished_request(0.25, 0.10), slo));
+}
+
+TEST(Slo, UnfinishedFailsEverything)
+{
+    mt::SloSpec slo{10.0, 10.0};
+    wl::Request r;
+    r.output_tokens = 5;
+    EXPECT_FALSE(mt::meets_ttft(r, slo));
+    EXPECT_FALSE(mt::meets_slo(r, slo));
+}
+
+TEST(Slo, SingleTokenRequestJudgedByTtftOnly)
+{
+    mt::SloSpec slo{0.25, 0.10};
+    auto r = finished_request(0.1, 0.0, 1);
+    EXPECT_TRUE(mt::meets_slo(r, slo));
+}
+
+TEST(Collector, AggregatesPercentiles)
+{
+    mt::Collector col(mt::SloSpec{0.25, 0.10});
+    std::vector<wl::Request> reqs;
+    for (int i = 1; i <= 100; ++i)
+        reqs.push_back(finished_request(0.001 * i, 0.05));
+    auto m = col.collect(reqs);
+    EXPECT_EQ(m.num_requests, 100u);
+    EXPECT_EQ(m.num_finished, 100u);
+    EXPECT_NEAR(m.ttft.median(), 0.0505, 1e-6);
+    EXPECT_DOUBLE_EQ(m.slo_attainment, 1.0);
+}
+
+TEST(Collector, UnfinishedCountAgainstAttainment)
+{
+    mt::Collector col(mt::SloSpec{10.0, 10.0});
+    std::vector<wl::Request> reqs;
+    reqs.push_back(finished_request(0.1, 0.01));
+    wl::Request unfinished;
+    unfinished.output_tokens = 5;
+    reqs.push_back(unfinished);
+    auto m = col.collect(reqs);
+    EXPECT_EQ(m.num_finished, 1u);
+    EXPECT_DOUBLE_EQ(m.slo_attainment, 0.5);
+}
+
+TEST(Collector, CountsEvents)
+{
+    mt::Collector col(mt::SloSpec{1.0, 1.0});
+    auto r1 = finished_request(0.1, 0.01);
+    r1.swap_outs = 2;
+    r1.migrations = 1;
+    r1.prefill_dispatched = true;
+    auto r2 = finished_request(0.1, 0.01);
+    r2.swap_outs = 1;
+    auto m = col.collect({r1, r2});
+    EXPECT_EQ(m.swap_out_events, 3u);
+    EXPECT_EQ(m.migrations, 1u);
+    EXPECT_EQ(m.prefill_dispatches, 1u);
+}
+
+TEST(Collector, QueueingDelaysCollected)
+{
+    mt::Collector col(mt::SloSpec{1.0, 1.0});
+    auto r = finished_request(0.5, 0.01);
+    r.prefill_enqueue_time = 0.0;
+    r.prefill_start_time = 0.2;
+    r.decode_enqueue_time = 0.5;
+    r.decode_start_time = 0.8;
+    auto m = col.collect({r});
+    EXPECT_DOUBLE_EQ(m.prefill_queueing.max(), 0.2);
+    EXPECT_NEAR(m.decode_queueing.max(), 0.3, 1e-12);
+}
+
+TEST(Collector, MakespanIsLatestFinish)
+{
+    mt::Collector col(mt::SloSpec{1.0, 1.0});
+    auto a = finished_request(0.1, 0.01);
+    auto b = finished_request(0.2, 0.5);
+    auto m = col.collect({a, b});
+    EXPECT_DOUBLE_EQ(m.makespan, b.finish_time);
+}
+
+TEST(Report, FormatsSeconds)
+{
+    EXPECT_EQ(mt::fmt_seconds(0.0123), "12.3ms");
+    EXPECT_EQ(mt::fmt_seconds(1.5), "1.50s");
+    EXPECT_EQ(mt::fmt_seconds(wl::kNoTime), "n/a");
+}
+
+TEST(Report, FormatsPercent)
+{
+    EXPECT_EQ(mt::fmt_percent(0.931), "93.1%");
+    EXPECT_EQ(mt::fmt_percent(1.0), "100.0%");
+}
+
+TEST(Report, SummaryAndDetailRender)
+{
+    mt::Collector col(mt::SloSpec{1.0, 1.0});
+    auto m = col.collect({finished_request(0.1, 0.01)});
+    auto line = mt::summary_line(m);
+    EXPECT_NE(line.find("ttft"), std::string::npos);
+    EXPECT_NE(line.find("slo"), std::string::npos);
+    auto detail = mt::detailed_report(m);
+    EXPECT_NE(detail.find("queueing"), std::string::npos);
+    EXPECT_NE(detail.find("util"), std::string::npos);
+}

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Unit tests for model architecture descriptors.
+ */
+#include <gtest/gtest.h>
+
+#include "model/model_spec.hpp"
+
+namespace md = windserve::model;
+
+TEST(ModelSpec, Opt13bShape)
+{
+    auto m = md::ModelSpec::opt_13b();
+    EXPECT_EQ(m.num_layers, 40u);
+    EXPECT_EQ(m.hidden_size, 5120u);
+    EXPECT_EQ(m.max_context, 2048u);
+    EXPECT_EQ(m.attention(), md::AttentionKind::MHA);
+}
+
+TEST(ModelSpec, ParamCountsRoughlyMatchNames)
+{
+    EXPECT_NEAR(md::ModelSpec::opt_13b().num_params(), 13e9, 2e9);
+    EXPECT_NEAR(md::ModelSpec::opt_66b().num_params(), 66e9, 7e9);
+    EXPECT_NEAR(md::ModelSpec::llama2_13b().num_params(), 13e9, 2e9);
+    EXPECT_NEAR(md::ModelSpec::llama2_70b().num_params(), 70e9, 8e9);
+    EXPECT_NEAR(md::ModelSpec::opt_175b().num_params(), 175e9, 15e9);
+}
+
+TEST(ModelSpec, WeightBytesAreFp16)
+{
+    auto m = md::ModelSpec::opt_13b();
+    EXPECT_DOUBLE_EQ(m.weight_bytes(), m.num_params() * 2.0);
+}
+
+// §2.2: "for a request with 2048 tokens ... the KV cache to be
+// transferred is approximately 1.5 GB" (OPT-13B).
+TEST(ModelSpec, PaperKvSizeExample)
+{
+    auto m = md::ModelSpec::opt_13b();
+    double full_ctx_kv = m.kv_bytes_per_token() * 2048.0;
+    EXPECT_GT(full_ctx_kv, 1.3e9);
+    EXPECT_LT(full_ctx_kv, 1.9e9);
+}
+
+TEST(ModelSpec, KvBytesPerTokenFormula)
+{
+    auto m = md::ModelSpec::opt_13b();
+    // 2 (K+V) * H * layers * 2 bytes
+    EXPECT_DOUBLE_EQ(m.kv_bytes_per_token(), 2.0 * 5120 * 40 * 2.0);
+}
+
+// §5.2: "The implementation of GQA reduces the size of the KV cache
+// tensors" — LLaMA2-70B has 8 of 64 KV heads.
+TEST(ModelSpec, GqaShrinksKvCache)
+{
+    auto m70 = md::ModelSpec::llama2_70b();
+    EXPECT_EQ(m70.attention(), md::AttentionKind::GQA);
+    double kv_mha_equiv = 2.0 * 8192 * 80 * 2.0;
+    EXPECT_DOUBLE_EQ(m70.kv_bytes_per_token(), kv_mha_equiv / 8.0);
+    // Per token, 70B with GQA stores LESS KV than 13B with MHA.
+    EXPECT_LT(m70.kv_bytes_per_token(),
+              md::ModelSpec::llama2_13b().kv_bytes_per_token());
+}
+
+TEST(ModelSpec, Llama2SupportsLongerContextThanOpt)
+{
+    // §5.1: LLaMA2 serves the summarization task because it supports 4K
+    // context vs OPT's 2K.
+    EXPECT_EQ(md::ModelSpec::llama2_13b().max_context, 4096u);
+    EXPECT_EQ(md::ModelSpec::opt_13b().max_context, 2048u);
+}
+
+TEST(ModelSpec, BiggerModelsBiggerEverything)
+{
+    auto a = md::ModelSpec::opt_13b();
+    auto b = md::ModelSpec::opt_66b();
+    EXPECT_GT(b.num_params(), a.num_params());
+    EXPECT_GT(b.kv_bytes_per_token(), a.kv_bytes_per_token());
+    EXPECT_GT(b.num_layers, a.num_layers);
+}

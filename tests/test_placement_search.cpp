@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Unit tests for simulation-driven placement search (§5.1 method).
+ */
+#include <gtest/gtest.h>
+
+#include "harness/placement_search.hpp"
+
+namespace hs = windserve::harness;
+namespace md = windserve::model;
+
+TEST(PlacementSearch, EnumerationRespectsBudget)
+{
+    hs::PlacementSearchConfig cfg;
+    cfg.max_gpus = 4;
+    auto cands = hs::enumerate_placements(cfg);
+    ASSERT_FALSE(cands.empty());
+    for (const auto &c : cands)
+        EXPECT_LE(c.num_gpus(), 4u);
+}
+
+TEST(PlacementSearch, EnumerationDropsNonFittingModels)
+{
+    hs::PlacementSearchConfig cfg;
+    cfg.scenario = hs::Scenario::llama2_70b_longbench();
+    cfg.max_gpus = 8;
+    auto cands = hs::enumerate_placements(cfg);
+    // LLaMA2-70B (140 GB weights) cannot fit on 1 or 2 A800s.
+    for (const auto &c : cands) {
+        EXPECT_GE(c.prefill.num_gpus(), 4u) << c.to_string();
+        EXPECT_GE(c.decode.num_gpus(), 4u) << c.to_string();
+    }
+    EXPECT_FALSE(cands.empty());
+}
+
+TEST(PlacementSearch, SmallModelGetsManyOptions)
+{
+    hs::PlacementSearchConfig cfg;
+    cfg.scenario = hs::Scenario::opt13b_sharegpt();
+    cfg.max_gpus = 8;
+    auto cands = hs::enumerate_placements(cfg);
+    // OPT-13B fits from TP-1 up: expect a rich candidate set.
+    EXPECT_GE(cands.size(), 9u);
+}
+
+TEST(PlacementSearch, CandidateToString)
+{
+    hs::PlacementCandidate c{{2, 1}, {2, 2}};
+    EXPECT_EQ(c.to_string(), "[TP-2,PP-1 | TP-2,PP-2]");
+    EXPECT_EQ(c.num_gpus(), 6u);
+}
+
+TEST(PlacementSearch, EvaluateProducesMetrics)
+{
+    hs::PlacementSearchConfig cfg;
+    cfg.per_gpu_rate = 1.0;
+    cfg.num_requests = 200;
+    auto score =
+        hs::evaluate_placement(cfg, hs::PlacementCandidate{{2, 1}, {2, 1}});
+    EXPECT_TRUE(score.feasible);
+    EXPECT_EQ(score.metrics.num_requests, 200u);
+    EXPECT_GT(score.metrics.slo_attainment, 0.0);
+}
+
+TEST(PlacementSearch, RankedBestFirst)
+{
+    hs::PlacementSearchConfig cfg;
+    cfg.per_gpu_rate = 2.0;
+    cfg.num_requests = 300;
+    cfg.max_gpus = 4;
+    cfg.tp_options = {1, 2};
+    cfg.pp_options = {1};
+    auto scores = hs::search_placements(cfg);
+    ASSERT_GE(scores.size(), 2u);
+    for (std::size_t i = 1; i < scores.size(); ++i) {
+        EXPECT_GE(scores[i - 1].metrics.slo_attainment + 1e-12,
+                  scores[i].metrics.slo_attainment);
+    }
+}
+
+// The headline sanity check: at a moderate chatbot rate, the search
+// over 4 GPUs should find a placement at least as good as Table 3's
+// hand-picked [TP-2 | TP-2].
+TEST(PlacementSearch, BestBeatsOrMatchesTable3)
+{
+    hs::PlacementSearchConfig cfg;
+    cfg.per_gpu_rate = 2.0;
+    cfg.num_requests = 400;
+    cfg.max_gpus = 4;
+    cfg.tp_options = {1, 2};
+    cfg.pp_options = {1, 2};
+    auto scores = hs::search_placements(cfg);
+    ASSERT_FALSE(scores.empty());
+    auto table3 = hs::evaluate_placement(
+        cfg, hs::PlacementCandidate{{2, 1}, {2, 1}});
+    EXPECT_GE(scores.front().metrics.slo_attainment + 1e-9,
+              table3.metrics.slo_attainment);
+}

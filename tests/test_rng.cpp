@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Unit tests for the deterministic RNG wrapper.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "simcore/rng.hpp"
+
+namespace ws = windserve::sim;
+
+TEST(Rng, SameSeedSameSequence)
+{
+    ws::Rng a(123), b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_DOUBLE_EQ(a.uniform(), b.uniform());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    ws::Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        if (a.uniform() == b.uniform())
+            ++same;
+    EXPECT_LT(same, 5);
+}
+
+TEST(Rng, UniformRespectsBounds)
+{
+    ws::Rng r(5);
+    for (int i = 0; i < 1000; ++i) {
+        double x = r.uniform(2.0, 3.0);
+        EXPECT_GE(x, 2.0);
+        EXPECT_LT(x, 3.0);
+    }
+}
+
+TEST(Rng, UniformIntInclusiveBounds)
+{
+    ws::Rng r(5);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 2000; ++i) {
+        auto x = r.uniform_int(1, 6);
+        EXPECT_GE(x, 1);
+        EXPECT_LE(x, 6);
+        saw_lo |= (x == 1);
+        saw_hi |= (x == 6);
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, ExponentialMeanMatchesRate)
+{
+    ws::Rng r(17);
+    double sum = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        sum += r.exponential(4.0);
+    EXPECT_NEAR(sum / n, 0.25, 0.01);
+}
+
+TEST(Rng, NormalMoments)
+{
+    ws::Rng r(17);
+    double sum = 0.0, sq = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        double x = r.normal(10.0, 2.0);
+        sum += x;
+        sq += x * x;
+    }
+    double mean = sum / n;
+    double var = sq / n - mean * mean;
+    EXPECT_NEAR(mean, 10.0, 0.1);
+    EXPECT_NEAR(std::sqrt(var), 2.0, 0.1);
+}
+
+TEST(Rng, LognormalMedian)
+{
+    ws::Rng r(29);
+    std::vector<double> xs;
+    for (int i = 0; i < 20001; ++i)
+        xs.push_back(r.lognormal(std::log(100.0), 0.5));
+    std::sort(xs.begin(), xs.end());
+    EXPECT_NEAR(xs[xs.size() / 2], 100.0, 5.0);
+}
+
+TEST(Rng, ChanceExtremes)
+{
+    ws::Rng r(3);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(r.chance(0.0));
+        EXPECT_TRUE(r.chance(1.0));
+    }
+}
+
+TEST(Rng, ChanceProbability)
+{
+    ws::Rng r(3);
+    int hits = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        hits += r.chance(0.3);
+    EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(Rng, WeightedChoiceDistribution)
+{
+    ws::Rng r(11);
+    std::vector<double> w{1.0, 3.0, 6.0};
+    std::vector<int> counts(3, 0);
+    const int n = 30000;
+    for (int i = 0; i < n; ++i)
+        ++counts[r.weighted_choice(w)];
+    EXPECT_NEAR(counts[0] / double(n), 0.1, 0.02);
+    EXPECT_NEAR(counts[1] / double(n), 0.3, 0.02);
+    EXPECT_NEAR(counts[2] / double(n), 0.6, 0.02);
+}
+
+TEST(Rng, WeightedChoiceZeroWeightNeverPicked)
+{
+    ws::Rng r(11);
+    std::vector<double> w{0.0, 1.0};
+    for (int i = 0; i < 500; ++i)
+        EXPECT_EQ(r.weighted_choice(w), 1u);
+}
+
+TEST(Rng, WeightedChoiceRejectsBadInput)
+{
+    ws::Rng r(1);
+    std::vector<double> empty;
+    std::vector<double> zeros{0.0, 0.0};
+    EXPECT_THROW(r.weighted_choice(empty), std::invalid_argument);
+    EXPECT_THROW(r.weighted_choice(zeros), std::invalid_argument);
+}
+
+TEST(Rng, ForkIsIndependentAndDeterministic)
+{
+    ws::Rng a(42), b(42);
+    ws::Rng fa = a.fork(), fb = b.fork();
+    for (int i = 0; i < 50; ++i)
+        EXPECT_DOUBLE_EQ(fa.uniform(), fb.uniform());
+    // Parent sequence continues deterministically too.
+    for (int i = 0; i < 50; ++i)
+        EXPECT_DOUBLE_EQ(a.uniform(), b.uniform());
+}

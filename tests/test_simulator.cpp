@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Unit tests for the simulation kernel (clock + queue).
+ */
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "simcore/simulator.hpp"
+
+namespace ws = windserve::sim;
+
+TEST(Simulator, StartsAtZero)
+{
+    ws::Simulator sim;
+    EXPECT_DOUBLE_EQ(sim.now(), 0.0);
+    EXPECT_EQ(sim.pending(), 0u);
+}
+
+TEST(Simulator, RunAdvancesClock)
+{
+    ws::Simulator sim;
+    sim.schedule(5.0, [] {});
+    sim.run();
+    EXPECT_DOUBLE_EQ(sim.now(), 5.0);
+    EXPECT_EQ(sim.events_fired(), 1u);
+}
+
+// Regression test for the stale-clock bug: now() inside a callback must
+// equal the callback's own fire time, not the previous event's.
+TEST(Simulator, NowIsCurrentInsideCallback)
+{
+    ws::Simulator sim;
+    double seen_a = -1.0, seen_b = -1.0;
+    sim.schedule(1.0, [&] { seen_a = sim.now(); });
+    sim.schedule(2.0, [&] { seen_b = sim.now(); });
+    sim.run();
+    EXPECT_DOUBLE_EQ(seen_a, 1.0);
+    EXPECT_DOUBLE_EQ(seen_b, 2.0);
+}
+
+// Regression: relative scheduling from inside a callback must be
+// relative to the callback's fire time.
+TEST(Simulator, RelativeScheduleInsideCallback)
+{
+    ws::Simulator sim;
+    double fired_at = -1.0;
+    sim.schedule(3.0, [&] {
+        sim.schedule(2.0, [&] { fired_at = sim.now(); });
+    });
+    sim.run();
+    EXPECT_DOUBLE_EQ(fired_at, 5.0);
+}
+
+TEST(Simulator, EventsChainedNeverGoBackwards)
+{
+    ws::Simulator sim;
+    double last = -1.0;
+    int fired = 0;
+    std::function<void()> chain = [&] {
+        EXPECT_GE(sim.now(), last);
+        last = sim.now();
+        if (++fired < 1000) {
+            sim.schedule(0.001 * (fired % 7 + 1), chain);
+            sim.schedule(0.002 * (fired % 3 + 1), chain);
+        }
+    };
+    sim.schedule(0.0, chain);
+    sim.run();
+    EXPECT_GE(fired, 1000);
+}
+
+TEST(Simulator, NegativeDelayClampsToNow)
+{
+    ws::Simulator sim;
+    double fired_at = -1.0;
+    sim.schedule(2.0, [&] {
+        sim.schedule(-5.0, [&] { fired_at = sim.now(); });
+    });
+    sim.run();
+    EXPECT_DOUBLE_EQ(fired_at, 2.0);
+}
+
+TEST(Simulator, ScheduleAtPastClampsToNow)
+{
+    ws::Simulator sim;
+    double fired_at = -1.0;
+    sim.schedule(4.0, [&] {
+        sim.schedule_at(1.0, [&] { fired_at = sim.now(); });
+    });
+    sim.run();
+    EXPECT_DOUBLE_EQ(fired_at, 4.0);
+}
+
+TEST(Simulator, RunUntilStopsAtHorizon)
+{
+    ws::Simulator sim;
+    int fired = 0;
+    for (double t : {1.0, 2.0, 3.0, 4.0})
+        sim.schedule(t, [&] { ++fired; });
+    sim.run_until(2.5);
+    EXPECT_EQ(fired, 2);
+    EXPECT_EQ(sim.pending(), 2u);
+}
+
+TEST(Simulator, RunUntilIncludesEventsExactlyAtHorizon)
+{
+    ws::Simulator sim;
+    int fired = 0;
+    sim.schedule(2.0, [&] { ++fired; });
+    sim.run_until(2.0);
+    EXPECT_EQ(fired, 1);
+}
+
+TEST(Simulator, StepFiresOneEvent)
+{
+    ws::Simulator sim;
+    int fired = 0;
+    sim.schedule(1.0, [&] { ++fired; });
+    sim.schedule(2.0, [&] { ++fired; });
+    EXPECT_TRUE(sim.step());
+    EXPECT_EQ(fired, 1);
+    EXPECT_TRUE(sim.step());
+    EXPECT_FALSE(sim.step());
+    EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, CancelPreventsFiring)
+{
+    ws::Simulator sim;
+    bool fired = false;
+    auto id = sim.schedule(1.0, [&] { fired = true; });
+    sim.cancel(id);
+    sim.run();
+    EXPECT_FALSE(fired);
+}
+
+TEST(Simulator, CancelInsideCallback)
+{
+    ws::Simulator sim;
+    bool fired = false;
+    auto id = sim.schedule(2.0, [&] { fired = true; });
+    sim.schedule(1.0, [&] { sim.cancel(id); });
+    sim.run();
+    EXPECT_FALSE(fired);
+}
+
+TEST(Simulator, DeterministicReplay)
+{
+    auto run_once = [] {
+        ws::Simulator sim;
+        std::vector<double> trace;
+        std::function<void(int)> spawn = [&](int depth) {
+            trace.push_back(sim.now());
+            if (depth < 6) {
+                sim.schedule(0.5, [&, depth] { spawn(depth + 1); });
+                sim.schedule(0.25, [&, depth] { spawn(depth + 1); });
+            }
+        };
+        sim.schedule(0.0, [&] { spawn(0); });
+        sim.run();
+        return trace;
+    };
+    EXPECT_EQ(run_once(), run_once());
+}

@@ -1,0 +1,191 @@
+/**
+ * @file
+ * Unit tests for Summary / Sample / Histogram statistics.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "simcore/rng.hpp"
+#include "simcore/stats.hpp"
+
+namespace ws = windserve::sim;
+
+TEST(Summary, EmptyIsZero)
+{
+    ws::Summary s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+}
+
+TEST(Summary, BasicMoments)
+{
+    ws::Summary s;
+    for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        s.add(x);
+    EXPECT_EQ(s.count(), 8u);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 9.0);
+    EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12); // sample variance
+    EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(Summary, MergeMatchesCombined)
+{
+    ws::Rng r(2);
+    ws::Summary all, a, b;
+    for (int i = 0; i < 1000; ++i) {
+        double x = r.normal(3.0, 1.5);
+        all.add(x);
+        (i % 2 ? a : b).add(x);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), all.count());
+    EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+    EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+    EXPECT_DOUBLE_EQ(a.min(), all.min());
+    EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(Summary, MergeWithEmpty)
+{
+    ws::Summary a, b;
+    a.add(1.0);
+    a.merge(b);
+    EXPECT_EQ(a.count(), 1u);
+    b.merge(a);
+    EXPECT_EQ(b.count(), 1u);
+    EXPECT_DOUBLE_EQ(b.mean(), 1.0);
+}
+
+TEST(Sample, EmptyPercentileIsZero)
+{
+    ws::Sample s;
+    EXPECT_DOUBLE_EQ(s.percentile(50.0), 0.0);
+}
+
+TEST(Sample, SingleValue)
+{
+    ws::Sample s;
+    s.add(7.0);
+    EXPECT_DOUBLE_EQ(s.percentile(0.0), 7.0);
+    EXPECT_DOUBLE_EQ(s.percentile(50.0), 7.0);
+    EXPECT_DOUBLE_EQ(s.percentile(100.0), 7.0);
+}
+
+TEST(Sample, PercentileInterpolates)
+{
+    ws::Sample s;
+    for (double x : {10.0, 20.0, 30.0, 40.0})
+        s.add(x);
+    EXPECT_DOUBLE_EQ(s.percentile(0.0), 10.0);
+    EXPECT_DOUBLE_EQ(s.percentile(100.0), 40.0);
+    EXPECT_DOUBLE_EQ(s.median(), 25.0);
+    // numpy.percentile(xs, 90) == 37.0 for this input
+    EXPECT_DOUBLE_EQ(s.p90(), 37.0);
+}
+
+TEST(Sample, PercentileOfUniformRamp)
+{
+    ws::Sample s;
+    for (int i = 0; i <= 100; ++i)
+        s.add(static_cast<double>(i));
+    EXPECT_DOUBLE_EQ(s.percentile(25.0), 25.0);
+    EXPECT_DOUBLE_EQ(s.percentile(99.0), 99.0);
+}
+
+TEST(Sample, UnsortedInsertOrderIrrelevant)
+{
+    ws::Sample a, b;
+    for (double x : {5.0, 1.0, 3.0})
+        a.add(x);
+    for (double x : {1.0, 3.0, 5.0})
+        b.add(x);
+    EXPECT_DOUBLE_EQ(a.median(), b.median());
+    EXPECT_DOUBLE_EQ(a.min(), 1.0);
+    EXPECT_DOUBLE_EQ(a.max(), 5.0);
+}
+
+TEST(Sample, RejectsBadPercentile)
+{
+    ws::Sample s;
+    s.add(1.0);
+    s.add(2.0);
+    EXPECT_THROW(s.percentile(-1.0), std::invalid_argument);
+    EXPECT_THROW(s.percentile(101.0), std::invalid_argument);
+}
+
+TEST(Sample, FractionBelow)
+{
+    ws::Sample s;
+    for (int i = 1; i <= 10; ++i)
+        s.add(static_cast<double>(i));
+    EXPECT_DOUBLE_EQ(s.fraction_below(5.0), 0.5);  // 1..5 inclusive
+    EXPECT_DOUBLE_EQ(s.fraction_below(0.5), 0.0);
+    EXPECT_DOUBLE_EQ(s.fraction_below(10.0), 1.0);
+    EXPECT_DOUBLE_EQ(s.fraction_below(4.5), 0.4);
+}
+
+TEST(Sample, MergeConcatenates)
+{
+    ws::Sample a, b;
+    a.add(1.0);
+    b.add(3.0);
+    b.add(5.0);
+    a.merge(b);
+    EXPECT_EQ(a.count(), 3u);
+    EXPECT_DOUBLE_EQ(a.median(), 3.0);
+}
+
+TEST(Sample, AddAfterQueryStillCorrect)
+{
+    ws::Sample s;
+    s.add(2.0);
+    s.add(1.0);
+    EXPECT_DOUBLE_EQ(s.median(), 1.5);
+    s.add(10.0);
+    EXPECT_DOUBLE_EQ(s.median(), 2.0);
+}
+
+TEST(Histogram, BinsAndEdges)
+{
+    ws::Histogram h(0.0, 10.0, 5);
+    EXPECT_EQ(h.bins(), 5u);
+    EXPECT_DOUBLE_EQ(h.bin_lo(0), 0.0);
+    EXPECT_DOUBLE_EQ(h.bin_hi(0), 2.0);
+    EXPECT_DOUBLE_EQ(h.bin_lo(4), 8.0);
+}
+
+TEST(Histogram, CountsIncludingOverUnderflow)
+{
+    ws::Histogram h(0.0, 10.0, 5);
+    h.add(-1.0);
+    h.add(0.0);
+    h.add(1.9);
+    h.add(9.999);
+    h.add(10.0);
+    h.add(50.0);
+    EXPECT_EQ(h.underflow(), 1u);
+    EXPECT_EQ(h.overflow(), 2u);
+    EXPECT_EQ(h.bin_count(0), 2u);
+    EXPECT_EQ(h.bin_count(4), 1u);
+    EXPECT_EQ(h.total(), 6u);
+}
+
+TEST(Histogram, RejectsBadConfig)
+{
+    EXPECT_THROW(ws::Histogram(1.0, 1.0, 5), std::invalid_argument);
+    EXPECT_THROW(ws::Histogram(0.0, 1.0, 0), std::invalid_argument);
+}
+
+TEST(Histogram, AsciiRenders)
+{
+    ws::Histogram h(0.0, 2.0, 2);
+    h.add(0.5);
+    h.add(1.5);
+    h.add(1.6);
+    std::string art = h.ascii(10);
+    EXPECT_NE(art.find('#'), std::string::npos);
+}

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Unit tests for the host swap pool and the KV backup registry.
+ */
+#include <gtest/gtest.h>
+
+#include "kvcache/backup_registry.hpp"
+#include "kvcache/swap_pool.hpp"
+
+namespace kv = windserve::kvcache;
+
+TEST(SwapPool, SwapOutAndInRoundtrip)
+{
+    kv::SwapPool pool(1e9, 1000.0);
+    EXPECT_TRUE(pool.swap_out(1, 500));
+    EXPECT_TRUE(pool.holds(1));
+    EXPECT_EQ(pool.tokens_of(1), 500u);
+    EXPECT_DOUBLE_EQ(pool.used_bytes(), 500e3);
+    pool.swap_in(1);
+    EXPECT_FALSE(pool.holds(1));
+    EXPECT_DOUBLE_EQ(pool.used_bytes(), 0.0);
+}
+
+TEST(SwapPool, CountsEvents)
+{
+    kv::SwapPool pool(1e9, 1000.0);
+    pool.swap_out(1, 100);
+    pool.swap_out(2, 100);
+    pool.swap_in(1);
+    EXPECT_EQ(pool.swap_out_events(), 2u);
+    EXPECT_EQ(pool.swap_in_events(), 1u);
+    EXPECT_EQ(pool.num_swapped(), 1u);
+    // Bytes moved counts both directions.
+    EXPECT_DOUBLE_EQ(pool.swapped_bytes_total(), 300e3);
+}
+
+TEST(SwapPool, CapacityEnforced)
+{
+    kv::SwapPool pool(1000.0 * 100, 1000.0);
+    EXPECT_TRUE(pool.swap_out(1, 60));
+    EXPECT_FALSE(pool.swap_out(2, 50)); // 110 > 100
+    EXPECT_TRUE(pool.swap_out(3, 40));
+}
+
+TEST(SwapPool, DoubleSwapOutThrows)
+{
+    kv::SwapPool pool(1e9, 1000.0);
+    pool.swap_out(1, 10);
+    EXPECT_THROW(pool.swap_out(1, 10), std::logic_error);
+}
+
+TEST(SwapPool, SwapInUnknownThrows)
+{
+    kv::SwapPool pool(1e9, 1000.0);
+    EXPECT_THROW(pool.swap_in(9), std::logic_error);
+}
+
+TEST(SwapPool, BytesForUsesPerTokenSize)
+{
+    kv::SwapPool pool(1e9, 819200.0); // OPT-13B-ish
+    EXPECT_DOUBLE_EQ(pool.bytes_for(2048), 2048 * 819200.0);
+}
+
+TEST(SwapPool, RejectsBadTokenSize)
+{
+    EXPECT_THROW(kv::SwapPool(1e9, 0.0), std::invalid_argument);
+}
+
+TEST(BackupRegistry, RecordAndQuery)
+{
+    kv::BackupRegistry reg;
+    EXPECT_FALSE(reg.has_backup(1));
+    EXPECT_EQ(reg.backed_up_tokens(1), 0u);
+    reg.record(1, 100);
+    EXPECT_TRUE(reg.has_backup(1));
+    EXPECT_EQ(reg.backed_up_tokens(1), 100u);
+}
+
+TEST(BackupRegistry, BackupsOnlyGrow)
+{
+    kv::BackupRegistry reg;
+    reg.record(1, 100);
+    reg.record(1, 150);
+    EXPECT_EQ(reg.backed_up_tokens(1), 150u);
+    EXPECT_THROW(reg.record(1, 50), std::logic_error);
+}
+
+TEST(BackupRegistry, DropRemoves)
+{
+    kv::BackupRegistry reg;
+    reg.record(1, 100);
+    reg.drop(1);
+    EXPECT_FALSE(reg.has_backup(1));
+    reg.drop(1); // idempotent
+}
+
+TEST(BackupRegistry, AggregatesAcrossRequests)
+{
+    kv::BackupRegistry reg;
+    reg.record(1, 100);
+    reg.record(2, 200);
+    reg.record(3, 300);
+    EXPECT_EQ(reg.num_backups(), 3u);
+    EXPECT_EQ(reg.total_tokens(), 600u);
+    EXPECT_EQ(reg.ids().size(), 3u);
+}

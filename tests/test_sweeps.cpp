@@ -1,0 +1,262 @@
+/**
+ * @file
+ * Parameterized property sweeps over the cost model and workload
+ * generators: invariants that must hold for EVERY (model, parallelism)
+ * and every (dataset, seed) combination.
+ */
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "hw/gpu_spec.hpp"
+#include "model/cost_model.hpp"
+#include "workload/trace.hpp"
+
+namespace md = windserve::model;
+namespace hw = windserve::hw;
+namespace wl = windserve::workload;
+
+// ---------------------------------------------------------------------
+// Cost-model sweep
+// ---------------------------------------------------------------------
+
+struct CostParam {
+    const char *model;
+    std::size_t tp;
+    std::size_t pp;
+};
+
+namespace {
+
+md::ModelSpec
+model_by_name(const std::string &name)
+{
+    if (name == "opt13b")
+        return md::ModelSpec::opt_13b();
+    if (name == "opt66b")
+        return md::ModelSpec::opt_66b();
+    if (name == "llama13b")
+        return md::ModelSpec::llama2_13b();
+    return md::ModelSpec::llama2_70b();
+}
+
+} // namespace
+
+class CostModelSweep : public ::testing::TestWithParam<CostParam>
+{
+  protected:
+    void SetUp() override
+    {
+        CostParam p = GetParam();
+        cm_ = std::make_unique<md::CostModel>(
+            model_by_name(p.model), hw::GpuSpec::a800_80g(),
+            md::ParallelismConfig{p.tp, p.pp});
+    }
+    std::unique_ptr<md::CostModel> cm_;
+};
+
+TEST_P(CostModelSweep, PrefillStrictlyMonotone)
+{
+    double last = 0.0;
+    for (double n = 64; n <= 4096; n *= 2) {
+        double t = cm_->prefill_time(n);
+        ASSERT_GT(t, last) << "n=" << n;
+        last = t;
+    }
+}
+
+TEST_P(CostModelSweep, DecodeMonotoneInContext)
+{
+    // Decode is IO-bound: at FIXED total context, batch size barely
+    // matters (weights are read once per pass); with batch-proportional
+    // context the time must grow.
+    EXPECT_LE(cm_->decode_time(8, 8192), cm_->decode_time(64, 8192) + 1e-9);
+    EXPECT_LT(cm_->decode_time(16, 8192), cm_->decode_time(16, 65536));
+    EXPECT_LT(cm_->decode_time(8, 8 * 1024), cm_->decode_time(64, 64 * 1024));
+}
+
+TEST_P(CostModelSweep, AllTimesPositiveAndFinite)
+{
+    for (double n : {1.0, 100.0, 2048.0}) {
+        EXPECT_GT(cm_->prefill_time(n), 0.0);
+        EXPECT_TRUE(std::isfinite(cm_->prefill_time(n)));
+        EXPECT_GT(cm_->sbd_prefill_time(n), cm_->prefill_time(n));
+    }
+    for (double b : {1.0, 16.0, 128.0}) {
+        double t = cm_->decode_time(b, b * 512.0);
+        EXPECT_GT(t, 0.0);
+        EXPECT_TRUE(std::isfinite(t));
+        EXPECT_GT(cm_->sbd_decode_time(b, b * 512.0), t);
+    }
+}
+
+TEST_P(CostModelSweep, HybridBetweenSumAndMax)
+{
+    double tp = cm_->prefill_time(1024);
+    double td = cm_->decode_time(16, 16384);
+    double th = cm_->hybrid_time(1024, 16, 16384);
+    EXPECT_GE(th, std::max(tp, td));
+    EXPECT_LE(th, tp + td);
+}
+
+TEST_P(CostModelSweep, ChunkedSequenceCostsAtLeastMonolithic)
+{
+    double chunked = 0.0;
+    for (double done = 0; done < 2048; done += 512)
+        chunked += cm_->chunked_iteration_time(512, done, 0, 0);
+    EXPECT_GT(chunked, cm_->prefill_time(2048));
+}
+
+TEST_P(CostModelSweep, CapacityPositiveAndBounded)
+{
+    double cap = cm_->kv_capacity_tokens();
+    EXPECT_GT(cap, 0.0);
+    // Cannot exceed all memory divided by per-token KV.
+    double all_mem =
+        80e9 * static_cast<double>(cm_->parallelism().num_gpus());
+    EXPECT_LT(cap, all_mem / cm_->model().kv_bytes_per_token());
+}
+
+TEST_P(CostModelSweep, UtilizationsWithinUnitInterval)
+{
+    for (double n : {128.0, 1024.0, 4096.0}) {
+        double u = cm_->prefill_compute_utilization(n);
+        EXPECT_GE(u, 0.0);
+        EXPECT_LE(u, 1.0);
+    }
+    for (double l : {1024.0, 65536.0, 262144.0}) {
+        double u = cm_->decode_bandwidth_utilization(16, l);
+        EXPECT_GE(u, 0.0);
+        EXPECT_LE(u, 1.0);
+    }
+}
+
+TEST_P(CostModelSweep, Eq1FitWithinTenPercent)
+{
+    double a, b, c;
+    cm_->prefill_coefficients(a, b, c);
+    for (double n : {300.0, 1000.0, 3000.0}) {
+        double pred = a * n + b * n * n + c;
+        EXPECT_NEAR(pred, cm_->prefill_time(n),
+                    0.10 * cm_->prefill_time(n))
+            << "n=" << n;
+    }
+}
+
+TEST_P(CostModelSweep, Eq2FitWithinTenPercent)
+{
+    double a, c;
+    cm_->decode_coefficients(a, c);
+    for (double l : {8192.0, 32768.0, 131072.0}) {
+        double pred = a * l + c;
+        EXPECT_NEAR(pred, cm_->decode_time(16, l),
+                    0.10 * cm_->decode_time(16, l))
+            << "sumL=" << l;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ModelsAndParallelisms, CostModelSweep,
+    ::testing::Values(CostParam{"opt13b", 1, 1}, CostParam{"opt13b", 2, 1},
+                      CostParam{"opt13b", 2, 2}, CostParam{"opt13b", 4, 1},
+                      CostParam{"opt66b", 2, 2}, CostParam{"opt66b", 4, 1},
+                      CostParam{"opt66b", 4, 2},
+                      CostParam{"llama13b", 2, 1},
+                      CostParam{"llama13b", 2, 2},
+                      CostParam{"llama70b", 2, 2},
+                      CostParam{"llama70b", 4, 1},
+                      CostParam{"llama70b", 4, 2}),
+    [](const ::testing::TestParamInfo<CostParam> &info) {
+        std::ostringstream os;
+        os << info.param.model << "_tp" << info.param.tp << "_pp"
+           << info.param.pp;
+        return os.str();
+    });
+
+// ---------------------------------------------------------------------
+// Workload sweep
+// ---------------------------------------------------------------------
+
+struct WorkloadParam {
+    wl::DatasetKind kind;
+    std::uint64_t seed;
+};
+
+class WorkloadSweep : public ::testing::TestWithParam<WorkloadParam>
+{
+  protected:
+    void SetUp() override
+    {
+        WorkloadParam p = GetParam();
+        wl::TraceConfig tc;
+        tc.dataset = p.kind == wl::DatasetKind::ShareGPT
+                         ? wl::DatasetConfig::sharegpt()
+                         : wl::DatasetConfig::longbench();
+        tc.arrival.rate = 8.0;
+        tc.num_requests = 4000;
+        tc.seed = p.seed;
+        trace_ = wl::TraceBuilder(tc).build();
+        max_context_ = tc.dataset.max_context;
+    }
+    std::vector<wl::Request> trace_;
+    std::size_t max_context_;
+};
+
+TEST_P(WorkloadSweep, LengthsWithinModelContext)
+{
+    for (const auto &r : trace_) {
+        ASSERT_GE(r.prompt_tokens, 1u);
+        ASSERT_GE(r.output_tokens, 1u);
+        ASSERT_LE(r.final_context(), max_context_);
+    }
+}
+
+TEST_P(WorkloadSweep, ArrivalsSortedAndPositiveRate)
+{
+    for (std::size_t i = 1; i < trace_.size(); ++i)
+        ASSERT_GE(trace_[i].arrival_time, trace_[i - 1].arrival_time);
+    auto s = wl::TraceBuilder::stats(trace_);
+    EXPECT_NEAR(s.realised_rate, 8.0, 1.0);
+}
+
+TEST_P(WorkloadSweep, NontrivialLengthVariance)
+{
+    auto s = wl::TraceBuilder::stats(trace_);
+    EXPECT_GT(s.prompt.max(), 1.5 * s.prompt.min());
+    EXPECT_GT(s.output.max(), s.output.min());
+}
+
+TEST_P(WorkloadSweep, MeanStableAcrossSeeds)
+{
+    // Same dataset at a different seed: means agree within 10 %.
+    wl::TraceConfig tc;
+    tc.dataset = GetParam().kind == wl::DatasetKind::ShareGPT
+                     ? wl::DatasetConfig::sharegpt()
+                     : wl::DatasetConfig::longbench();
+    tc.arrival.rate = 8.0;
+    tc.num_requests = 4000;
+    tc.seed = GetParam().seed + 101;
+    auto other = wl::TraceBuilder(tc).build();
+    auto a = wl::TraceBuilder::stats(trace_);
+    auto b = wl::TraceBuilder::stats(other);
+    EXPECT_NEAR(a.prompt.mean(), b.prompt.mean(),
+                0.10 * a.prompt.mean());
+    EXPECT_NEAR(a.output.mean(), b.output.mean(),
+                0.15 * a.output.mean());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DatasetsAndSeeds, WorkloadSweep,
+    ::testing::Values(WorkloadParam{wl::DatasetKind::ShareGPT, 1},
+                      WorkloadParam{wl::DatasetKind::ShareGPT, 7},
+                      WorkloadParam{wl::DatasetKind::ShareGPT, 99},
+                      WorkloadParam{wl::DatasetKind::LongBench, 1},
+                      WorkloadParam{wl::DatasetKind::LongBench, 7},
+                      WorkloadParam{wl::DatasetKind::LongBench, 99}),
+    [](const ::testing::TestParamInfo<WorkloadParam> &info) {
+        std::ostringstream os;
+        os << (info.param.kind == wl::DatasetKind::ShareGPT ? "sharegpt"
+                                                            : "longbench")
+           << "_seed" << info.param.seed;
+        return os.str();
+    });

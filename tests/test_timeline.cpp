@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Unit tests for the time-series recorder.
+ */
+#include <gtest/gtest.h>
+
+#include "core/windserve_system.hpp"
+#include "metrics/timeline.hpp"
+#include "workload/trace.hpp"
+
+namespace mt = windserve::metrics;
+namespace sim = windserve::sim;
+
+TEST(Timeline, SamplesAtFixedInterval)
+{
+    sim::Simulator s;
+    mt::TimelineRecorder rec(s, 1.0);
+    double value = 0.0;
+    rec.add_probe("v", [&] { return value; });
+    rec.start(5.0);
+    s.schedule(2.5, [&] { value = 7.0; });
+    s.schedule(10.0, [] {}); // extend the run past the horizon
+    s.run();
+    ASSERT_EQ(rec.num_samples(), 6u); // t = 0..5
+    EXPECT_DOUBLE_EQ(rec.times().front(), 0.0);
+    EXPECT_DOUBLE_EQ(rec.times().back(), 5.0);
+    EXPECT_DOUBLE_EQ(rec.series(0)[2], 0.0); // t=2, before the bump
+    EXPECT_DOUBLE_EQ(rec.series(0)[3], 7.0); // t=3, after
+}
+
+TEST(Timeline, MultipleProbesAligned)
+{
+    sim::Simulator s;
+    mt::TimelineRecorder rec(s, 0.5);
+    int n = 0;
+    rec.add_probe("count", [&] { return static_cast<double>(n); });
+    rec.add_probe("twice", [&] { return 2.0 * n; });
+    rec.start(2.0);
+    s.schedule(0.75, [&] { n = 3; });
+    s.run();
+    ASSERT_EQ(rec.num_probes(), 2u);
+    for (std::size_t t = 0; t < rec.num_samples(); ++t)
+        EXPECT_DOUBLE_EQ(rec.series(1)[t], 2.0 * rec.series(0)[t]);
+}
+
+TEST(Timeline, StopEndsSampling)
+{
+    sim::Simulator s;
+    mt::TimelineRecorder rec(s, 1.0);
+    rec.add_probe("z", [] { return 1.0; });
+    rec.start(100.0);
+    s.schedule(3.5, [&] { rec.stop(); });
+    s.run();
+    EXPECT_LE(rec.num_samples(), 5u);
+}
+
+TEST(Timeline, PeakAndMean)
+{
+    sim::Simulator s;
+    mt::TimelineRecorder rec(s, 1.0);
+    double v = 0.0;
+    rec.add_probe("v", [&] { return v; });
+    rec.start(3.0);
+    s.schedule(0.5, [&] { v = 4.0; });
+    s.schedule(1.5, [&] { v = 2.0; });
+    s.schedule(2.5, [&] { v = 0.0; });
+    s.run();
+    // Samples: t0=0, t1=4, t2=2, t3=0.
+    EXPECT_DOUBLE_EQ(rec.peak("v"), 4.0);
+    EXPECT_DOUBLE_EQ(rec.mean("v"), 1.5);
+}
+
+TEST(Timeline, CsvFormat)
+{
+    sim::Simulator s;
+    mt::TimelineRecorder rec(s, 1.0);
+    rec.add_probe("a", [] { return 1.0; });
+    rec.add_probe("b", [] { return 2.0; });
+    rec.start(1.0);
+    s.run();
+    auto csv = rec.csv();
+    EXPECT_NE(csv.find("time,a,b"), std::string::npos);
+    EXPECT_NE(csv.find("0,1,2"), std::string::npos);
+}
+
+TEST(Timeline, UnknownProbeThrows)
+{
+    sim::Simulator s;
+    mt::TimelineRecorder rec(s);
+    EXPECT_THROW(rec.probe_index("nope"), std::invalid_argument);
+}
+
+TEST(Timeline, BadIntervalThrows)
+{
+    sim::Simulator s;
+    EXPECT_THROW(mt::TimelineRecorder(s, 0.0), std::invalid_argument);
+}
+
+TEST(Timeline, RecordsServingSystemInternals)
+{
+    // End-to-end: watch the decode instance's KV occupancy rise during
+    // a WindServe run.
+    windserve::core::WindServeConfig cfg;
+    windserve::core::WindServeSystem sys(cfg);
+    mt::TimelineRecorder rec(sys.simulator(), 0.5);
+    rec.add_probe("decode_occupancy", [&] {
+        return sys.decode_instance().blocks().occupancy();
+    });
+    rec.add_probe("running_decodes", [&] {
+        return static_cast<double>(
+            sys.decode_instance().running_decode_requests());
+    });
+    rec.start(60.0);
+
+    windserve::workload::TraceConfig tc;
+    tc.arrival.rate = 12.0;
+    tc.num_requests = 300;
+    auto trace = windserve::workload::TraceBuilder(tc).build();
+    sys.run(trace);
+    EXPECT_GT(rec.num_samples(), 10u);
+    EXPECT_GT(rec.peak("decode_occupancy"), 0.0);
+    EXPECT_GT(rec.peak("running_decodes"), 1.0);
+}

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Unit tests for the time-weighted utilization tracker.
+ */
+#include <gtest/gtest.h>
+
+#include "simcore/utilization.hpp"
+
+namespace ws = windserve::sim;
+
+TEST(Utilization, AllIdleIsZero)
+{
+    ws::UtilizationTracker t(0.0);
+    t.finalize(10.0);
+    EXPECT_DOUBLE_EQ(t.mean_utilization(), 0.0);
+    EXPECT_DOUBLE_EQ(t.busy_time(), 0.0);
+}
+
+TEST(Utilization, AllBusyIsOne)
+{
+    ws::UtilizationTracker t(0.0);
+    t.set_busy(0.0, true);
+    t.finalize(5.0);
+    EXPECT_DOUBLE_EQ(t.mean_utilization(), 1.0);
+    EXPECT_DOUBLE_EQ(t.busy_time(), 5.0);
+}
+
+TEST(Utilization, HalfBusy)
+{
+    ws::UtilizationTracker t(0.0);
+    t.set_busy(0.0, true);
+    t.set_busy(5.0, false);
+    t.finalize(10.0);
+    EXPECT_DOUBLE_EQ(t.mean_utilization(), 0.5);
+}
+
+TEST(Utilization, FractionalLevels)
+{
+    ws::UtilizationTracker t(0.0);
+    t.set_level(0.0, 0.25);
+    t.set_level(4.0, 0.75);
+    t.finalize(8.0);
+    // (0.25*4 + 0.75*4) / 8 = 0.5
+    EXPECT_DOUBLE_EQ(t.mean_utilization(), 0.5);
+}
+
+TEST(Utilization, LevelsClampToUnitInterval)
+{
+    ws::UtilizationTracker t(0.0);
+    t.set_level(0.0, 2.5);
+    EXPECT_DOUBLE_EQ(t.level(), 1.0);
+    t.set_level(1.0, -1.0);
+    EXPECT_DOUBLE_EQ(t.level(), 0.0);
+}
+
+TEST(Utilization, NonZeroStartWindow)
+{
+    ws::UtilizationTracker t(100.0);
+    t.set_busy(100.0, true);
+    t.finalize(110.0);
+    EXPECT_DOUBLE_EQ(t.window(), 10.0);
+    EXPECT_DOUBLE_EQ(t.mean_utilization(), 1.0);
+}
+
+TEST(Utilization, RepeatedUpdatesAtSameTime)
+{
+    ws::UtilizationTracker t(0.0);
+    t.set_level(1.0, 0.5);
+    t.set_level(1.0, 0.9);
+    t.set_level(1.0, 0.1);
+    t.finalize(2.0);
+    // Last level at t=1 wins for [1,2): 0.1 * 1 / 2.
+    EXPECT_DOUBLE_EQ(t.mean_utilization(), 0.05);
+}
+
+TEST(Utilization, TimeBackwardsThrows)
+{
+    ws::UtilizationTracker t(0.0);
+    t.set_level(5.0, 1.0);
+    EXPECT_THROW(t.set_level(4.0, 0.5), std::logic_error);
+    EXPECT_THROW(t.finalize(1.0), std::logic_error);
+}
+
+TEST(Utilization, EmptyWindowIsZero)
+{
+    ws::UtilizationTracker t(3.0);
+    t.finalize(3.0);
+    EXPECT_DOUBLE_EQ(t.mean_utilization(), 0.0);
+}

@@ -1,0 +1,235 @@
+/**
+ * @file
+ * Unit tests for request lifecycle math and the Table 2 dataset fits.
+ */
+#include <gtest/gtest.h>
+
+#include "workload/arrival.hpp"
+#include "workload/dataset.hpp"
+#include "workload/request.hpp"
+#include "workload/trace.hpp"
+
+namespace wl = windserve::workload;
+namespace sim = windserve::sim;
+
+TEST(Request, TtftAndTpot)
+{
+    wl::Request r;
+    r.arrival_time = 10.0;
+    r.output_tokens = 11;
+    r.first_token_time = 10.5;
+    r.finish_time = 12.5;
+    r.state = wl::RequestState::Finished;
+    EXPECT_DOUBLE_EQ(r.ttft(), 0.5);
+    EXPECT_DOUBLE_EQ(r.tpot(), 0.2); // 2 s over 10 remaining tokens
+    EXPECT_DOUBLE_EQ(r.e2e_latency(), 2.5);
+}
+
+TEST(Request, UnfinishedHasNoMetrics)
+{
+    wl::Request r;
+    EXPECT_DOUBLE_EQ(r.ttft(), wl::kNoTime);
+    EXPECT_DOUBLE_EQ(r.tpot(), wl::kNoTime);
+    EXPECT_DOUBLE_EQ(r.e2e_latency(), wl::kNoTime);
+}
+
+TEST(Request, SingleTokenOutputHasNoTpot)
+{
+    wl::Request r;
+    r.output_tokens = 1;
+    r.first_token_time = 1.0;
+    r.finish_time = 1.0;
+    EXPECT_DOUBLE_EQ(r.tpot(), wl::kNoTime);
+}
+
+TEST(Request, QueueingDelays)
+{
+    wl::Request r;
+    r.prefill_enqueue_time = 1.0;
+    r.prefill_start_time = 1.5;
+    r.decode_enqueue_time = 2.0;
+    r.decode_start_time = 3.25;
+    EXPECT_DOUBLE_EQ(r.prefill_queueing_delay(), 0.5);
+    EXPECT_DOUBLE_EQ(r.decode_queueing_delay(), 1.25);
+}
+
+TEST(Request, ContextLengthTracksProgress)
+{
+    wl::Request r;
+    r.prompt_tokens = 100;
+    r.output_tokens = 50;
+    r.generated = 10;
+    EXPECT_EQ(r.context_length(), 110u);
+    EXPECT_EQ(r.final_context(), 150u);
+}
+
+TEST(Request, StateNames)
+{
+    EXPECT_STREQ(wl::to_string(wl::RequestState::Decoding), "decoding");
+    EXPECT_STREQ(wl::to_string(wl::RequestState::Migrating), "migrating");
+}
+
+// ---------------------------------------------------------------------
+// Table 2 fits. Tolerances are loose (these are parametric fits to
+// published summary statistics, not exact dataset replicas).
+// ---------------------------------------------------------------------
+
+namespace {
+
+wl::TraceStats
+stats_for(wl::DatasetConfig cfg, std::size_t n = 20000)
+{
+    wl::TraceConfig tc;
+    tc.dataset = cfg;
+    tc.arrival.rate = 1.0;
+    tc.num_requests = n;
+    tc.seed = 1234;
+    auto trace = wl::TraceBuilder(tc).build();
+    return wl::TraceBuilder::stats(trace);
+}
+
+} // namespace
+
+TEST(DatasetShareGpt, MatchesTable2PromptStats)
+{
+    auto s = stats_for(wl::DatasetConfig::sharegpt());
+    EXPECT_NEAR(s.prompt.mean(), 768.2, 100.0);
+    EXPECT_NEAR(s.prompt.median(), 695.0, 70.0);
+    EXPECT_NEAR(s.prompt.p90(), 1556.0, 250.0);
+}
+
+TEST(DatasetShareGpt, MatchesTable2OutputStats)
+{
+    auto s = stats_for(wl::DatasetConfig::sharegpt());
+    EXPECT_NEAR(s.output.mean(), 195.9, 50.0);
+    EXPECT_NEAR(s.output.median(), 87.0, 25.0);
+    EXPECT_NEAR(s.output.p90(), 518.0, 130.0);
+}
+
+TEST(DatasetLongBench, MatchesTable2PromptStats)
+{
+    auto s = stats_for(wl::DatasetConfig::longbench());
+    EXPECT_NEAR(s.prompt.mean(), 2890.4, 250.0);
+    EXPECT_NEAR(s.prompt.median(), 2887.0, 250.0);
+    EXPECT_NEAR(s.prompt.p90(), 3792.0, 350.0);
+}
+
+TEST(DatasetLongBench, MatchesTable2OutputStats)
+{
+    auto s = stats_for(wl::DatasetConfig::longbench());
+    EXPECT_NEAR(s.output.mean(), 97.4, 35.0);
+    EXPECT_NEAR(s.output.median(), 12.0, 8.0);
+    EXPECT_NEAR(s.output.p90(), 369.0, 120.0);
+}
+
+TEST(DatasetLongBench, PromptsLongerThanShareGpt)
+{
+    auto lb = stats_for(wl::DatasetConfig::longbench(), 5000);
+    auto sg = stats_for(wl::DatasetConfig::sharegpt(), 5000);
+    EXPECT_GT(lb.prompt.mean(), 3.0 * sg.prompt.mean());
+    EXPECT_LT(lb.output.median(), sg.output.median());
+}
+
+TEST(Dataset, RespectsContextLimit)
+{
+    for (auto cfg : {wl::DatasetConfig::sharegpt(2048),
+                     wl::DatasetConfig::longbench(4096)}) {
+        sim::Rng rng(3);
+        wl::DatasetGenerator gen(cfg);
+        for (int i = 0; i < 5000; ++i) {
+            auto s = gen.sample(rng);
+            EXPECT_GE(s.prompt_tokens, 1u);
+            EXPECT_GE(s.output_tokens, 1u);
+            EXPECT_LE(s.prompt_tokens + s.output_tokens, cfg.max_context);
+        }
+    }
+}
+
+TEST(Dataset, FixedIsFixed)
+{
+    sim::Rng rng(3);
+    wl::DatasetGenerator gen(wl::DatasetConfig::fixed(100, 10));
+    for (int i = 0; i < 10; ++i) {
+        auto s = gen.sample(rng);
+        EXPECT_EQ(s.prompt_tokens, 100u);
+        EXPECT_EQ(s.output_tokens, 10u);
+    }
+}
+
+TEST(Arrival, PoissonMeanRate)
+{
+    sim::Rng rng(9);
+    wl::ArrivalProcess ap({wl::ArrivalKind::Poisson, 5.0, 8});
+    auto ts = ap.generate(20000, rng);
+    ASSERT_EQ(ts.size(), 20000u);
+    EXPECT_TRUE(std::is_sorted(ts.begin(), ts.end()));
+    double realised = 19999.0 / (ts.back() - ts.front());
+    EXPECT_NEAR(realised, 5.0, 0.25);
+}
+
+TEST(Arrival, UniformIsEvenlySpaced)
+{
+    sim::Rng rng(9);
+    wl::ArrivalProcess ap({wl::ArrivalKind::Uniform, 4.0, 8});
+    auto ts = ap.generate(10, rng);
+    for (std::size_t i = 1; i < ts.size(); ++i)
+        EXPECT_NEAR(ts[i] - ts[i - 1], 0.25, 1e-12);
+}
+
+TEST(Arrival, BurstClumps)
+{
+    sim::Rng rng(9);
+    wl::ArrivalProcess ap({wl::ArrivalKind::Burst, 4.0, 4});
+    auto ts = ap.generate(8, rng);
+    EXPECT_DOUBLE_EQ(ts[0], ts[3]);
+    EXPECT_GT(ts[4], ts[3]);
+}
+
+TEST(Arrival, RejectsNonPositiveRate)
+{
+    sim::Rng rng(1);
+    wl::ArrivalProcess ap({wl::ArrivalKind::Poisson, 0.0, 8});
+    EXPECT_THROW(ap.generate(10, rng), std::invalid_argument);
+}
+
+TEST(Trace, DeterministicForSeed)
+{
+    wl::TraceConfig tc;
+    tc.dataset = wl::DatasetConfig::sharegpt();
+    tc.arrival.rate = 4.0;
+    tc.num_requests = 200;
+    tc.seed = 77;
+    auto a = wl::TraceBuilder(tc).build();
+    auto b = wl::TraceBuilder(tc).build();
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].prompt_tokens, b[i].prompt_tokens);
+        EXPECT_EQ(a[i].output_tokens, b[i].output_tokens);
+        EXPECT_DOUBLE_EQ(a[i].arrival_time, b[i].arrival_time);
+    }
+}
+
+TEST(Trace, DifferentSeedsDiffer)
+{
+    wl::TraceConfig tc;
+    tc.dataset = wl::DatasetConfig::sharegpt();
+    tc.arrival.rate = 4.0;
+    tc.num_requests = 100;
+    tc.seed = 1;
+    auto a = wl::TraceBuilder(tc).build();
+    tc.seed = 2;
+    auto b = wl::TraceBuilder(tc).build();
+    int diff = 0;
+    for (std::size_t i = 0; i < a.size(); ++i)
+        diff += a[i].prompt_tokens != b[i].prompt_tokens;
+    EXPECT_GT(diff, 50);
+}
+
+TEST(Trace, IdsAreSequential)
+{
+    wl::TraceConfig tc;
+    tc.num_requests = 50;
+    auto t = wl::TraceBuilder(tc).build();
+    for (std::size_t i = 0; i < t.size(); ++i)
+        EXPECT_EQ(t[i].id, i);
+}
