@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig02.dir/bench_fig02.cpp.o"
+  "CMakeFiles/bench_fig02.dir/bench_fig02.cpp.o.d"
+  "bench_fig02"
+  "bench_fig02.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig02.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig05.dir/bench_fig05.cpp.o"
+  "CMakeFiles/bench_fig05.dir/bench_fig05.cpp.o.d"
+  "bench_fig05"
+  "bench_fig05.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig05.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_summarization.dir/bench_fig10_summarization.cpp.o"
+  "CMakeFiles/bench_fig10_summarization.dir/bench_fig10_summarization.cpp.o.d"
+  "bench_fig10_summarization"
+  "bench_fig10_summarization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_summarization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_micro.cpp" "bench/CMakeFiles/bench_micro.dir/bench_micro.cpp.o" "gcc" "bench/CMakeFiles/bench_micro.dir/bench_micro.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ws_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ws_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ws_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ws_transfer.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ws_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ws_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ws_kvcache.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ws_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ws_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ws_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ws_simcore.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bottleneck_aware.dir/bottleneck_aware.cpp.o"
+  "CMakeFiles/bottleneck_aware.dir/bottleneck_aware.cpp.o.d"
+  "bottleneck_aware"
+  "bottleneck_aware.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bottleneck_aware.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

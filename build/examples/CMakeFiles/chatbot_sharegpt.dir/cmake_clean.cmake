@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chatbot_sharegpt.dir/chatbot_sharegpt.cpp.o"
+  "CMakeFiles/chatbot_sharegpt.dir/chatbot_sharegpt.cpp.o.d"
+  "chatbot_sharegpt"
+  "chatbot_sharegpt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chatbot_sharegpt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

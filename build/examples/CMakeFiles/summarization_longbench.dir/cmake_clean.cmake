@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/summarization_longbench.dir/summarization_longbench.cpp.o"
+  "CMakeFiles/summarization_longbench.dir/summarization_longbench.cpp.o.d"
+  "summarization_longbench"
+  "summarization_longbench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/summarization_longbench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ws_baselines.dir/baselines/distserve_system.cpp.o"
+  "CMakeFiles/ws_baselines.dir/baselines/distserve_system.cpp.o.d"
+  "CMakeFiles/ws_baselines.dir/baselines/vllm_system.cpp.o"
+  "CMakeFiles/ws_baselines.dir/baselines/vllm_system.cpp.o.d"
+  "libws_baselines.a"
+  "libws_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ws_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

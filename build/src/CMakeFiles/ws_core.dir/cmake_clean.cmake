@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ws_core.dir/core/coordinator.cpp.o"
+  "CMakeFiles/ws_core.dir/core/coordinator.cpp.o.d"
+  "CMakeFiles/ws_core.dir/core/global_scheduler.cpp.o"
+  "CMakeFiles/ws_core.dir/core/global_scheduler.cpp.o.d"
+  "CMakeFiles/ws_core.dir/core/profiler.cpp.o"
+  "CMakeFiles/ws_core.dir/core/profiler.cpp.o.d"
+  "CMakeFiles/ws_core.dir/core/windserve_system.cpp.o"
+  "CMakeFiles/ws_core.dir/core/windserve_system.cpp.o.d"
+  "libws_core.a"
+  "libws_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ws_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

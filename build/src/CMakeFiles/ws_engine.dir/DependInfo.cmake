@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/engine/batch.cpp" "src/CMakeFiles/ws_engine.dir/engine/batch.cpp.o" "gcc" "src/CMakeFiles/ws_engine.dir/engine/batch.cpp.o.d"
+  "/root/repo/src/engine/execution.cpp" "src/CMakeFiles/ws_engine.dir/engine/execution.cpp.o" "gcc" "src/CMakeFiles/ws_engine.dir/engine/execution.cpp.o.d"
+  "/root/repo/src/engine/instance.cpp" "src/CMakeFiles/ws_engine.dir/engine/instance.cpp.o" "gcc" "src/CMakeFiles/ws_engine.dir/engine/instance.cpp.o.d"
+  "/root/repo/src/engine/local_scheduler.cpp" "src/CMakeFiles/ws_engine.dir/engine/local_scheduler.cpp.o" "gcc" "src/CMakeFiles/ws_engine.dir/engine/local_scheduler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ws_simcore.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ws_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ws_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ws_kvcache.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ws_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ws_metrics.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ws_engine.dir/engine/batch.cpp.o"
+  "CMakeFiles/ws_engine.dir/engine/batch.cpp.o.d"
+  "CMakeFiles/ws_engine.dir/engine/execution.cpp.o"
+  "CMakeFiles/ws_engine.dir/engine/execution.cpp.o.d"
+  "CMakeFiles/ws_engine.dir/engine/instance.cpp.o"
+  "CMakeFiles/ws_engine.dir/engine/instance.cpp.o.d"
+  "CMakeFiles/ws_engine.dir/engine/local_scheduler.cpp.o"
+  "CMakeFiles/ws_engine.dir/engine/local_scheduler.cpp.o.d"
+  "libws_engine.a"
+  "libws_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ws_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

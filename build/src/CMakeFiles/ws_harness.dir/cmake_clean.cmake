@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ws_harness.dir/harness/cluster.cpp.o"
+  "CMakeFiles/ws_harness.dir/harness/cluster.cpp.o.d"
+  "CMakeFiles/ws_harness.dir/harness/configs.cpp.o"
+  "CMakeFiles/ws_harness.dir/harness/configs.cpp.o.d"
+  "CMakeFiles/ws_harness.dir/harness/experiment.cpp.o"
+  "CMakeFiles/ws_harness.dir/harness/experiment.cpp.o.d"
+  "CMakeFiles/ws_harness.dir/harness/placement_search.cpp.o"
+  "CMakeFiles/ws_harness.dir/harness/placement_search.cpp.o.d"
+  "CMakeFiles/ws_harness.dir/harness/sweep.cpp.o"
+  "CMakeFiles/ws_harness.dir/harness/sweep.cpp.o.d"
+  "CMakeFiles/ws_harness.dir/harness/table.cpp.o"
+  "CMakeFiles/ws_harness.dir/harness/table.cpp.o.d"
+  "libws_harness.a"
+  "libws_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ws_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hw/gpu_spec.cpp" "src/CMakeFiles/ws_hw.dir/hw/gpu_spec.cpp.o" "gcc" "src/CMakeFiles/ws_hw.dir/hw/gpu_spec.cpp.o.d"
+  "/root/repo/src/hw/topology.cpp" "src/CMakeFiles/ws_hw.dir/hw/topology.cpp.o" "gcc" "src/CMakeFiles/ws_hw.dir/hw/topology.cpp.o.d"
+  "/root/repo/src/hw/transfer_engine.cpp" "src/CMakeFiles/ws_hw.dir/hw/transfer_engine.cpp.o" "gcc" "src/CMakeFiles/ws_hw.dir/hw/transfer_engine.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ws_simcore.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

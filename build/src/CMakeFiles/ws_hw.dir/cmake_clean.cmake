@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ws_hw.dir/hw/gpu_spec.cpp.o"
+  "CMakeFiles/ws_hw.dir/hw/gpu_spec.cpp.o.d"
+  "CMakeFiles/ws_hw.dir/hw/topology.cpp.o"
+  "CMakeFiles/ws_hw.dir/hw/topology.cpp.o.d"
+  "CMakeFiles/ws_hw.dir/hw/transfer_engine.cpp.o"
+  "CMakeFiles/ws_hw.dir/hw/transfer_engine.cpp.o.d"
+  "libws_hw.a"
+  "libws_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ws_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

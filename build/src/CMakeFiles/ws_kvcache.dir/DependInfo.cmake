@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kvcache/backup_registry.cpp" "src/CMakeFiles/ws_kvcache.dir/kvcache/backup_registry.cpp.o" "gcc" "src/CMakeFiles/ws_kvcache.dir/kvcache/backup_registry.cpp.o.d"
+  "/root/repo/src/kvcache/block_manager.cpp" "src/CMakeFiles/ws_kvcache.dir/kvcache/block_manager.cpp.o" "gcc" "src/CMakeFiles/ws_kvcache.dir/kvcache/block_manager.cpp.o.d"
+  "/root/repo/src/kvcache/swap_pool.cpp" "src/CMakeFiles/ws_kvcache.dir/kvcache/swap_pool.cpp.o" "gcc" "src/CMakeFiles/ws_kvcache.dir/kvcache/swap_pool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ws_simcore.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ws_model.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

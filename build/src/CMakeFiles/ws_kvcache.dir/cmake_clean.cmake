@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ws_kvcache.dir/kvcache/backup_registry.cpp.o"
+  "CMakeFiles/ws_kvcache.dir/kvcache/backup_registry.cpp.o.d"
+  "CMakeFiles/ws_kvcache.dir/kvcache/block_manager.cpp.o"
+  "CMakeFiles/ws_kvcache.dir/kvcache/block_manager.cpp.o.d"
+  "CMakeFiles/ws_kvcache.dir/kvcache/swap_pool.cpp.o"
+  "CMakeFiles/ws_kvcache.dir/kvcache/swap_pool.cpp.o.d"
+  "libws_kvcache.a"
+  "libws_kvcache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ws_kvcache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ws_metrics.dir/metrics/collector.cpp.o"
+  "CMakeFiles/ws_metrics.dir/metrics/collector.cpp.o.d"
+  "CMakeFiles/ws_metrics.dir/metrics/report.cpp.o"
+  "CMakeFiles/ws_metrics.dir/metrics/report.cpp.o.d"
+  "CMakeFiles/ws_metrics.dir/metrics/slo.cpp.o"
+  "CMakeFiles/ws_metrics.dir/metrics/slo.cpp.o.d"
+  "CMakeFiles/ws_metrics.dir/metrics/timeline.cpp.o"
+  "CMakeFiles/ws_metrics.dir/metrics/timeline.cpp.o.d"
+  "libws_metrics.a"
+  "libws_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ws_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

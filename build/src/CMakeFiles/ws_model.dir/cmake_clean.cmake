@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ws_model.dir/model/cost_model.cpp.o"
+  "CMakeFiles/ws_model.dir/model/cost_model.cpp.o.d"
+  "CMakeFiles/ws_model.dir/model/flops.cpp.o"
+  "CMakeFiles/ws_model.dir/model/flops.cpp.o.d"
+  "CMakeFiles/ws_model.dir/model/model_spec.cpp.o"
+  "CMakeFiles/ws_model.dir/model/model_spec.cpp.o.d"
+  "CMakeFiles/ws_model.dir/model/parallelism.cpp.o"
+  "CMakeFiles/ws_model.dir/model/parallelism.cpp.o.d"
+  "libws_model.a"
+  "libws_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ws_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

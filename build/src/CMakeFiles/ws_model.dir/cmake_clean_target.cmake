@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libws_model.a"
+)

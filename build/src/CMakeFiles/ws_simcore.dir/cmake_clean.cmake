@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ws_simcore.dir/simcore/event_queue.cpp.o"
+  "CMakeFiles/ws_simcore.dir/simcore/event_queue.cpp.o.d"
+  "CMakeFiles/ws_simcore.dir/simcore/log.cpp.o"
+  "CMakeFiles/ws_simcore.dir/simcore/log.cpp.o.d"
+  "CMakeFiles/ws_simcore.dir/simcore/rng.cpp.o"
+  "CMakeFiles/ws_simcore.dir/simcore/rng.cpp.o.d"
+  "CMakeFiles/ws_simcore.dir/simcore/simulator.cpp.o"
+  "CMakeFiles/ws_simcore.dir/simcore/simulator.cpp.o.d"
+  "CMakeFiles/ws_simcore.dir/simcore/stats.cpp.o"
+  "CMakeFiles/ws_simcore.dir/simcore/stats.cpp.o.d"
+  "CMakeFiles/ws_simcore.dir/simcore/utilization.cpp.o"
+  "CMakeFiles/ws_simcore.dir/simcore/utilization.cpp.o.d"
+  "libws_simcore.a"
+  "libws_simcore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ws_simcore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

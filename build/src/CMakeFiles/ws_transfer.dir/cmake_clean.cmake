@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ws_transfer.dir/transfer/kv_transfer.cpp.o"
+  "CMakeFiles/ws_transfer.dir/transfer/kv_transfer.cpp.o.d"
+  "CMakeFiles/ws_transfer.dir/transfer/migration.cpp.o"
+  "CMakeFiles/ws_transfer.dir/transfer/migration.cpp.o.d"
+  "libws_transfer.a"
+  "libws_transfer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ws_transfer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ws_workload.dir/workload/arrival.cpp.o"
+  "CMakeFiles/ws_workload.dir/workload/arrival.cpp.o.d"
+  "CMakeFiles/ws_workload.dir/workload/dataset.cpp.o"
+  "CMakeFiles/ws_workload.dir/workload/dataset.cpp.o.d"
+  "CMakeFiles/ws_workload.dir/workload/request.cpp.o"
+  "CMakeFiles/ws_workload.dir/workload/request.cpp.o.d"
+  "CMakeFiles/ws_workload.dir/workload/trace.cpp.o"
+  "CMakeFiles/ws_workload.dir/workload/trace.cpp.o.d"
+  "CMakeFiles/ws_workload.dir/workload/trace_io.cpp.o"
+  "CMakeFiles/ws_workload.dir/workload/trace_io.cpp.o.d"
+  "libws_workload.a"
+  "libws_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ws_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_channel_property.dir/test_channel_property.cpp.o"
+  "CMakeFiles/test_channel_property.dir/test_channel_property.cpp.o.d"
+  "test_channel_property"
+  "test_channel_property.pdb"
+  "test_channel_property[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_channel_property.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

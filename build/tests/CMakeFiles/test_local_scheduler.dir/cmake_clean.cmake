@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_local_scheduler.dir/test_local_scheduler.cpp.o"
+  "CMakeFiles/test_local_scheduler.dir/test_local_scheduler.cpp.o.d"
+  "test_local_scheduler"
+  "test_local_scheduler.pdb"
+  "test_local_scheduler[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_local_scheduler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_placement_search.dir/test_placement_search.cpp.o"
+  "CMakeFiles/test_placement_search.dir/test_placement_search.cpp.o.d"
+  "test_placement_search"
+  "test_placement_search.pdb"
+  "test_placement_search[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_placement_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

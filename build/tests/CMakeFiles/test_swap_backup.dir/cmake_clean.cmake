@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_swap_backup.dir/test_swap_backup.cpp.o"
+  "CMakeFiles/test_swap_backup.dir/test_swap_backup.cpp.o.d"
+  "test_swap_backup"
+  "test_swap_backup.pdb"
+  "test_swap_backup[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_swap_backup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
