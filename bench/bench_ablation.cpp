@@ -11,19 +11,19 @@
  *  3. KV backups on/off — isolates the §3.3 backup optimisation
  *     (migration bytes and latency shrink when prefixes are pre-copied).
  */
-#include <cstdlib>
 #include <iostream>
 
+#include "bench_common.hpp"
 #include "windserve/windserve.hpp"
 
 using namespace windserve;
 
 namespace {
 
-harness::ExperimentResult
-run(const harness::Scenario &sc, double rate, std::size_t n,
-    std::optional<transfer::TransferPolicy> policy, bool stall_free,
-    bool backup)
+harness::ExperimentConfig
+variant(const harness::Scenario &sc, double rate, std::size_t n,
+        std::optional<transfer::TransferPolicy> policy, bool stall_free,
+        bool backup)
 {
     harness::ExperimentConfig ec;
     ec.scenario = sc;
@@ -33,7 +33,7 @@ run(const harness::Scenario &sc, double rate, std::size_t n,
     ec.transfer_policy = policy;
     ec.stall_free = stall_free;
     ec.enable_backup = backup;
-    return harness::run_experiment(ec);
+    return ec;
 }
 
 void
@@ -52,26 +52,46 @@ row(harness::TextTable &t, const std::string &name,
                std::to_string(r.backups)});
 }
 
+const std::vector<std::string> kColumns{
+    "variant",      "ttft p50", "ttft p99", "tpot p90", "tpot p99",
+    "itl-max p99",  "worst stall", "slo",   "migr",     "backups"};
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
-    std::size_t n = argc > 1 ? std::atoi(argv[1]) : 2000;
+    auto args = benchcommon::parse_args(argc, argv, 2000);
+    std::size_t n = args.num_requests;
+
+    // All six variant cells form one grid; the engine fills the
+    // result slots in input order whatever the thread count.
+    auto lb = harness::Scenario::llama2_13b_longbench();
+    auto sd = harness::Scenario::opt13b_sharegpt_small_decode();
+    std::vector<harness::ExperimentConfig> cells{
+        // Ablation 1 (LongBench @ 1.0 req/s/GPU — big per-request KV)
+        variant(lb, 1.0, n, transfer::TransferPolicy::Overlapped, true,
+                true),
+        variant(lb, 1.0, n, transfer::TransferPolicy::Synchronous, true,
+                true),
+        // Ablation 2 ([TP-2,TP-1] @ 1.5 — heavy rescheduling). Backups
+        // off in both rows so the FULL context crosses the PCIe link
+        // and the pause window is visible.
+        variant(sd, 1.5, n, std::nullopt, true, false),
+        variant(sd, 1.5, n, std::nullopt, false, false),
+        // Ablation 3 (same setting, backups on vs off)
+        variant(sd, 1.5, n, std::nullopt, true, true),
+        variant(sd, 1.5, n, std::nullopt, true, false),
+    };
+    auto r = harness::run_experiments(cells, args.jobs,
+                                      benchcommon::stderr_progress());
 
     std::cout << "== Ablation 1: KV-transfer policy (LLaMA2-13B, "
                  "LongBench @ 1.0 req/s/GPU — big per-request KV) ==\n";
     {
-        auto sc = harness::Scenario::llama2_13b_longbench();
-        harness::TextTable t({"variant", "ttft p50", "ttft p99",
-                              "tpot p90", "tpot p99", "itl-max p99",
-                              "worst stall", "slo", "migr", "backups"});
-        row(t, "overlapped transfer (default)",
-            run(sc, 1.0, n, transfer::TransferPolicy::Overlapped, true,
-                true));
-        row(t, "synchronous transfer",
-            run(sc, 1.0, n, transfer::TransferPolicy::Synchronous, true,
-                true));
+        harness::TextTable t(kColumns);
+        row(t, "overlapped transfer (default)", r[0]);
+        row(t, "synchronous transfer", r[1]);
         std::cout << t.render() << "\n";
     }
 
@@ -79,28 +99,17 @@ main(int argc, char **argv)
                  "(OPT-13B, ShareGPT [TP-2,TP-1] @ 1.5 — heavy "
                  "rescheduling) ==\n";
     {
-        auto sc = harness::Scenario::opt13b_sharegpt_small_decode();
-        harness::TextTable t({"variant", "ttft p50", "ttft p99",
-                              "tpot p90", "tpot p99", "itl-max p99",
-                              "worst stall", "slo", "migr", "backups"});
-        // Backups off in both rows so the FULL context crosses the
-        // PCIe link and the pause window is visible.
-        row(t, "stall-free migration (default)",
-            run(sc, 1.5, n, std::nullopt, true, false));
-        row(t, "blocking migration",
-            run(sc, 1.5, n, std::nullopt, false, false));
+        harness::TextTable t(kColumns);
+        row(t, "stall-free migration (default)", r[2]);
+        row(t, "blocking migration", r[3]);
         std::cout << t.render() << "\n";
     }
 
     std::cout << "== Ablation 3: proactive KV backups (same setting) ==\n";
     {
-        auto sc = harness::Scenario::opt13b_sharegpt_small_decode();
-        harness::TextTable t({"variant", "ttft p50", "ttft p99",
-                              "tpot p90", "tpot p99", "itl-max p99",
-                              "worst stall", "slo", "migr", "backups"});
-        row(t, "backups on (default)",
-            run(sc, 1.5, n, std::nullopt, true, true));
-        row(t, "backups off", run(sc, 1.5, n, std::nullopt, true, false));
+        harness::TextTable t(kColumns);
+        row(t, "backups on (default)", r[4]);
+        row(t, "backups off", r[5]);
         std::cout << t.render() << "\n";
     }
     return 0;

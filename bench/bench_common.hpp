@@ -1,9 +1,16 @@
 /**
  * @file
  * Shared helpers for the figure-level benchmark binaries.
+ *
+ * Every driver accepts:
+ *   bench_figXX [num_requests] [--jobs N | -j N | --jobs=N]
+ * with --jobs defaulting to the machine's hardware concurrency.
+ * Results are bit-identical at every jobs value (the parallel engine's
+ * determinism contract); only wall-clock changes.
  */
 #pragma once
 
+#include <cstdlib>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -12,21 +19,75 @@
 
 namespace windserve::benchcommon {
 
+/** Parsed command line of a figure driver. */
+struct BenchArgs {
+    std::size_t num_requests;
+    std::size_t jobs;
+};
+
+inline BenchArgs
+parse_args(int argc, char **argv, std::size_t default_n)
+{
+    BenchArgs args{default_n, harness::default_jobs()};
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if ((arg == "--jobs" || arg == "-j") && i + 1 < argc) {
+            args.jobs = static_cast<std::size_t>(
+                std::max(1L, std::atol(argv[++i])));
+        } else if (arg.rfind("--jobs=", 0) == 0) {
+            args.jobs = static_cast<std::size_t>(
+                std::max(1L, std::atol(arg.c_str() + 7)));
+        } else if (!arg.empty() && arg[0] != '-') {
+            args.num_requests = static_cast<std::size_t>(
+                std::max(1L, std::atol(arg.c_str())));
+        } else {
+            std::cerr << "usage: " << argv[0]
+                      << " [num_requests] [--jobs N]\n";
+            std::exit(2);
+        }
+    }
+    return args;
+}
+
+/** Ordered progress line on stderr: `[ 3/15] DistServe @ 2.50 done`.
+ *  Reported in cell order at any thread count, so concurrent runs
+ *  render identically to sequential ones. */
+inline harness::SweepProgress
+stderr_progress()
+{
+    return [](std::size_t k, std::size_t total,
+              const harness::ExperimentResult &r) {
+        std::cerr << "[" << (k + 1) << "/" << total << "] "
+                  << r.system_name << " @ " << r.per_gpu_rate
+                  << " req/s/GPU done\n";
+    };
+}
+
+/** The standard 3-system sweep every figure grid starts from. */
+inline harness::SweepBuilder
+three_system_sweep(const harness::Scenario &scenario,
+                   const std::vector<double> &rates, std::size_t n,
+                   std::size_t jobs, std::uint64_t seed = 42)
+{
+    return harness::SweepBuilder()
+        .scenario(scenario)
+        .systems({harness::SystemKind::WindServe,
+                  harness::SystemKind::DistServe,
+                  harness::SystemKind::Vllm})
+        .rates(rates)
+        .num_requests(n)
+        .seed(seed)
+        .jobs(jobs)
+        .on_progress(stderr_progress());
+}
+
 /** Run a 3-system sweep and print the Fig. 10-style latency tables. */
 inline void
 latency_sweep(const harness::Scenario &scenario,
               const std::vector<double> &rates, std::size_t n,
-              std::uint64_t seed = 42)
+              std::size_t jobs, std::uint64_t seed = 42)
 {
-    harness::SweepConfig sc;
-    sc.scenario = scenario;
-    sc.systems = {harness::SystemKind::WindServe,
-                  harness::SystemKind::DistServe,
-                  harness::SystemKind::Vllm};
-    sc.per_gpu_rates = rates;
-    sc.num_requests = n;
-    sc.seed = seed;
-    auto sweep = harness::run_sweep(sc);
+    auto sweep = three_system_sweep(scenario, rates, n, jobs, seed).run();
 
     std::cout << "-- " << scenario.name << " (SLO: TTFT "
               << scenario.slo.ttft << "s, TPOT " << scenario.slo.tpot
@@ -37,7 +98,7 @@ latency_sweep(const harness::Scenario &scenario,
                               "WindServe", "DistServe", "vLLM"});
         for (std::size_t j = 0; j < rates.size(); ++j) {
             std::vector<std::string> row{harness::cell(rates[j], 2)};
-            for (std::size_t i = 0; i < sc.systems.size(); ++i) {
+            for (std::size_t i = 0; i < sweep.results.size(); ++i) {
                 const auto &m = sweep.results[i][j].metrics;
                 double v = 0.0;
                 std::string name = metric;
@@ -61,17 +122,9 @@ latency_sweep(const harness::Scenario &scenario,
 inline void
 attainment_sweep(const harness::Scenario &scenario,
                  const std::vector<double> &rates, std::size_t n,
-                 std::uint64_t seed = 42)
+                 std::size_t jobs, std::uint64_t seed = 42)
 {
-    harness::SweepConfig sc;
-    sc.scenario = scenario;
-    sc.systems = {harness::SystemKind::WindServe,
-                  harness::SystemKind::DistServe,
-                  harness::SystemKind::Vllm};
-    sc.per_gpu_rates = rates;
-    sc.num_requests = n;
-    sc.seed = seed;
-    auto sweep = harness::run_sweep(sc);
+    auto sweep = three_system_sweep(scenario, rates, n, jobs, seed).run();
 
     std::cout << "-- " << scenario.name << " --\n";
     harness::TextTable t({"per-GPU rate", "WindServe", "DistServe",

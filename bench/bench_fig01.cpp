@@ -9,9 +9,9 @@
  * queuing delay and swap count climb, and its SLO attainment falls
  * BELOW vLLM's at high load despite winning at moderate load.
  */
-#include <cstdlib>
 #include <iostream>
 
+#include "bench_common.hpp"
 #include "windserve/windserve.hpp"
 
 using namespace windserve;
@@ -19,23 +19,34 @@ using namespace windserve;
 int
 main(int argc, char **argv)
 {
-    std::size_t n = argc > 1 ? std::atoi(argv[1]) : 2500;
+    auto args = benchcommon::parse_args(argc, argv, 2500);
     auto scenario = harness::Scenario::opt13b_sharegpt();
     std::vector<double> rates{2.0, 3.0, 4.0, 4.5, 5.0, 5.5, 6.0};
+
+    // One flat grid: DistServe cells first, then vLLM; panel (b)
+    // reuses the DistServe results from panel (a).
+    std::vector<harness::ExperimentConfig> cells;
+    for (auto system :
+         {harness::SystemKind::DistServe, harness::SystemKind::Vllm})
+        for (double rate : rates) {
+            harness::ExperimentConfig ec;
+            ec.scenario = scenario;
+            ec.system = system;
+            ec.per_gpu_rate = rate;
+            ec.num_requests = args.num_requests;
+            cells.push_back(ec);
+        }
+    auto results = harness::run_experiments(cells, args.jobs,
+                                            benchcommon::stderr_progress());
 
     std::cout << "== Figure 1a: DistServe decode queuing delay & swaps "
                  "(OPT-13B, ShareGPT) ==\n";
     harness::TextTable a({"per-GPU rate", "decode queue p50 (s)",
                           "decode queue p99 (s)", "swap-out events",
                           "tpot p99 (s)"});
-    for (double rate : rates) {
-        harness::ExperimentConfig ec;
-        ec.scenario = scenario;
-        ec.system = harness::SystemKind::DistServe;
-        ec.per_gpu_rate = rate;
-        ec.num_requests = n;
-        auto r = harness::run_experiment(ec);
-        a.add_row({harness::cell(rate, 1),
+    for (std::size_t j = 0; j < rates.size(); ++j) {
+        const auto &r = results[j];
+        a.add_row({harness::cell(rates[j], 1),
                    harness::cell(r.metrics.decode_queueing.median(), 3),
                    harness::cell(r.metrics.decode_queueing.p99(), 3),
                    std::to_string(r.decode_swap_outs),
@@ -45,16 +56,10 @@ main(int argc, char **argv)
 
     std::cout << "== Figure 1b: SLO attainment, vLLM vs DistServe ==\n";
     harness::TextTable b({"per-GPU rate", "vLLM", "DistServe"});
-    for (double rate : rates) {
-        harness::ExperimentConfig ec;
-        ec.scenario = scenario;
-        ec.per_gpu_rate = rate;
-        ec.num_requests = n;
-        ec.system = harness::SystemKind::Vllm;
-        auto rv = harness::run_experiment(ec);
-        ec.system = harness::SystemKind::DistServe;
-        auto rd = harness::run_experiment(ec);
-        b.add_row({harness::cell(rate, 1),
+    for (std::size_t j = 0; j < rates.size(); ++j) {
+        const auto &rd = results[j];
+        const auto &rv = results[rates.size() + j];
+        b.add_row({harness::cell(rates[j], 1),
                    metrics::fmt_percent(rv.metrics.slo_attainment),
                    metrics::fmt_percent(rd.metrics.slo_attainment)});
     }

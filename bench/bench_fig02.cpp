@@ -10,9 +10,9 @@
  * the paper's "insufficient and uneven resource utilization" argument —
  * with decode compute utilization especially poor.
  */
-#include <cstdlib>
 #include <iostream>
 
+#include "bench_common.hpp"
 #include "windserve/windserve.hpp"
 
 using namespace windserve;
@@ -21,19 +21,26 @@ namespace {
 
 void
 panel(const harness::Scenario &scenario, const std::vector<double> &rates,
-      std::size_t n)
+      std::size_t n, std::size_t jobs)
 {
-    std::cout << "-- " << scenario.name << " --\n";
-    harness::TextTable t({"per-GPU rate", "TensorCore(P)", "MemBW(D)",
-                          "TensorCore(D)", "MemBW(P)"});
+    std::vector<harness::ExperimentConfig> cells;
     for (double rate : rates) {
         harness::ExperimentConfig ec;
         ec.scenario = scenario;
         ec.system = harness::SystemKind::DistServe;
         ec.per_gpu_rate = rate;
         ec.num_requests = n;
-        auto r = harness::run_experiment(ec);
-        t.add_row({harness::cell(rate, 2),
+        cells.push_back(ec);
+    }
+    auto results =
+        harness::run_experiments(cells, jobs, benchcommon::stderr_progress());
+
+    std::cout << "-- " << scenario.name << " --\n";
+    harness::TextTable t({"per-GPU rate", "TensorCore(P)", "MemBW(D)",
+                          "TensorCore(D)", "MemBW(P)"});
+    for (std::size_t j = 0; j < rates.size(); ++j) {
+        const auto &r = results[j];
+        t.add_row({harness::cell(rates[j], 2),
                    metrics::fmt_percent(r.metrics.prefill_compute_util),
                    metrics::fmt_percent(r.metrics.decode_bandwidth_util),
                    metrics::fmt_percent(r.metrics.decode_compute_util),
@@ -47,12 +54,13 @@ panel(const harness::Scenario &scenario, const std::vector<double> &rates,
 int
 main(int argc, char **argv)
 {
-    std::size_t n = argc > 1 ? std::atoi(argv[1]) : 2000;
+    auto args = benchcommon::parse_args(argc, argv, 2000);
     std::cout << "== Figure 2: mean resource utilization of prefill / "
                  "decode instances (DistServe placement) ==\n\n";
-    panel(harness::Scenario::opt13b_sharegpt(), {1.0, 2.0, 3.0, 4.0}, n);
+    panel(harness::Scenario::opt13b_sharegpt(), {1.0, 2.0, 3.0, 4.0},
+          args.num_requests, args.jobs);
     panel(harness::Scenario::opt66b_sharegpt(), {0.15, 0.25, 0.35, 0.45},
-          n);
+          args.num_requests, args.jobs);
     std::cout << "(paper: decode instances leave compute idle while "
                  "prefill instances starve — the dynamic-scheduling "
                  "opportunity WindServe exploits)\n";

@@ -8,46 +8,47 @@
  * dominates; with symmetric 2+2 GPUs, prefill queuing dominates —
  * coarse GPU-granularity allocation cannot win both (paper §2.2).
  */
-#include <cstdlib>
 #include <iostream>
 
+#include "bench_common.hpp"
 #include "windserve/windserve.hpp"
 
 using namespace windserve;
 
-namespace {
-
-void
-row(harness::TextTable &t, const std::string &label,
-    const harness::Scenario &scenario, std::size_t n)
-{
-    harness::ExperimentConfig ec;
-    ec.scenario = scenario;
-    ec.system = harness::SystemKind::DistServe;
-    ec.per_gpu_rate = 4.0;
-    ec.num_requests = n;
-    auto r = harness::run_experiment(ec);
-    t.add_row({label,
-               harness::cell(r.metrics.prefill_queueing.median(), 3),
-               harness::cell(r.metrics.prefill_queueing.p99(), 3),
-               harness::cell(r.metrics.decode_queueing.median(), 3),
-               harness::cell(r.metrics.decode_queueing.p99(), 3)});
-}
-
-} // namespace
-
 int
 main(int argc, char **argv)
 {
-    std::size_t n = argc > 1 ? std::atoi(argv[1]) : 2500;
+    auto args = benchcommon::parse_args(argc, argv, 2500);
     std::cout << "== Figure 3: queuing delays, 13B model, ShareGPT @ "
                  "4 req/s/GPU, DistServe placements ==\n";
+
+    const std::vector<std::pair<std::string, harness::Scenario>> placements{
+        {"[TP-2, TP-1]", harness::Scenario::opt13b_sharegpt_small_decode()},
+        {"[TP-2, TP-2]", harness::Scenario::opt13b_sharegpt()},
+    };
+    std::vector<harness::ExperimentConfig> cells;
+    for (const auto &[label, scenario] : placements) {
+        harness::ExperimentConfig ec;
+        ec.scenario = scenario;
+        ec.system = harness::SystemKind::DistServe;
+        ec.per_gpu_rate = 4.0;
+        ec.num_requests = args.num_requests;
+        cells.push_back(ec);
+    }
+    auto results = harness::run_experiments(cells, args.jobs,
+                                            benchcommon::stderr_progress());
+
     harness::TextTable t({"placement", "prefill queue p50 (s)",
                           "prefill queue p99 (s)", "decode queue p50 (s)",
                           "decode queue p99 (s)"});
-    row(t, "[TP-2, TP-1]",
-        harness::Scenario::opt13b_sharegpt_small_decode(), n);
-    row(t, "[TP-2, TP-2]", harness::Scenario::opt13b_sharegpt(), n);
+    for (std::size_t i = 0; i < placements.size(); ++i) {
+        const auto &r = results[i];
+        t.add_row({placements[i].first,
+                   harness::cell(r.metrics.prefill_queueing.median(), 3),
+                   harness::cell(r.metrics.prefill_queueing.p99(), 3),
+                   harness::cell(r.metrics.decode_queueing.median(), 3),
+                   harness::cell(r.metrics.decode_queueing.p99(), 3)});
+    }
     std::cout << t.render()
               << "\n(paper: [TP-2,TP-1] bottlenecks on decoding, "
                  "[TP-2,TP-2] on prefill queuing)\n";

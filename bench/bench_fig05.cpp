@@ -9,9 +9,9 @@
  * instance with prefills and hurt both metrics. The paper recommends
  * "slightly below the TTFT SLO".
  */
-#include <cstdlib>
 #include <iostream>
 
+#include "bench_common.hpp"
 #include "windserve/windserve.hpp"
 
 using namespace windserve;
@@ -20,13 +20,10 @@ namespace {
 
 void
 sweep(const harness::Scenario &scenario, double rate,
-      const std::vector<double> &thresholds, std::size_t n)
+      const std::vector<double> &thresholds, std::size_t n,
+      std::size_t jobs)
 {
-    std::cout << "-- " << scenario.name << " @ " << rate
-              << " req/s/GPU (TTFT SLO " << scenario.slo.ttft << "s) --\n";
-    harness::TextTable t({"thrd (s)", "thrd/SLO", "slo attainment",
-                          "ttft attainment", "tpot attainment",
-                          "dispatches"});
+    std::vector<harness::ExperimentConfig> cells;
     for (double thrd : thresholds) {
         harness::ExperimentConfig ec;
         ec.scenario = scenario;
@@ -34,9 +31,20 @@ sweep(const harness::Scenario &scenario, double rate,
         ec.per_gpu_rate = rate;
         ec.num_requests = n;
         ec.thrd = thrd;
-        auto r = harness::run_experiment(ec);
-        t.add_row({harness::cell(thrd, 3),
-                   harness::cell(thrd / scenario.slo.ttft, 2),
+        cells.push_back(ec);
+    }
+    auto results =
+        harness::run_experiments(cells, jobs, benchcommon::stderr_progress());
+
+    std::cout << "-- " << scenario.name << " @ " << rate
+              << " req/s/GPU (TTFT SLO " << scenario.slo.ttft << "s) --\n";
+    harness::TextTable t({"thrd (s)", "thrd/SLO", "slo attainment",
+                          "ttft attainment", "tpot attainment",
+                          "dispatches"});
+    for (std::size_t j = 0; j < thresholds.size(); ++j) {
+        const auto &r = results[j];
+        t.add_row({harness::cell(thresholds[j], 3),
+                   harness::cell(thresholds[j] / scenario.slo.ttft, 2),
                    metrics::fmt_percent(r.metrics.slo_attainment),
                    metrics::fmt_percent(r.metrics.ttft_attainment),
                    metrics::fmt_percent(r.metrics.tpot_attainment),
@@ -50,18 +58,18 @@ sweep(const harness::Scenario &scenario, double rate,
 int
 main(int argc, char **argv)
 {
-    std::size_t n = argc > 1 ? std::atoi(argv[1]) : 2500;
+    auto args = benchcommon::parse_args(argc, argv, 2500);
     std::cout << "== Figure 5: dispatch-threshold sensitivity ==\n\n";
     auto opt = harness::Scenario::opt13b_sharegpt();
     sweep(opt, 4.0,
           {0.01 * opt.slo.ttft, 0.1 * opt.slo.ttft, 0.4 * opt.slo.ttft,
            0.8 * opt.slo.ttft, 1.0 * opt.slo.ttft, 2.0 * opt.slo.ttft,
            1e9},
-          n);
+          args.num_requests, args.jobs);
     auto lb = harness::Scenario::llama2_13b_longbench();
     sweep(lb, 1.5,
           {0.01 * lb.slo.ttft, 0.1 * lb.slo.ttft, 0.4 * lb.slo.ttft,
            0.8 * lb.slo.ttft, 1.0 * lb.slo.ttft, 2.0 * lb.slo.ttft, 1e9},
-          n);
+          args.num_requests, args.jobs);
     return 0;
 }

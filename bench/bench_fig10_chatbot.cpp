@@ -10,8 +10,6 @@
  * DistServe's TPOT P99 surges at high rate from transfer overhead,
  * queuing and swapping.
  */
-#include <cstdlib>
-
 #include "bench_common.hpp"
 
 using namespace windserve;
@@ -19,12 +17,14 @@ using namespace windserve;
 int
 main(int argc, char **argv)
 {
-    std::size_t n = argc > 1 ? std::atoi(argv[1]) : 2500;
+    auto args = benchcommon::parse_args(argc, argv, 2500);
     std::cout << "== Figure 10a/10b: Chatbot (ShareGPT) end-to-end "
                  "latency ==\n\n";
     auto s13 = harness::Scenario::opt13b_sharegpt();
-    benchcommon::latency_sweep(s13, benchcommon::rates_for(s13.name), n);
+    benchcommon::latency_sweep(s13, benchcommon::rates_for(s13.name),
+                               args.num_requests, args.jobs);
     auto s66 = harness::Scenario::opt66b_sharegpt();
-    benchcommon::latency_sweep(s66, benchcommon::rates_for(s66.name), n);
+    benchcommon::latency_sweep(s66, benchcommon::rates_for(s66.name),
+                               args.num_requests, args.jobs);
     return 0;
 }

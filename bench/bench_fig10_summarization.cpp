@@ -9,8 +9,6 @@
  * asynchronous-KV-transfer TPOT advantage is large for LLaMA2-13B
  * (MHA, big KV) and smaller for LLaMA2-70B (GQA shrinks the KV 8x).
  */
-#include <cstdlib>
-
 #include "bench_common.hpp"
 
 using namespace windserve;
@@ -18,12 +16,14 @@ using namespace windserve;
 int
 main(int argc, char **argv)
 {
-    std::size_t n = argc > 1 ? std::atoi(argv[1]) : 2000;
+    auto args = benchcommon::parse_args(argc, argv, 2000);
     std::cout << "== Figure 10c/10d: Summarization (LongBench) "
                  "end-to-end latency ==\n\n";
     auto l13 = harness::Scenario::llama2_13b_longbench();
-    benchcommon::latency_sweep(l13, benchcommon::rates_for(l13.name), n);
+    benchcommon::latency_sweep(l13, benchcommon::rates_for(l13.name),
+                               args.num_requests, args.jobs);
     auto l70 = harness::Scenario::llama2_70b_longbench();
-    benchcommon::latency_sweep(l70, benchcommon::rates_for(l70.name), n);
+    benchcommon::latency_sweep(l70, benchcommon::rates_for(l70.name),
+                               args.num_requests, args.jobs);
     return 0;
 }

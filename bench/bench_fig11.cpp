@@ -7,8 +7,6 @@
  * at least ~1.5x at high rates; DistServe drops below vLLM at extreme
  * load; every curve falls with rate.
  */
-#include <cstdlib>
-
 #include "bench_common.hpp"
 
 using namespace windserve;
@@ -16,22 +14,22 @@ using namespace windserve;
 int
 main(int argc, char **argv)
 {
-    std::size_t n = argc > 1 ? std::atoi(argv[1]) : 2500;
+    auto args = benchcommon::parse_args(argc, argv, 2500);
     std::cout << "== Figure 11: SLO attainment (both TTFT and TPOT "
                  "objectives) ==\n\n";
     std::cout << "[11a] ShareGPT scenarios\n";
     auto s13 = harness::Scenario::opt13b_sharegpt();
     benchcommon::attainment_sweep(s13, benchcommon::rates_for(s13.name),
-                                  n);
+                                  args.num_requests, args.jobs);
     auto s66 = harness::Scenario::opt66b_sharegpt();
     benchcommon::attainment_sweep(s66, benchcommon::rates_for(s66.name),
-                                  n);
+                                  args.num_requests, args.jobs);
     std::cout << "[11b] LongBench scenarios\n";
     auto l13 = harness::Scenario::llama2_13b_longbench();
     benchcommon::attainment_sweep(l13, benchcommon::rates_for(l13.name),
-                                  n);
+                                  args.num_requests, args.jobs);
     auto l70 = harness::Scenario::llama2_70b_longbench();
     benchcommon::attainment_sweep(l70, benchcommon::rates_for(l70.name),
-                                  n);
+                                  args.num_requests, args.jobs);
     return 0;
 }

@@ -11,9 +11,9 @@
  * TTFT in the right one (WindServe fixes it with Dynamic Prefill
  * Dispatch); WindServe stays strong in both.
  */
-#include <cstdlib>
 #include <iostream>
 
+#include "bench_common.hpp"
 #include "windserve/windserve.hpp"
 
 using namespace windserve;
@@ -22,26 +22,36 @@ namespace {
 
 void
 panel(const harness::Scenario &scenario, const std::vector<double> &rates,
-      std::size_t n)
+      std::size_t n, std::size_t jobs)
 {
+    // Paired grid: WindServe cells first, then DistServe at the same
+    // rates.
+    std::vector<harness::ExperimentConfig> cells;
+    for (auto system :
+         {harness::SystemKind::WindServe, harness::SystemKind::DistServe})
+        for (double rate : rates) {
+            harness::ExperimentConfig ec;
+            ec.scenario = scenario;
+            ec.system = system;
+            ec.per_gpu_rate = rate;
+            ec.num_requests = n;
+            cells.push_back(ec);
+        }
+    auto results =
+        harness::run_experiments(cells, jobs, benchcommon::stderr_progress());
+
     std::cout << "-- " << scenario.name << " --\n";
     harness::TextTable t({"per-GPU rate", "WindServe slo",
                           "WindServe ttft/tpot", "DistServe slo",
                           "DistServe ttft/tpot"});
-    for (double rate : rates) {
-        harness::ExperimentConfig ec;
-        ec.scenario = scenario;
-        ec.per_gpu_rate = rate;
-        ec.num_requests = n;
-        ec.system = harness::SystemKind::WindServe;
-        auto rw = harness::run_experiment(ec);
-        ec.system = harness::SystemKind::DistServe;
-        auto rd = harness::run_experiment(ec);
-        auto pair = [](const metrics::RunMetrics &m) {
-            return metrics::fmt_percent(m.ttft_attainment) + "/" +
-                   metrics::fmt_percent(m.tpot_attainment);
-        };
-        t.add_row({harness::cell(rate, 2),
+    auto pair = [](const metrics::RunMetrics &m) {
+        return metrics::fmt_percent(m.ttft_attainment) + "/" +
+               metrics::fmt_percent(m.tpot_attainment);
+    };
+    for (std::size_t j = 0; j < rates.size(); ++j) {
+        const auto &rw = results[j];
+        const auto &rd = results[rates.size() + j];
+        t.add_row({harness::cell(rates[j], 2),
                    metrics::fmt_percent(rw.metrics.slo_attainment),
                    pair(rw.metrics),
                    metrics::fmt_percent(rd.metrics.slo_attainment),
@@ -55,12 +65,13 @@ panel(const harness::Scenario &scenario, const std::vector<double> &rates,
 int
 main(int argc, char **argv)
 {
-    std::size_t n = argc > 1 ? std::atoi(argv[1]) : 2500;
+    auto args = benchcommon::parse_args(argc, argv, 2500);
     std::cout << "== Figure 12: SLO attainment under imbalanced "
                  "placements (OPT-13B, ShareGPT) ==\n\n";
     panel(harness::Scenario::opt13b_sharegpt_small_decode(),
-          {1.0, 1.5, 2.0, 2.5, 3.0}, n);
-    panel(harness::Scenario::opt13b_sharegpt(), {2.0, 3.0, 4.0, 5.0}, n);
+          {1.0, 1.5, 2.0, 2.5, 3.0}, args.num_requests, args.jobs);
+    panel(harness::Scenario::opt13b_sharegpt(), {2.0, 3.0, 4.0, 5.0},
+          args.num_requests, args.jobs);
     std::cout << "(left: DistServe TPOT-bound, right: DistServe "
                  "TTFT-bound; WindServe adapts to both via Dynamic "
                  "Rescheduling / Dynamic Prefill Dispatch)\n";

@@ -11,9 +11,9 @@
  * avoiding decode queuing and swap I/O. Both have minimal TTFT impact.
  * (The paper runs both ablations on a 13B model.)
  */
-#include <cstdlib>
 #include <iostream>
 
+#include "bench_common.hpp"
 #include "windserve/windserve.hpp"
 
 using namespace windserve;
@@ -23,23 +23,31 @@ namespace {
 void
 panel(const std::string &title, const harness::Scenario &scenario,
       harness::SystemKind ablation, const std::vector<double> &rates,
-      std::size_t n)
+      std::size_t n, std::size_t jobs)
 {
+    // Paired grid: full WindServe first, then the ablated variant.
+    std::vector<harness::ExperimentConfig> cells;
+    for (auto system : {harness::SystemKind::WindServe, ablation})
+        for (double rate : rates) {
+            harness::ExperimentConfig ec;
+            ec.scenario = scenario;
+            ec.system = system;
+            ec.per_gpu_rate = rate;
+            ec.num_requests = n;
+            cells.push_back(ec);
+        }
+    auto results =
+        harness::run_experiments(cells, jobs, benchcommon::stderr_progress());
+
     std::cout << "-- " << title << " (" << scenario.name << ") --\n";
     harness::TextTable t({"per-GPU rate", "WindServe ttft p99",
                           "ablation ttft p99", "WindServe tpot p99",
                           "ablation tpot p99", "ablation slo",
                           "WindServe slo"});
-    for (double rate : rates) {
-        harness::ExperimentConfig ec;
-        ec.scenario = scenario;
-        ec.per_gpu_rate = rate;
-        ec.num_requests = n;
-        ec.system = harness::SystemKind::WindServe;
-        auto full = harness::run_experiment(ec);
-        ec.system = ablation;
-        auto abl = harness::run_experiment(ec);
-        t.add_row({harness::cell(rate, 2),
+    for (std::size_t j = 0; j < rates.size(); ++j) {
+        const auto &full = results[j];
+        const auto &abl = results[rates.size() + j];
+        t.add_row({harness::cell(rates[j], 2),
                    harness::cell(full.metrics.ttft.p99(), 3),
                    harness::cell(abl.metrics.ttft.p99(), 3),
                    harness::cell(full.metrics.tpot.p99(), 4),
@@ -55,15 +63,15 @@ panel(const std::string &title, const harness::Scenario &scenario,
 int
 main(int argc, char **argv)
 {
-    std::size_t n = argc > 1 ? std::atoi(argv[1]) : 2500;
+    auto args = benchcommon::parse_args(argc, argv, 2500);
     std::cout << "== Figure 13: ablations ==\n\n";
     panel("13a: WindServe-no-split",
           harness::Scenario::llama2_13b_longbench(),
           harness::SystemKind::WindServeNoSplit, {0.75, 1.0, 1.25, 1.5},
-          n);
+          args.num_requests, args.jobs);
     panel("13b: WindServe-no-resche",
           harness::Scenario::opt13b_sharegpt(),
           harness::SystemKind::WindServeNoResche, {2.5, 3.0, 3.5, 4.0},
-          n);
+          args.num_requests, args.jobs);
     return 0;
 }

@@ -5,9 +5,9 @@
  * budget, simulate each, and rank by SLO attainment. The hand-picked
  * Table 3 placement should rank at or near the top for its scenario.
  */
-#include <cstdlib>
 #include <iostream>
 
+#include "bench_common.hpp"
 #include "windserve/windserve.hpp"
 
 using namespace windserve;
@@ -16,13 +16,14 @@ namespace {
 
 void
 search(const harness::Scenario &scenario, double rate, std::size_t n,
-       std::size_t max_gpus)
+       std::size_t max_gpus, std::size_t jobs)
 {
     harness::PlacementSearchConfig cfg;
     cfg.scenario = scenario;
     cfg.per_gpu_rate = rate;
     cfg.num_requests = n;
     cfg.max_gpus = max_gpus;
+    cfg.jobs = jobs;
     auto scores = harness::search_placements(cfg);
 
     std::cout << "-- " << scenario.name << " @ " << rate
@@ -45,10 +46,12 @@ search(const harness::Scenario &scenario, double rate, std::size_t n,
 int
 main(int argc, char **argv)
 {
-    std::size_t n = argc > 1 ? std::atoi(argv[1]) : 800;
+    auto args = benchcommon::parse_args(argc, argv, 800);
     std::cout << "== Placement search (Table 3 methodology) ==\n\n";
-    search(harness::Scenario::opt13b_sharegpt(), 2.0, n, 4);
-    search(harness::Scenario::opt66b_sharegpt(), 0.3, n, 8);
+    search(harness::Scenario::opt13b_sharegpt(), 2.0, args.num_requests, 4,
+           args.jobs);
+    search(harness::Scenario::opt66b_sharegpt(), 0.3, args.num_requests, 8,
+           args.jobs);
     std::cout << "(Table 3 picks [TP-2,PP-1 | TP-2,PP-1] for the 13B "
                  "models and [TP-2,PP-2 | TP-2,PP-2] for 66B/70B)\n";
     return 0;

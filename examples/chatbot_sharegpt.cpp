@@ -21,24 +21,31 @@ main(int argc, char **argv)
     std::size_t n = argc > 1 ? std::atoi(argv[1]) : 2000;
     const char *csv_path = argc > 2 ? argv[2] : nullptr;
 
-    harness::SweepConfig sc;
-    sc.scenario = harness::Scenario::opt13b_sharegpt();
-    sc.per_gpu_rates = {2.0, 2.5, 3.0, 3.5, 4.0};
-    sc.num_requests = n;
-
-    std::cout << "Chatbot scenario: " << sc.scenario.name << ", "
-              << sc.scenario.num_gpus() << " GPUs, SLO TTFT "
-              << sc.scenario.slo.ttft << "s / TPOT "
-              << sc.scenario.slo.tpot << "s\n\n";
+    auto scenario = harness::Scenario::opt13b_sharegpt();
+    std::cout << "Chatbot scenario: " << scenario.name << ", "
+              << scenario.num_gpus() << " GPUs, SLO TTFT "
+              << scenario.slo.ttft << "s / TPOT " << scenario.slo.tpot
+              << "s\n\n";
 
     harness::TextTable table({"system", "rate", "ttft p50", "ttft p99",
                               "tpot p90", "tpot p99", "slo", "dispatch",
                               "resched", "swaps"});
-    auto sweep = harness::run_sweep(sc, [](const auto &r) {
-        std::cout << r.system_name << " @ " << r.per_gpu_rate
-                  << " req/s/GPU: " << metrics::summary_line(r.metrics)
-                  << "\n";
-    });
+    // Cells run concurrently (one thread per core); progress still
+    // arrives in cell order, so this output is stable at any -j.
+    auto sweep =
+        harness::SweepBuilder()
+            .scenario(scenario)
+            .rates({2.0, 2.5, 3.0, 3.5, 4.0})
+            .num_requests(n)
+            .jobs(harness::default_jobs())
+            .on_progress([](std::size_t k, std::size_t total,
+                            const harness::ExperimentResult &r) {
+                std::cout << "[" << (k + 1) << "/" << total << "] "
+                          << r.system_name << " @ " << r.per_gpu_rate
+                          << " req/s/GPU: "
+                          << metrics::summary_line(r.metrics) << "\n";
+            })
+            .run();
     for (const auto &series : sweep.results) {
         for (const auto &r : series) {
             const auto &m = r.metrics;

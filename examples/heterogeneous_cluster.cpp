@@ -33,7 +33,6 @@ main(int argc, char **argv)
     tc.seed = 42;
     auto trace = workload::TraceBuilder(tc).build();
 
-    metrics::Collector collector(scenario.slo);
     harness::TextTable t({"deployment", "prefill GPUs", "ttft p50",
                           "ttft p99", "tpot p90", "slo"});
 
@@ -45,8 +44,7 @@ main(int argc, char **argv)
         cfg.tpot_slo = scenario.slo.tpot;
         cfg.coordinator.thrd = 0.8 * scenario.slo.ttft;
         core::WindServeSystem sys(cfg);
-        sys.run(trace);
-        auto m = collector.collect(sys.requests());
+        auto m = sys.run(trace, scenario.slo).metrics;
         t.add_row({"WindServe, all A800", "2x A800",
                    metrics::fmt_seconds(m.ttft.median()),
                    metrics::fmt_seconds(m.ttft.p99()),
@@ -77,8 +75,7 @@ main(int argc, char **argv)
         cfg.decode_parallelism = {4, 1};
         cfg.topology.num_gpus = 8;
         core::WindServeSystem sys(cfg);
-        sys.run(trace);
-        auto m = collector.collect(sys.requests());
+        auto m = sys.run(trace, scenario.slo).metrics;
         t.add_row({"WindServe, all RTX 4090", "4x 4090",
                    metrics::fmt_seconds(m.ttft.median()),
                    metrics::fmt_seconds(m.ttft.p99()),

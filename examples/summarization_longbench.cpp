@@ -37,15 +37,13 @@ main(int argc, char **argv)
     tc.seed = 42;
     auto trace = workload::TraceBuilder(tc).build();
 
-    metrics::Collector collector(scenario.slo);
     harness::TextTable table({"configuration", "ttft p50", "ttft p99",
                               "tpot p90", "tpot p99", "decode queue p99",
                               "slo"});
 
     auto add = [&](const std::string &name,
                    engine::ServingSystem &sys) {
-        sys.run(trace);
-        auto m = collector.collect(sys.requests());
+        auto m = sys.run(trace, scenario.slo).metrics;
         table.add_row({name, metrics::fmt_seconds(m.ttft.median()),
                        metrics::fmt_seconds(m.ttft.p99()),
                        metrics::fmt_seconds(m.tpot.p90()),

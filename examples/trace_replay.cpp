@@ -62,13 +62,10 @@ main(int argc, char **argv)
     });
     timeline.start(3600.0);
 
-    sys.run(trace);
+    auto run = sys.run(trace, metrics::SloSpec::opt_13b_sharegpt());
     timeline.stop();
 
-    metrics::Collector collector(metrics::SloSpec::opt_13b_sharegpt());
-    auto m = collector.collect(sys.requests());
-    sys.fill_system_metrics(m);
-    std::cout << metrics::detailed_report(m) << "\n\n";
+    std::cout << metrics::detailed_report(run.metrics) << "\n\n";
     std::cout << "timeline peaks: prefill queue "
               << timeline.peak("prefill_queue_tokens")
               << " tokens, decode batch "
@@ -81,7 +78,7 @@ main(int argc, char **argv)
         argc > 2 ? argv[2] : "/tmp/windserve_results.csv";
     const char *timeline_path =
         argc > 3 ? argv[3] : "/tmp/windserve_timeline.csv";
-    workload::save_results_csv(results_path, sys.requests());
+    workload::save_results_csv(results_path, run.requests);
     std::ofstream tl(timeline_path);
     tl << timeline.csv();
     std::cout << "wrote " << results_path << " and " << timeline_path

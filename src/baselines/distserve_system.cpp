@@ -58,8 +58,8 @@ DistServeSystem::num_gpus() const
 }
 
 void
-DistServeSystem::run(const std::vector<workload::Request> &trace,
-                     double horizon)
+DistServeSystem::replay(const std::vector<workload::Request> &trace,
+                        double horizon)
 {
     requests_ = trace;
     for (auto &r : requests_) {

@@ -47,18 +47,20 @@ class DistServeSystem : public engine::ServingSystem
     explicit DistServeSystem(DistServeConfig cfg);
 
     std::string name() const override { return "DistServe"; }
-    void run(const std::vector<workload::Request> &trace,
-             double horizon = 7200.0) override;
-    const std::vector<workload::Request> &requests() const override
-    {
-        return requests_;
-    }
-    void fill_system_metrics(metrics::RunMetrics &m) override;
     std::size_t num_gpus() const override;
 
     engine::Instance &prefill_instance() { return *prefill_; }
     engine::Instance &decode_instance() { return *decode_; }
     sim::Simulator &simulator() { return sim_; }
+
+  protected:
+    void replay(const std::vector<workload::Request> &trace,
+                double horizon) override;
+    void fill_system_metrics(metrics::RunMetrics &m) override;
+    std::vector<workload::Request> take_requests() override
+    {
+        return std::move(requests_);
+    }
 
   private:
     void on_prefill_complete(workload::Request *r);

@@ -53,8 +53,8 @@ VllmColocatedSystem::num_gpus() const
 }
 
 void
-VllmColocatedSystem::run(const std::vector<workload::Request> &trace,
-                         double horizon)
+VllmColocatedSystem::replay(const std::vector<workload::Request> &trace,
+                            double horizon)
 {
     requests_ = trace;
     std::size_t next_engine = 0;

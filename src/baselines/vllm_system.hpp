@@ -45,18 +45,20 @@ class VllmColocatedSystem : public engine::ServingSystem
     explicit VllmColocatedSystem(VllmConfig cfg);
 
     std::string name() const override { return "vLLM"; }
-    void run(const std::vector<workload::Request> &trace,
-             double horizon = 7200.0) override;
-    const std::vector<workload::Request> &requests() const override
-    {
-        return requests_;
-    }
-    void fill_system_metrics(metrics::RunMetrics &m) override;
     std::size_t num_gpus() const override;
 
     engine::Instance &engine_instance(std::size_t i) { return *engines_[i]; }
     std::size_t num_engines() const { return engines_.size(); }
     sim::Simulator &simulator() { return sim_; }
+
+  protected:
+    void replay(const std::vector<workload::Request> &trace,
+                double horizon) override;
+    void fill_system_metrics(metrics::RunMetrics &m) override;
+    std::vector<workload::Request> take_requests() override
+    {
+        return std::move(requests_);
+    }
 
   private:
     VllmConfig cfg_;

@@ -123,8 +123,8 @@ WindServeSystem::num_gpus() const
 }
 
 void
-WindServeSystem::run(const std::vector<workload::Request> &trace,
-                     double horizon)
+WindServeSystem::replay(const std::vector<workload::Request> &trace,
+                        double horizon)
 {
     requests_ = trace;
     outstanding_ = requests_.size();

@@ -69,13 +69,6 @@ class WindServeSystem : public engine::ServingSystem
     explicit WindServeSystem(WindServeConfig cfg);
 
     std::string name() const override { return "WindServe"; }
-    void run(const std::vector<workload::Request> &trace,
-             double horizon = 7200.0) override;
-    const std::vector<workload::Request> &requests() const override
-    {
-        return requests_;
-    }
-    void fill_system_metrics(metrics::RunMetrics &m) override;
     std::size_t num_gpus() const override;
 
     // introspection for tests and ablation studies
@@ -86,6 +79,15 @@ class WindServeSystem : public engine::ServingSystem
     transfer::BackupManager &backup() { return *backup_; }
     sim::Simulator &simulator() { return sim_; }
     const WindServeConfig &config() const { return cfg_; }
+
+  protected:
+    void replay(const std::vector<workload::Request> &trace,
+                double horizon) override;
+    void fill_system_metrics(metrics::RunMetrics &m) override;
+    std::vector<workload::Request> take_requests() override
+    {
+        return std::move(requests_);
+    }
 
   private:
     void on_arrival(workload::Request *r);

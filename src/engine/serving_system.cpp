@@ -1,0 +1,19 @@
+#include "engine/serving_system.hpp"
+
+namespace windserve::engine {
+
+RunResult
+ServingSystem::run(const std::vector<workload::Request> &trace,
+                   const metrics::SloSpec &slo, double horizon)
+{
+    replay(trace, horizon);
+
+    RunResult out;
+    out.requests = take_requests();
+    out.metrics = metrics::Collector(slo).collect(out.requests);
+    fill_system_metrics(out.metrics);
+    out.num_gpus = num_gpus();
+    return out;
+}
+
+} // namespace windserve::engine

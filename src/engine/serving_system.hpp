@@ -4,8 +4,11 @@
  * (WindServe, DistServe, co-located vLLM).
  *
  * A system owns its Simulator, instances and interconnect channels,
- * replays a workload trace to completion, and exposes the per-request
- * results plus instance-level utilization for the metrics layer.
+ * replays a workload trace to completion, and hands the full outcome
+ * back as one immutable RunResult value. Nothing about a finished run
+ * is read through the system object afterwards, so a result can be
+ * moved across threads (harness/parallel.hpp) without touching the
+ * world that produced it.
  */
 #pragma once
 
@@ -17,6 +20,18 @@
 
 namespace windserve::engine {
 
+/**
+ * Complete outcome of one serving-system run: the per-request results,
+ * the aggregated metrics, and the GPU footprint used for per-GPU rate
+ * normalisation. A plain value object — copyable, movable, and safe to
+ * hand to another thread.
+ */
+struct RunResult {
+    std::vector<workload::Request> requests;
+    metrics::RunMetrics metrics;
+    std::size_t num_gpus = 0;
+};
+
 /** Abstract serving system driven by the experiment harness. */
 class ServingSystem
 {
@@ -26,22 +41,32 @@ class ServingSystem
     /** Human-readable system name for tables. */
     virtual std::string name() const = 0;
 
+    /** GPUs this deployment occupies (for per-GPU rate normalisation). */
+    virtual std::size_t num_gpus() const = 0;
+
     /**
      * Replay @p trace (sorted by arrival) until every request finishes
-     * or @p horizon simulated seconds elapse. Unfinished requests remain
-     * in their last state and count against SLO attainment.
+     * or @p horizon simulated seconds elapse, then collect metrics
+     * against @p slo. Unfinished requests remain in their last state
+     * and count against SLO attainment.
+     *
+     * One-shot: a system instance models a single deployment lifetime;
+     * the per-request results are moved into the returned value.
      */
-    virtual void run(const std::vector<workload::Request> &trace,
-                     double horizon = 7200.0) = 0;
+    RunResult run(const std::vector<workload::Request> &trace,
+                  const metrics::SloSpec &slo = {},
+                  double horizon = 7200.0);
 
-    /** Per-request results after run(). */
-    virtual const std::vector<workload::Request> &requests() const = 0;
+  protected:
+    /** Replay the trace on the simulation kernel (system-specific). */
+    virtual void replay(const std::vector<workload::Request> &trace,
+                        double horizon) = 0;
 
     /** Fill instance-level utilization/counters into @p m. */
     virtual void fill_system_metrics(metrics::RunMetrics &m) = 0;
 
-    /** GPUs this deployment occupies (for per-GPU rate normalisation). */
-    virtual std::size_t num_gpus() const = 0;
+    /** Surrender ownership of the per-request results after replay. */
+    virtual std::vector<workload::Request> take_requests() = 0;
 };
 
 } // namespace windserve::engine

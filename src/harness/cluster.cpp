@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "harness/parallel.hpp"
+
 namespace windserve::harness {
 
 const char *
@@ -81,31 +83,35 @@ run_cluster(const ClusterConfig &cfg)
 
     ClusterResult out;
     out.assigned.assign(cfg.num_replicas, 0);
-    std::vector<workload::Request> merged;
-    merged.reserve(trace.size());
 
-    for (std::size_t r = 0; r < cfg.num_replicas; ++r) {
-        std::vector<workload::Request> sub;
-        for (std::size_t i = 0; i < trace.size(); ++i)
-            if (shard[i] == r)
-                sub.push_back(trace[i]);
-        out.assigned[r] = sub.size();
+    // Shard the trace up front, then simulate the replicas as
+    // independent cells on the parallel engine; each job writes only
+    // its own slot, and the merge below walks slots in replica order,
+    // so the outcome is identical at any thread count.
+    std::vector<std::vector<workload::Request>> shards(cfg.num_replicas);
+    for (std::size_t i = 0; i < trace.size(); ++i)
+        shards[shard[i]].push_back(trace[i]);
+    for (std::size_t r = 0; r < cfg.num_replicas; ++r)
+        out.assigned[r] = shards[r].size();
 
+    std::vector<engine::RunResult> runs(cfg.num_replicas);
+    parallel_for(cfg.num_replicas, cfg.jobs, [&](std::size_t r) {
         ExperimentConfig ec = cfg.replica;
         ec.seed = cfg.replica.seed + 7919 * (r + 1); // distinct jitter
         auto system = make_system(ec);
-        system->run(sub, ec.horizon);
+        runs[r] = system->run(shards[r], ec.scenario.slo, ec.horizon);
+    });
 
+    std::vector<workload::Request> merged;
+    merged.reserve(trace.size());
+    for (std::size_t r = 0; r < cfg.num_replicas; ++r) {
         ExperimentResult res;
-        res.system_name = to_string(ec.system);
-        res.per_gpu_rate = ec.per_gpu_rate;
-        metrics::Collector collector(ec.scenario.slo);
-        res.metrics = collector.collect(system->requests());
-        system->fill_system_metrics(res.metrics);
+        res.system_name = to_string(cfg.replica.system);
+        res.per_gpu_rate = cfg.replica.per_gpu_rate;
+        res.metrics = std::move(runs[r].metrics);
         out.per_replica.push_back(std::move(res));
-
-        merged.insert(merged.end(), system->requests().begin(),
-                      system->requests().end());
+        merged.insert(merged.end(), runs[r].requests.begin(),
+                      runs[r].requests.end());
     }
 
     metrics::Collector collector(cfg.replica.scenario.slo);

@@ -39,6 +39,8 @@ struct ClusterConfig {
     ExperimentConfig replica;
     std::size_t num_replicas = 2;
     RoutePolicy policy = RoutePolicy::RoundRobin;
+    /** Worker threads for replica simulation (1 = sequential). */
+    std::size_t jobs = 1;
 };
 
 /** Merged outcome of a cluster run. */

@@ -114,14 +114,12 @@ run_experiment(const ExperimentConfig &cfg)
 {
     auto system = make_system(cfg);
     auto trace = make_trace(cfg);
-    system->run(trace, cfg.horizon);
+    auto run = system->run(trace, cfg.scenario.slo, cfg.horizon);
 
     ExperimentResult result;
     result.system_name = to_string(cfg.system);
     result.per_gpu_rate = cfg.per_gpu_rate;
-    metrics::Collector collector(cfg.scenario.slo);
-    result.metrics = collector.collect(system->requests());
-    system->fill_system_metrics(result.metrics);
+    result.metrics = std::move(run.metrics);
 
     if (auto *ws = dynamic_cast<core::WindServeSystem *>(system.get())) {
         result.dispatches = ws->scheduler().coordinator().dispatches();

@@ -1,0 +1,89 @@
+#include "harness/parallel.hpp"
+
+#include <atomic>
+#include <exception>
+#include <thread>
+
+namespace windserve::harness {
+
+std::size_t
+default_jobs()
+{
+    std::size_t n = std::thread::hardware_concurrency();
+    return n ? n : 1;
+}
+
+void
+parallel_for(std::size_t count, std::size_t jobs,
+             const std::function<void(std::size_t)> &body)
+{
+    if (count == 0)
+        return;
+    if (jobs <= 1 || count == 1) {
+        for (std::size_t i = 0; i < count; ++i)
+            body(i);
+        return;
+    }
+
+    std::atomic<std::size_t> next{0};
+    std::atomic<bool> cancelled{false};
+    std::exception_ptr first_error;
+    std::mutex error_mu;
+
+    auto worker = [&] {
+        for (;;) {
+            if (cancelled.load(std::memory_order_relaxed))
+                return;
+            std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= count)
+                return;
+            try {
+                body(i);
+            } catch (...) {
+                // First failure wins; unclaimed jobs are cancelled.
+                std::lock_guard<std::mutex> lock(error_mu);
+                if (!first_error)
+                    first_error = std::current_exception();
+                cancelled.store(true, std::memory_order_relaxed);
+            }
+        }
+    };
+
+    std::vector<std::thread> pool;
+    std::size_t workers = jobs < count ? jobs : count;
+    pool.reserve(workers);
+    for (std::size_t t = 0; t < workers; ++t)
+        pool.emplace_back(worker);
+    for (auto &th : pool)
+        th.join();
+
+    if (first_error)
+        std::rethrow_exception(first_error);
+}
+
+OrderedReporter::OrderedReporter(std::size_t total,
+                                 std::function<void(std::size_t)> deliver)
+    : done_(total, false), deliver_(std::move(deliver))
+{}
+
+void
+OrderedReporter::complete(std::size_t index)
+{
+    if (!deliver_)
+        return;
+    std::lock_guard<std::mutex> lock(mu_);
+    done_.at(index) = true;
+    while (next_ < done_.size() && done_[next_]) {
+        deliver_(next_);
+        ++next_;
+    }
+}
+
+std::size_t
+OrderedReporter::delivered() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return next_;
+}
+
+} // namespace windserve::harness

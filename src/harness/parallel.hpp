@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Deterministic parallel job execution for experiment grids.
+ *
+ * Every paper figure is a grid of INDEPENDENT simulations: each cell
+ * owns its Simulator, Rng, instances and stats, and shares nothing
+ * mutable with other cells (the log level, the only process-wide
+ * state, is atomic). That makes cells embarrassingly parallel: this
+ * module schedules them on a small fixed-size thread pool, with
+ * results landing in pre-allocated slots so output order never depends
+ * on completion order. Combined with per-cell RNG streams
+ * (harness/sweep.hpp's derive_cell_seed), a grid's results are
+ * bit-identical at any thread count.
+ *
+ * The same plumbing (index queue, result slots, cancellation on first
+ * failure, in-order completion reporting) backs run_sweep,
+ * search_placements and the figure benchmark drivers.
+ */
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <vector>
+
+namespace windserve::harness {
+
+/** Worker-thread count to use when the caller does not care: the
+ *  machine's hardware concurrency (>= 1). */
+std::size_t default_jobs();
+
+/**
+ * Run body(i) for every i in [0, count) on up to @p jobs worker
+ * threads, blocking until all jobs finish. jobs <= 1 (or count <= 1)
+ * executes inline on the calling thread with no pool at all, so the
+ * sequential path stays exactly the old code path.
+ *
+ * Indices are claimed from an atomic counter in order, but bodies may
+ * FINISH in any order — bodies must only write state owned by their
+ * own index. If a body throws, the remaining unclaimed jobs are
+ * cancelled and the first exception is rethrown on the calling thread
+ * after all workers drain.
+ */
+void parallel_for(std::size_t count, std::size_t jobs,
+                  const std::function<void(std::size_t)> &body);
+
+/**
+ * In-order delivery of out-of-order completions.
+ *
+ * Workers call complete(i) when slot i's result is fully written; the
+ * deliver callback then fires for consecutive indices 0, 1, 2, ...
+ * regardless of which thread finished first, so progress output reads
+ * coherently and identically at every thread count. Delivery happens
+ * under an internal mutex on whichever worker thread completed the
+ * gating index; the mutex also sequences the slot write before the
+ * matching deliver call.
+ */
+class OrderedReporter
+{
+  public:
+    /** @p deliver may be empty, making complete() a cheap no-op path. */
+    OrderedReporter(std::size_t total,
+                    std::function<void(std::size_t)> deliver);
+
+    /** Mark slot @p index done (thread-safe). */
+    void complete(std::size_t index);
+
+    /** Slots delivered so far (for tests; racy outside quiescence). */
+    std::size_t delivered() const;
+
+  private:
+    mutable std::mutex mu_;
+    std::vector<bool> done_;
+    std::size_t next_ = 0;
+    std::function<void(std::size_t)> deliver_;
+};
+
+} // namespace windserve::harness

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "harness/parallel.hpp"
 #include "hw/gpu_spec.hpp"
 
 namespace windserve::harness {
@@ -87,9 +88,14 @@ evaluate_placement(const PlacementSearchConfig &cfg,
 std::vector<PlacementScore>
 search_placements(const PlacementSearchConfig &cfg)
 {
-    std::vector<PlacementScore> scores;
-    for (const auto &cand : enumerate_placements(cfg))
-        scores.push_back(evaluate_placement(cfg, cand));
+    // Candidate simulations are independent cells; evaluate them on
+    // the shared parallel engine. Slots keep enumeration order, so the
+    // stable sort below is deterministic at any thread count.
+    auto candidates = enumerate_placements(cfg);
+    std::vector<PlacementScore> scores(candidates.size());
+    parallel_for(candidates.size(), cfg.jobs, [&](std::size_t i) {
+        scores[i] = evaluate_placement(cfg, candidates[i]);
+    });
     std::stable_sort(
         scores.begin(), scores.end(),
         [](const PlacementScore &a, const PlacementScore &b) {

@@ -44,6 +44,8 @@ struct PlacementSearchConfig {
     /** Candidate TP and PP degrees per instance. */
     std::vector<std::size_t> tp_options{1, 2, 4};
     std::vector<std::size_t> pp_options{1, 2};
+    /** Worker threads for candidate evaluation (1 = sequential). */
+    std::size_t jobs = 1;
 };
 
 /** Scored candidate. */

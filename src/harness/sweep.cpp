@@ -1,30 +1,157 @@
 #include "harness/sweep.hpp"
 
+#include <cstring>
+
+#include "harness/parallel.hpp"
+
 namespace windserve::harness {
+
+namespace {
+
+/** splitmix64 finalizer: full-avalanche 64-bit mixing. */
+std::uint64_t
+mix64(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+} // namespace
+
+std::uint64_t
+derive_cell_seed(std::uint64_t base_seed, SystemKind system,
+                 double per_gpu_rate)
+{
+    std::uint64_t rate_bits = 0;
+    static_assert(sizeof(rate_bits) == sizeof(per_gpu_rate));
+    std::memcpy(&rate_bits, &per_gpu_rate, sizeof(rate_bits));
+    std::uint64_t h = mix64(base_seed);
+    h = mix64(h ^ (static_cast<std::uint64_t>(system) + 1));
+    h = mix64(h ^ rate_bits);
+    return h;
+}
+
+std::vector<ExperimentResult>
+run_experiments(const std::vector<ExperimentConfig> &cells,
+                std::size_t jobs, const SweepProgress &progress)
+{
+    // Pre-allocated result slots: each job writes only its own index,
+    // so no completion order can reorder the output.
+    std::vector<ExperimentResult> slots(cells.size());
+    std::function<void(std::size_t)> deliver;
+    if (progress)
+        deliver = [&progress, &slots, total = cells.size()](std::size_t i) {
+            progress(i, total, slots[i]);
+        };
+    OrderedReporter reporter(cells.size(), std::move(deliver));
+    parallel_for(cells.size(), jobs, [&](std::size_t i) {
+        slots[i] = run_experiment(cells[i]);
+        reporter.complete(i);
+    });
+    return slots;
+}
+
+SweepBuilder &
+SweepBuilder::scenario(const Scenario &s)
+{
+    cfg_.scenario = s;
+    return *this;
+}
+
+SweepBuilder &
+SweepBuilder::systems(std::vector<SystemKind> s)
+{
+    cfg_.systems = std::move(s);
+    return *this;
+}
+
+SweepBuilder &
+SweepBuilder::rates(std::vector<double> r)
+{
+    cfg_.per_gpu_rates = std::move(r);
+    return *this;
+}
+
+SweepBuilder &
+SweepBuilder::num_requests(std::size_t n)
+{
+    cfg_.num_requests = n;
+    return *this;
+}
+
+SweepBuilder &
+SweepBuilder::seed(std::uint64_t s)
+{
+    cfg_.seed = s;
+    return *this;
+}
+
+SweepBuilder &
+SweepBuilder::horizon(double h)
+{
+    cfg_.horizon = h;
+    return *this;
+}
+
+SweepBuilder &
+SweepBuilder::jobs(std::size_t j)
+{
+    cfg_.jobs = j ? j : 1;
+    return *this;
+}
+
+SweepBuilder &
+SweepBuilder::on_progress(SweepProgress fn)
+{
+    progress_ = std::move(fn);
+    return *this;
+}
+
+SweepResult
+SweepBuilder::run() const
+{
+    const std::size_t num_rates = cfg_.per_gpu_rates.size();
+    std::vector<ExperimentConfig> cells;
+    cells.reserve(cfg_.systems.size() * num_rates);
+    for (SystemKind system : cfg_.systems) {
+        for (double rate : cfg_.per_gpu_rates) {
+            ExperimentConfig ec;
+            ec.scenario = cfg_.scenario;
+            ec.system = system;
+            ec.per_gpu_rate = rate;
+            ec.num_requests = cfg_.num_requests;
+            ec.seed = derive_cell_seed(cfg_.seed, system, rate);
+            ec.horizon = cfg_.horizon;
+            cells.push_back(std::move(ec));
+        }
+    }
+
+    auto flat = run_experiments(cells, cfg_.jobs, progress_);
+
+    SweepResult out;
+    out.config = cfg_;
+    out.results.resize(cfg_.systems.size());
+    for (std::size_t i = 0; i < cfg_.systems.size(); ++i) {
+        out.results[i].reserve(num_rates);
+        for (std::size_t j = 0; j < num_rates; ++j)
+            out.results[i].push_back(std::move(flat[i * num_rates + j]));
+    }
+    return out;
+}
 
 SweepResult
 run_sweep(const SweepConfig &cfg,
           const std::function<void(const ExperimentResult &)> &progress)
 {
-    SweepResult out;
-    out.config = cfg;
-    out.results.resize(cfg.systems.size());
-    for (std::size_t i = 0; i < cfg.systems.size(); ++i) {
-        for (double rate : cfg.per_gpu_rates) {
-            ExperimentConfig ec;
-            ec.scenario = cfg.scenario;
-            ec.system = cfg.systems[i];
-            ec.per_gpu_rate = rate;
-            ec.num_requests = cfg.num_requests;
-            ec.seed = cfg.seed;
-            ec.horizon = cfg.horizon;
-            ExperimentResult r = run_experiment(ec);
-            if (progress)
-                progress(r);
-            out.results[i].push_back(std::move(r));
-        }
-    }
-    return out;
+    SweepBuilder builder(cfg);
+    if (progress)
+        builder.on_progress([&progress](std::size_t, std::size_t,
+                                        const ExperimentResult &r) {
+            progress(r);
+        });
+    return builder.run();
 }
 
 } // namespace windserve::harness

@@ -1,6 +1,24 @@
 /**
  * @file
  * Request-rate sweeps across systems — the x-axis of Figs. 1, 10, 11.
+ *
+ * A sweep is a grid of independent (system, per-GPU rate) experiment
+ * cells over one scenario. Cells execute on the parallel engine
+ * (harness/parallel.hpp): each cell derives its own RNG stream from
+ * (seed, system, rate), so the grid's results are bit-identical
+ * regardless of worker-thread count or completion order, and progress
+ * is reported in cell order even when cells finish out of order.
+ *
+ * Preferred API (fluent builder):
+ *
+ *   auto sweep = SweepBuilder()
+ *                    .scenario(Scenario::opt13b_sharegpt())
+ *                    .rates({2.0, 3.0, 4.0})
+ *                    .num_requests(2500)
+ *                    .jobs(4)
+ *                    .on_progress([](std::size_t k, std::size_t total,
+ *                                    const ExperimentResult &r) { ... })
+ *                    .run();
  */
 #pragma once
 
@@ -21,6 +39,8 @@ struct SweepConfig {
     std::size_t num_requests = 2500;
     std::uint64_t seed = 42;
     double horizon = 7200.0;
+    /** Worker threads for the grid (1 = sequential). */
+    std::size_t jobs = 1;
 };
 
 /** Results grouped by system, in rate order. */
@@ -31,10 +51,66 @@ struct SweepResult {
 };
 
 /**
- * Run the full grid. @p progress (optional) is invoked after each cell
- * with the finished result.
+ * Progress callback: (cell_index, total_cells, finished result).
+ * Cells are numbered system-major (i * num_rates + j) and ALWAYS
+ * reported in index order, at every thread count.
  */
-SweepResult run_sweep(
+using SweepProgress = std::function<void(
+    std::size_t cell_index, std::size_t total_cells,
+    const ExperimentResult &result)>;
+
+/**
+ * Derive the independent RNG stream of one grid cell from the sweep
+ * seed and the cell's coordinates (splitmix64 mixing). Cells therefore
+ * never share a generator state, and a cell's result depends only on
+ * its own coordinates — the determinism contract of the parallel
+ * engine.
+ */
+std::uint64_t derive_cell_seed(std::uint64_t base_seed, SystemKind system,
+                               double per_gpu_rate);
+
+/**
+ * Run a flat list of independent experiment cells on @p jobs worker
+ * threads. Results land in input order; @p progress fires in input
+ * order. On a cell failure, unstarted cells are cancelled and the
+ * first exception is rethrown.
+ */
+std::vector<ExperimentResult>
+run_experiments(const std::vector<ExperimentConfig> &cells,
+                std::size_t jobs = 1, const SweepProgress &progress = {});
+
+/** Fluent construction of a sweep; run() executes the grid. */
+class SweepBuilder
+{
+  public:
+    SweepBuilder() = default;
+    explicit SweepBuilder(SweepConfig cfg) : cfg_(std::move(cfg)) {}
+
+    SweepBuilder &scenario(const Scenario &s);
+    SweepBuilder &systems(std::vector<SystemKind> s);
+    SweepBuilder &rates(std::vector<double> r);
+    SweepBuilder &num_requests(std::size_t n);
+    SweepBuilder &seed(std::uint64_t s);
+    SweepBuilder &horizon(double h);
+    SweepBuilder &jobs(std::size_t j);
+    SweepBuilder &on_progress(SweepProgress fn);
+
+    const SweepConfig &config() const { return cfg_; }
+
+    /** Execute the grid and return results grouped [system][rate]. */
+    SweepResult run() const;
+
+  private:
+    SweepConfig cfg_;
+    SweepProgress progress_;
+};
+
+/**
+ * @deprecated Thin shim over SweepBuilder for the original sequential
+ * API; the callback receives only the result, in cell order. New code
+ * should use SweepBuilder, which adds jobs() and indexed progress.
+ */
+[[deprecated("use SweepBuilder")]] SweepResult run_sweep(
     const SweepConfig &cfg,
     const std::function<void(const ExperimentResult &)> &progress = {});
 

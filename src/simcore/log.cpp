@@ -4,25 +4,25 @@
 
 namespace windserve::sim {
 
-LogLevel Log::level_ = LogLevel::Off;
+std::atomic<LogLevel> Log::level_{LogLevel::Off};
 
 LogLevel
 Log::level()
 {
-    return level_;
+    return level_.load(std::memory_order_relaxed);
 }
 
 void
 Log::set_level(LogLevel lvl)
 {
-    level_ = lvl;
+    level_.store(lvl, std::memory_order_relaxed);
 }
 
 void
 Log::write(LogLevel lvl, const std::string &component,
            const std::string &message)
 {
-    if (level_ < lvl)
+    if (level() < lvl)
         return;
     static const char *names[] = {"off", "error", "warn",
                                   "info", "debug", "trace"};

@@ -7,6 +7,7 @@
  */
 #pragma once
 
+#include <atomic>
 #include <sstream>
 #include <string>
 
@@ -14,7 +15,13 @@ namespace windserve::sim {
 
 enum class LogLevel { Off = 0, Error, Warn, Info, Debug, Trace };
 
-/** Global log configuration (process-wide; simulator is single-threaded). */
+/**
+ * Global log configuration. The level is the only process-wide mutable
+ * state in the simulation core; it is atomic so concurrent experiment
+ * cells (harness/parallel.hpp) may read it while a driver thread
+ * adjusts verbosity. Each message is emitted with a single fprintf so
+ * lines from concurrent cells never interleave mid-line.
+ */
 class Log
 {
   public:
@@ -26,7 +33,7 @@ class Log
                       const std::string &message);
 
   private:
-    static LogLevel level_;
+    static std::atomic<LogLevel> level_;
 };
 
 /** Streaming helper: WS_LOG(Debug, "engine") << "batch size " << n; */

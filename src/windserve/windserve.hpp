@@ -76,6 +76,7 @@
 #include "harness/cluster.hpp"
 #include "harness/configs.hpp"
 #include "harness/experiment.hpp"
+#include "harness/parallel.hpp"
 #include "harness/sweep.hpp"
 #include "harness/placement_search.hpp"
 #include "harness/table.hpp"

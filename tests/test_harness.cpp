@@ -105,14 +105,19 @@ TEST(Experiment, ThresholdOverridePlumbs)
 
 TEST(Sweep, GridShapeAndOrdering)
 {
-    hs::SweepConfig sc;
-    sc.systems = {hs::SystemKind::WindServe, hs::SystemKind::DistServe};
-    sc.per_gpu_rates = {0.5, 1.0};
-    sc.num_requests = 120;
     std::size_t cells = 0;
-    auto result = hs::run_sweep(sc, [&](const hs::ExperimentResult &) {
-        ++cells;
-    });
+    auto result =
+        hs::SweepBuilder()
+            .systems({hs::SystemKind::WindServe, hs::SystemKind::DistServe})
+            .rates({0.5, 1.0})
+            .num_requests(120)
+            .on_progress([&](std::size_t k, std::size_t total,
+                             const hs::ExperimentResult &) {
+                EXPECT_EQ(k, cells); // strictly in cell order
+                EXPECT_EQ(total, 4u);
+                ++cells;
+            })
+            .run();
     EXPECT_EQ(cells, 4u);
     ASSERT_EQ(result.results.size(), 2u);
     ASSERT_EQ(result.results[0].size(), 2u);
@@ -123,11 +128,11 @@ TEST(Sweep, GridShapeAndOrdering)
 
 TEST(Sweep, LatencyDegradesWithRate)
 {
-    hs::SweepConfig sc;
-    sc.systems = {hs::SystemKind::DistServe};
-    sc.per_gpu_rates = {1.0, 5.0};
-    sc.num_requests = 400;
-    auto result = hs::run_sweep(sc);
+    auto result = hs::SweepBuilder()
+                      .systems({hs::SystemKind::DistServe})
+                      .rates({1.0, 5.0})
+                      .num_requests(400)
+                      .run();
     EXPECT_LT(result.results[0][0].metrics.ttft.median(),
               result.results[0][1].metrics.ttft.median());
 }

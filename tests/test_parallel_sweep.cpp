@@ -1,0 +1,264 @@
+/**
+ * @file
+ * Determinism and plumbing tests for the parallel sweep engine:
+ * a grid's results must be BIT-identical at every thread count, cells
+ * must own independent RNG streams, progress must arrive in cell order
+ * regardless of completion order, and a failing cell must cancel the
+ * rest and surface its exception.
+ */
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <stdexcept>
+#include <thread>
+
+#include "harness/parallel.hpp"
+#include "harness/sweep.hpp"
+
+namespace hs = windserve::harness;
+
+namespace {
+
+/** Bit-exact equality of two samples (order-sensitive on purpose:
+ *  requests are collected in trace order, which must not depend on
+ *  scheduling). */
+void
+expect_sample_identical(const windserve::sim::Sample &a,
+                        const windserve::sim::Sample &b,
+                        const std::string &what)
+{
+    ASSERT_EQ(a.count(), b.count()) << what;
+    const auto &xs = a.values();
+    const auto &ys = b.values();
+    for (std::size_t i = 0; i < xs.size(); ++i)
+        ASSERT_EQ(xs[i], ys[i]) << what << "[" << i << "]";
+}
+
+void
+expect_result_identical(const hs::ExperimentResult &a,
+                        const hs::ExperimentResult &b)
+{
+    ASSERT_EQ(a.system_name, b.system_name);
+    ASSERT_EQ(a.per_gpu_rate, b.per_gpu_rate);
+    expect_sample_identical(a.metrics.ttft, b.metrics.ttft,
+                            a.system_name + " ttft");
+    expect_sample_identical(a.metrics.tpot, b.metrics.tpot,
+                            a.system_name + " tpot");
+    expect_sample_identical(a.metrics.e2e, b.metrics.e2e,
+                            a.system_name + " e2e");
+    expect_sample_identical(a.metrics.itl_max, b.metrics.itl_max,
+                            a.system_name + " itl_max");
+    ASSERT_EQ(a.metrics.slo_attainment, b.metrics.slo_attainment);
+    ASSERT_EQ(a.metrics.num_finished, b.metrics.num_finished);
+    ASSERT_EQ(a.metrics.swap_out_events, b.metrics.swap_out_events);
+    ASSERT_EQ(a.metrics.makespan, b.metrics.makespan);
+    ASSERT_EQ(a.dispatches, b.dispatches);
+    ASSERT_EQ(a.reschedules, b.reschedules);
+    ASSERT_EQ(a.migrations_completed, b.migrations_completed);
+    ASSERT_EQ(a.backups, b.backups);
+    ASSERT_EQ(a.decode_swap_outs, b.decode_swap_outs);
+}
+
+hs::SweepBuilder
+small_grid()
+{
+    return hs::SweepBuilder()
+        .scenario(hs::Scenario::opt13b_sharegpt())
+        .systems({hs::SystemKind::WindServe, hs::SystemKind::DistServe,
+                  hs::SystemKind::Vllm})
+        .rates({0.5, 1.0, 1.5, 2.0})
+        .num_requests(120)
+        .seed(2025);
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// Tentpole acceptance: 3 systems x 4 rates, bit-identical at
+// --jobs {1, 2, 8} regardless of completion order.
+// ---------------------------------------------------------------------
+
+TEST(ParallelSweep, GridBitIdenticalAcrossThreadCounts)
+{
+    auto seq = small_grid().jobs(1).run();
+    for (std::size_t jobs : {2u, 8u}) {
+        auto par = small_grid().jobs(jobs).run();
+        ASSERT_EQ(par.results.size(), seq.results.size());
+        for (std::size_t i = 0; i < seq.results.size(); ++i) {
+            ASSERT_EQ(par.results[i].size(), seq.results[i].size());
+            for (std::size_t j = 0; j < seq.results[i].size(); ++j)
+                expect_result_identical(seq.results[i][j],
+                                        par.results[i][j]);
+        }
+    }
+}
+
+TEST(ParallelSweep, ProgressArrivesInCellOrderAtAnyThreadCount)
+{
+    for (std::size_t jobs : {1u, 8u}) {
+        std::vector<std::size_t> order;
+        std::size_t total_seen = 0;
+        auto result =
+            small_grid()
+                .jobs(jobs)
+                .on_progress([&](std::size_t k, std::size_t total,
+                                 const hs::ExperimentResult &r) {
+                    order.push_back(k);
+                    total_seen = total;
+                    EXPECT_FALSE(r.system_name.empty());
+                })
+                .run();
+        ASSERT_EQ(order.size(), 12u) << "jobs=" << jobs;
+        EXPECT_EQ(total_seen, 12u);
+        for (std::size_t k = 0; k < order.size(); ++k)
+            EXPECT_EQ(order[k], k) << "jobs=" << jobs;
+        // Cell numbering is system-major: cell 0 is systems[0] at the
+        // lowest rate.
+        EXPECT_EQ(result.results[0][0].system_name, "WindServe");
+    }
+}
+
+TEST(ParallelSweep, FailingCellCancelsAndRethrows)
+{
+    std::atomic<std::size_t> started{0};
+    EXPECT_THROW(
+        hs::parallel_for(64, 4,
+                         [&](std::size_t i) {
+                             started.fetch_add(1);
+                             if (i == 3)
+                                 throw std::runtime_error("cell 3 died");
+                             // Give the canceller a chance to win the
+                             // race for the remaining indices.
+                             std::this_thread::sleep_for(
+                                 std::chrono::milliseconds(1));
+                         }),
+        std::runtime_error);
+    // Cancellation is best-effort (in-flight cells finish), but the
+    // bulk of the 64 jobs must never start.
+    EXPECT_LT(started.load(), 64u);
+}
+
+// ---------------------------------------------------------------------
+// Per-cell RNG independence
+// ---------------------------------------------------------------------
+
+TEST(ParallelSweep, CellSeedsAreUniqueAcrossGrid)
+{
+    std::set<std::uint64_t> seen;
+    for (auto system : {hs::SystemKind::WindServe, hs::SystemKind::DistServe,
+                        hs::SystemKind::Vllm, hs::SystemKind::WindServeNoSplit})
+        for (double rate : {0.25, 0.5, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0})
+            for (std::uint64_t seed : {1ull, 42ull, 2025ull})
+                seen.insert(hs::derive_cell_seed(seed, system, rate));
+    // 4 systems x 8 rates x 3 base seeds: every derived stream distinct.
+    EXPECT_EQ(seen.size(), 4u * 8u * 3u);
+}
+
+TEST(ParallelSweep, CellSeedIsAPureFunctionOfCoordinates)
+{
+    auto a = hs::derive_cell_seed(42, hs::SystemKind::WindServe, 2.0);
+    auto b = hs::derive_cell_seed(42, hs::SystemKind::WindServe, 2.0);
+    EXPECT_EQ(a, b);
+    EXPECT_NE(a, hs::derive_cell_seed(43, hs::SystemKind::WindServe, 2.0));
+    EXPECT_NE(a, hs::derive_cell_seed(42, hs::SystemKind::DistServe, 2.0));
+    EXPECT_NE(a, hs::derive_cell_seed(42, hs::SystemKind::WindServe, 2.5));
+}
+
+TEST(ParallelSweep, CellTracesAreIndependentAcrossCells)
+{
+    // Two cells at the same rate but different systems draw from
+    // different streams, so their traces differ; the SAME cell
+    // regenerates the identical trace.
+    hs::ExperimentConfig a;
+    a.seed = hs::derive_cell_seed(7, hs::SystemKind::WindServe, 2.0);
+    hs::ExperimentConfig b = a;
+    b.seed = hs::derive_cell_seed(7, hs::SystemKind::DistServe, 2.0);
+
+    auto ta = hs::make_trace(a);
+    auto ta2 = hs::make_trace(a);
+    auto tb = hs::make_trace(b);
+    ASSERT_EQ(ta.size(), ta2.size());
+    bool same_as_self = true, same_as_other = true;
+    for (std::size_t i = 0; i < ta.size(); ++i) {
+        same_as_self &= ta[i].arrival_time == ta2[i].arrival_time &&
+                        ta[i].prompt_tokens == ta2[i].prompt_tokens;
+        same_as_other &= ta[i].arrival_time == tb[i].arrival_time &&
+                         ta[i].prompt_tokens == tb[i].prompt_tokens;
+    }
+    EXPECT_TRUE(same_as_self);
+    EXPECT_FALSE(same_as_other);
+}
+
+// ---------------------------------------------------------------------
+// Engine plumbing
+// ---------------------------------------------------------------------
+
+TEST(ParallelSweep, RunExperimentsKeepsInputOrder)
+{
+    std::vector<hs::ExperimentConfig> cells(3);
+    cells[0].system = hs::SystemKind::Vllm;
+    cells[1].system = hs::SystemKind::DistServe;
+    cells[2].system = hs::SystemKind::WindServe;
+    for (auto &c : cells) {
+        c.num_requests = 60;
+        c.per_gpu_rate = 1.0;
+    }
+    auto results = hs::run_experiments(cells, 3);
+    ASSERT_EQ(results.size(), 3u);
+    EXPECT_EQ(results[0].system_name, "vLLM");
+    EXPECT_EQ(results[1].system_name, "DistServe");
+    EXPECT_EQ(results[2].system_name, "WindServe");
+}
+
+TEST(ParallelSweep, OrderedReporterHoldsBackOutOfOrderCompletions)
+{
+    std::vector<std::size_t> delivered;
+    hs::OrderedReporter rep(4, [&](std::size_t i) {
+        delivered.push_back(i);
+    });
+    rep.complete(2);
+    EXPECT_TRUE(delivered.empty());
+    rep.complete(0);
+    EXPECT_EQ(delivered, (std::vector<std::size_t>{0}));
+    rep.complete(1);
+    EXPECT_EQ(delivered, (std::vector<std::size_t>{0, 1, 2}));
+    rep.complete(3);
+    EXPECT_EQ(delivered, (std::vector<std::size_t>{0, 1, 2, 3}));
+    EXPECT_EQ(rep.delivered(), 4u);
+}
+
+TEST(ParallelSweep, ParallelForCoversEveryIndexExactlyOnce)
+{
+    std::vector<std::atomic<int>> hits(257);
+    for (auto &h : hits)
+        h.store(0);
+    hs::parallel_for(hits.size(), 8, [&](std::size_t i) {
+        hits[i].fetch_add(1);
+    });
+    for (std::size_t i = 0; i < hits.size(); ++i)
+        ASSERT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(ParallelSweep, DeprecatedShimMatchesBuilder)
+{
+    hs::SweepConfig sc;
+    sc.systems = {hs::SystemKind::DistServe};
+    sc.per_gpu_rates = {0.5, 1.0};
+    sc.num_requests = 80;
+
+    std::size_t calls = 0;
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+    auto old_api = hs::run_sweep(sc, [&](const hs::ExperimentResult &) {
+        ++calls;
+    });
+#pragma GCC diagnostic pop
+    EXPECT_EQ(calls, 2u);
+
+    auto new_api = hs::SweepBuilder(sc).run();
+    ASSERT_EQ(old_api.results.size(), 1u);
+    ASSERT_EQ(old_api.results[0].size(), 2u);
+    expect_result_identical(old_api.results[0][0], new_api.results[0][0]);
+    expect_result_identical(old_api.results[0][1], new_api.results[0][1]);
+}

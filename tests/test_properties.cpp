@@ -54,19 +54,25 @@ class ServingInvariants : public ::testing::TestWithParam<PropertyParam>
         cfg_.horizon = 36000.0;
         system_ = hs::make_system(cfg_);
         trace_ = hs::make_trace(cfg_);
-        system_->run(trace_, cfg_.horizon);
+        result_ = system_->run(trace_, cfg_.scenario.slo, cfg_.horizon);
+    }
+
+    const std::vector<wl::Request> &requests() const
+    {
+        return result_.requests;
     }
 
     hs::ExperimentConfig cfg_;
     std::unique_ptr<windserve::engine::ServingSystem> system_;
     std::vector<wl::Request> trace_;
+    windserve::engine::RunResult result_;
 };
 
 } // namespace
 
 TEST_P(ServingInvariants, EveryRequestFinishes)
 {
-    for (const auto &r : system_->requests()) {
+    for (const auto &r : requests()) {
         EXPECT_TRUE(r.finished())
             << "request " << r.id << " stuck in " << to_string(r.state);
     }
@@ -74,7 +80,7 @@ TEST_P(ServingInvariants, EveryRequestFinishes)
 
 TEST_P(ServingInvariants, TimestampsAreMonotone)
 {
-    for (const auto &r : system_->requests()) {
+    for (const auto &r : requests()) {
         if (!r.finished())
             continue;
         EXPECT_GE(r.prefill_enqueue_time, r.arrival_time);
@@ -94,7 +100,7 @@ TEST_P(ServingInvariants, TimestampsAreMonotone)
 
 TEST_P(ServingInvariants, TokenConservation)
 {
-    for (const auto &r : system_->requests()) {
+    for (const auto &r : requests()) {
         if (!r.finished())
             continue;
         EXPECT_EQ(r.generated, r.output_tokens);
@@ -104,7 +110,7 @@ TEST_P(ServingInvariants, TokenConservation)
 
 TEST_P(ServingInvariants, LatenciesNonNegativeAndFinite)
 {
-    for (const auto &r : system_->requests()) {
+    for (const auto &r : requests()) {
         if (!r.finished())
             continue;
         EXPECT_GE(r.ttft(), 0.0);
@@ -118,9 +124,7 @@ TEST_P(ServingInvariants, LatenciesNonNegativeAndFinite)
 
 TEST_P(ServingInvariants, MetricsWellFormed)
 {
-    windserve::metrics::Collector col(cfg_.scenario.slo);
-    auto m = col.collect(system_->requests());
-    system_->fill_system_metrics(m);
+    const auto &m = result_.metrics;
     EXPECT_GE(m.slo_attainment, 0.0);
     EXPECT_LE(m.slo_attainment, 1.0);
     EXPECT_LE(m.slo_attainment, m.ttft_attainment + 1e-12);
@@ -136,7 +140,7 @@ TEST_P(ServingInvariants, AllKvBlocksReleasedAtEnd)
 {
     // Once every request finished, no instance may still hold blocks.
     bool all_done = true;
-    for (const auto &r : system_->requests())
+    for (const auto &r : requests())
         all_done &= r.finished();
     if (!all_done)
         GTEST_SKIP() << "not all requests finished within horizon";
@@ -160,9 +164,9 @@ TEST_P(ServingInvariants, AllKvBlocksReleasedAtEnd)
 TEST_P(ServingInvariants, ReplayIsDeterministic)
 {
     auto second = hs::make_system(cfg_);
-    second->run(trace_, cfg_.horizon);
-    const auto &a = system_->requests();
-    const auto &b = second->requests();
+    auto rerun = second->run(trace_, cfg_.scenario.slo, cfg_.horizon);
+    const auto &a = requests();
+    const auto &b = rerun.requests;
     ASSERT_EQ(a.size(), b.size());
     for (std::size_t i = 0; i < a.size(); ++i) {
         EXPECT_DOUBLE_EQ(a[i].first_token_time, b[i].first_token_time);

@@ -233,10 +233,10 @@ TEST(Regression, MigrationsNeverLeakSourceBlocks)
     ec.horizon = 36000.0;
     auto sys = hs::make_system(ec);
     auto trace = hs::make_trace(ec);
-    sys->run(trace, ec.horizon);
+    auto rr = sys->run(trace, ec.scenario.slo, ec.horizon);
     auto *ws = dynamic_cast<windserve::core::WindServeSystem *>(sys.get());
     ASSERT_NE(ws, nullptr);
-    for (const auto &r : sys->requests())
+    for (const auto &r : rr.requests)
         ASSERT_TRUE(r.finished());
     EXPECT_GT(ws->migration().completed(), 0u);
     EXPECT_EQ(ws->decode_instance().blocks().used_blocks(), 0u);

@@ -51,8 +51,8 @@ TEST(WindServeSystem, CompletesModerateLoad)
     core::WindServeConfig cfg;
     auto trace = small_trace(8.0, 400);
     core::WindServeSystem sys(cfg);
-    sys.run(trace);
-    expect_all_finished_sane(sys.requests());
+    auto rr = sys.run(trace);
+    expect_all_finished_sane(rr.requests);
     // All KV returned.
     EXPECT_EQ(sys.prefill_instance().blocks().used_blocks(), 0u);
     EXPECT_EQ(sys.decode_instance().blocks().used_blocks(), 0u);
@@ -63,9 +63,9 @@ TEST(WindServeSystem, DeterministicAcrossRuns)
     auto run_once = [] {
         core::WindServeConfig cfg;
         core::WindServeSystem sys(cfg);
-        sys.run(small_trace(10.0, 300));
+        auto rr = sys.run(small_trace(10.0, 300));
         std::vector<double> fts;
-        for (const auto &r : sys.requests())
+        for (const auto &r : rr.requests)
             fts.push_back(r.finish_time);
         return fts;
     };
@@ -77,9 +77,9 @@ TEST(WindServeSystem, TtftNeverBelowPurePrefillTime)
     core::WindServeConfig cfg;
     cfg.exec_noise_sigma = 0.0;
     core::WindServeSystem sys(cfg);
-    sys.run(small_trace(6.0, 200));
+    auto rr = sys.run(small_trace(6.0, 200));
     const auto &cost = sys.prefill_instance().cost();
-    for (const auto &r : sys.requests()) {
+    for (const auto &r : rr.requests) {
         // TTFT includes at least the prompt's own pass time (possibly
         // within a bigger batch; batch time > own time).
         EXPECT_GE(r.ttft() * 1.000001,
@@ -92,9 +92,9 @@ TEST(WindServeSystem, DispatchEngagesUnderOverload)
 {
     core::WindServeConfig cfg;
     core::WindServeSystem sys(cfg);
-    sys.run(small_trace(24.0, 600)); // beyond prefill capacity
+    auto rr = sys.run(small_trace(24.0, 600)); // beyond prefill capacity
     std::size_t dispatched = 0;
-    for (const auto &r : sys.requests())
+    for (const auto &r : rr.requests)
         dispatched += r.prefill_dispatched;
     EXPECT_GT(dispatched, 10u);
     EXPECT_GT(sys.scheduler().coordinator().dispatches(), 10u);
@@ -114,8 +114,8 @@ TEST(DistServeSystem, CompletesModerateLoad)
 {
     bl::DistServeConfig cfg;
     bl::DistServeSystem sys(cfg);
-    sys.run(small_trace(8.0, 400));
-    expect_all_finished_sane(sys.requests());
+    auto rr = sys.run(small_trace(8.0, 400));
+    expect_all_finished_sane(rr.requests);
     EXPECT_EQ(sys.prefill_instance().blocks().used_blocks(), 0u);
     EXPECT_EQ(sys.decode_instance().blocks().used_blocks(), 0u);
 }
@@ -125,10 +125,10 @@ TEST(DistServeSystem, TransferDelaysDecodeStart)
     bl::DistServeConfig cfg;
     cfg.exec_noise_sigma = 0.0;
     bl::DistServeSystem sys(cfg);
-    sys.run(small_trace(2.0, 100));
+    auto rr = sys.run(small_trace(2.0, 100));
     double kv_per_token =
         cfg.model.kv_bytes_per_token();
-    for (const auto &r : sys.requests()) {
+    for (const auto &r : rr.requests) {
         if (r.output_tokens <= 1)
             continue;
         ASSERT_NE(r.transfer_done_time, wl::kNoTime);
@@ -145,8 +145,8 @@ TEST(VllmSystem, CompletesModerateLoad)
 {
     bl::VllmConfig cfg;
     bl::VllmColocatedSystem sys(cfg);
-    sys.run(small_trace(8.0, 400));
-    expect_all_finished_sane(sys.requests());
+    auto rr = sys.run(small_trace(8.0, 400));
+    expect_all_finished_sane(rr.requests);
     for (std::size_t i = 0; i < sys.num_engines(); ++i)
         EXPECT_EQ(sys.engine_instance(i).blocks().used_blocks(), 0u);
 }
@@ -155,8 +155,8 @@ TEST(VllmSystem, NoTransfersEver)
 {
     bl::VllmConfig cfg;
     bl::VllmColocatedSystem sys(cfg);
-    sys.run(small_trace(4.0, 200));
-    for (const auto &r : sys.requests())
+    auto rr = sys.run(small_trace(4.0, 200));
+    for (const auto &r : rr.requests)
         EXPECT_EQ(r.transfer_done_time, wl::kNoTime);
 }
 
@@ -165,9 +165,9 @@ TEST(VllmSystem, ChunkedPrefillMarksRequests)
     bl::VllmConfig cfg;
     cfg.chunk_size = 256;
     bl::VllmColocatedSystem sys(cfg);
-    sys.run(small_trace(4.0, 200));
+    auto rr = sys.run(small_trace(4.0, 200));
     std::size_t chunked = 0;
-    for (const auto &r : sys.requests())
+    for (const auto &r : rr.requests)
         chunked += r.was_chunked;
     EXPECT_GT(chunked, 100u);
 }
@@ -177,16 +177,13 @@ TEST(VllmSystem, ChunkedPrefillMarksRequests)
 TEST(SystemComparison, WindServeBeatsDistServeUnderLoad)
 {
     auto trace = small_trace(18.0, 800, 21);
+    auto slo = mt::SloSpec::opt_13b_sharegpt();
     core::WindServeConfig wcfg;
     core::WindServeSystem wind(wcfg);
-    wind.run(trace);
+    auto wm = wind.run(trace, slo).metrics;
     bl::DistServeConfig dcfg;
     bl::DistServeSystem dist(dcfg);
-    dist.run(trace);
-
-    mt::Collector col(mt::SloSpec::opt_13b_sharegpt());
-    auto wm = col.collect(wind.requests());
-    auto dm = col.collect(dist.requests());
+    auto dm = dist.run(trace, slo).metrics;
     EXPECT_LT(wm.ttft.median(), 0.6 * dm.ttft.median());
     EXPECT_GE(wm.slo_attainment, dm.slo_attainment);
     // TPOT should stay within ~2x of DistServe's undisturbed decode.
@@ -264,16 +261,12 @@ TEST(WindServeSystem, OverlappedTransferBeatsSynchronousTpot)
     async_cfg.ttft_slo = scenario.slo.ttft;
     async_cfg.tpot_slo = scenario.slo.tpot;
     core::WindServeSystem async_sys(async_cfg);
-    async_sys.run(trace);
+    auto am = async_sys.run(trace, scenario.slo).metrics;
 
     core::WindServeConfig sync_cfg = async_cfg;
     sync_cfg.transfer.policy = windserve::transfer::TransferPolicy::Synchronous;
     core::WindServeSystem sync_sys(sync_cfg);
-    sync_sys.run(trace);
-
-    mt::Collector col(scenario.slo);
-    auto am = col.collect(async_sys.requests());
-    auto sm = col.collect(sync_sys.requests());
+    auto sm = sync_sys.run(trace, scenario.slo).metrics;
     // The 2nd token waits on the transfer under the sync policy:
     // decode queueing (and thus TPOT tail) should be visibly worse.
     EXPECT_LT(am.decode_queueing.mean(), sm.decode_queueing.mean());
