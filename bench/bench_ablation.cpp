@@ -112,5 +112,8 @@ main(int argc, char **argv)
         row(t, "backups off", r[5]);
         std::cout << t.render() << "\n";
     }
+
+    // Trace the migration-heavy variant (ablation 2's default row).
+    benchcommon::maybe_trace(args, cells[2]);
     return 0;
 }

@@ -4,13 +4,20 @@
  *
  * Every driver accepts:
  *   bench_figXX [num_requests] [--jobs N | -j N | --jobs=N]
+ *               [--trace-out FILE]
  * with --jobs defaulting to the machine's hardware concurrency.
  * Results are bit-identical at every jobs value (the parallel engine's
  * determinism contract); only wall-clock changes.
+ *
+ * --trace-out re-runs one representative cell with an attached
+ * obs::TraceRecorder and writes Chrome trace-event JSON (open in
+ * chrome://tracing or https://ui.perfetto.dev) plus a per-request
+ * lifecycle CSV next to it. The sweep's stdout is unaffected.
  */
 #pragma once
 
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -23,12 +30,13 @@ namespace windserve::benchcommon {
 struct BenchArgs {
     std::size_t num_requests;
     std::size_t jobs;
+    std::string trace_out; ///< empty = tracing disabled
 };
 
 inline BenchArgs
 parse_args(int argc, char **argv, std::size_t default_n)
 {
-    BenchArgs args{default_n, harness::default_jobs()};
+    BenchArgs args{default_n, harness::default_jobs(), {}};
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
         if ((arg == "--jobs" || arg == "-j") && i + 1 < argc) {
@@ -37,16 +45,47 @@ parse_args(int argc, char **argv, std::size_t default_n)
         } else if (arg.rfind("--jobs=", 0) == 0) {
             args.jobs = static_cast<std::size_t>(
                 std::max(1L, std::atol(arg.c_str() + 7)));
+        } else if (arg == "--trace-out" && i + 1 < argc) {
+            args.trace_out = argv[++i];
+        } else if (arg.rfind("--trace-out=", 0) == 0) {
+            args.trace_out = arg.substr(12);
         } else if (!arg.empty() && arg[0] != '-') {
             args.num_requests = static_cast<std::size_t>(
                 std::max(1L, std::atol(arg.c_str())));
         } else {
             std::cerr << "usage: " << argv[0]
-                      << " [num_requests] [--jobs N]\n";
+                      << " [num_requests] [--jobs N] [--trace-out FILE]\n";
             std::exit(2);
         }
     }
     return args;
+}
+
+/**
+ * If the user passed --trace-out, re-run @p cell with tracing enabled
+ * and write the Chrome-trace JSON to that path (and the per-request
+ * lifecycle CSV to `<path>.requests.csv`). Traced scheduling is
+ * identical to the untraced run, so this does not perturb the sweep;
+ * status goes to stderr only, keeping driver stdout byte-stable.
+ */
+inline void
+maybe_trace(const BenchArgs &args, harness::ExperimentConfig cell)
+{
+    if (args.trace_out.empty())
+        return;
+    cell.record_trace = true;
+    auto traced = harness::run_experiment(cell);
+    std::ofstream json(args.trace_out);
+    if (!json) {
+        std::cerr << "trace: cannot open " << args.trace_out << "\n";
+        std::exit(1);
+    }
+    json << traced.trace_json;
+    std::ofstream csv(args.trace_out + ".requests.csv");
+    csv << traced.trace_request_csv;
+    std::cerr << "trace: " << traced.trace_events << " events ("
+              << traced.system_name << " @ " << cell.per_gpu_rate
+              << " req/s/GPU) -> " << args.trace_out << "\n";
 }
 
 /** Ordered progress line on stderr: `[ 3/15] DistServe @ 2.50 done`.

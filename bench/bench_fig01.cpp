@@ -66,5 +66,9 @@ main(int argc, char **argv)
     std::cout << b.render()
               << "\n(paper: PD architecture underperforms the co-located "
                  "system at high rates — motivation for WindServe)\n";
+
+    // --trace-out: record the most-loaded DistServe cell, where the
+    // swap/queueing pathology this figure motivates is visible.
+    benchcommon::maybe_trace(args, cells[rates.size() - 1]);
     return 0;
 }

@@ -64,5 +64,12 @@ main(int argc, char **argv)
     std::cout << "(paper: decode instances leave compute idle while "
                  "prefill instances starve — the dynamic-scheduling "
                  "opportunity WindServe exploits)\n";
+
+    harness::ExperimentConfig rep;
+    rep.scenario = harness::Scenario::opt13b_sharegpt();
+    rep.system = harness::SystemKind::DistServe;
+    rep.per_gpu_rate = 4.0;
+    rep.num_requests = args.num_requests;
+    benchcommon::maybe_trace(args, rep);
     return 0;
 }

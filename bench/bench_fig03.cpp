@@ -52,5 +52,8 @@ main(int argc, char **argv)
     std::cout << t.render()
               << "\n(paper: [TP-2,TP-1] bottlenecks on decoding, "
                  "[TP-2,TP-2] on prefill queuing)\n";
+
+    // Trace the decode-starved placement, where the queueing shows up.
+    benchcommon::maybe_trace(args, cells[0]);
     return 0;
 }

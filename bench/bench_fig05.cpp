@@ -71,5 +71,14 @@ main(int argc, char **argv)
           {0.01 * lb.slo.ttft, 0.1 * lb.slo.ttft, 0.4 * lb.slo.ttft,
            0.8 * lb.slo.ttft, 1.0 * lb.slo.ttft, 2.0 * lb.slo.ttft, 1e9},
           args.num_requests, args.jobs);
+
+    // Trace WindServe at the paper's recommended threshold.
+    harness::ExperimentConfig rep;
+    rep.scenario = opt;
+    rep.system = harness::SystemKind::WindServe;
+    rep.per_gpu_rate = 4.0;
+    rep.num_requests = args.num_requests;
+    rep.thrd = 0.8 * opt.slo.ttft;
+    benchcommon::maybe_trace(args, rep);
     return 0;
 }

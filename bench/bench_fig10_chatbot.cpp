@@ -26,5 +26,13 @@ main(int argc, char **argv)
     auto s66 = harness::Scenario::opt66b_sharegpt();
     benchcommon::latency_sweep(s66, benchcommon::rates_for(s66.name),
                                args.num_requests, args.jobs);
+
+    // Trace WindServe at the OPT-13B grid's highest rate.
+    harness::ExperimentConfig rep;
+    rep.scenario = s13;
+    rep.system = harness::SystemKind::WindServe;
+    rep.per_gpu_rate = benchcommon::rates_for(s13.name).back();
+    rep.num_requests = args.num_requests;
+    benchcommon::maybe_trace(args, rep);
     return 0;
 }

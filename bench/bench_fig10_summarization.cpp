@@ -25,5 +25,13 @@ main(int argc, char **argv)
     auto l70 = harness::Scenario::llama2_70b_longbench();
     benchcommon::latency_sweep(l70, benchcommon::rates_for(l70.name),
                                args.num_requests, args.jobs);
+
+    // Trace WindServe at the LLaMA2-13B grid's highest rate.
+    harness::ExperimentConfig rep;
+    rep.scenario = l13;
+    rep.system = harness::SystemKind::WindServe;
+    rep.per_gpu_rate = benchcommon::rates_for(l13.name).back();
+    rep.num_requests = args.num_requests;
+    benchcommon::maybe_trace(args, rep);
     return 0;
 }

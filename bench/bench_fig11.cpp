@@ -31,5 +31,13 @@ main(int argc, char **argv)
     auto l70 = harness::Scenario::llama2_70b_longbench();
     benchcommon::attainment_sweep(l70, benchcommon::rates_for(l70.name),
                                   args.num_requests, args.jobs);
+
+    // Trace WindServe at the OPT-13B grid's highest rate.
+    harness::ExperimentConfig rep;
+    rep.scenario = s13;
+    rep.system = harness::SystemKind::WindServe;
+    rep.per_gpu_rate = benchcommon::rates_for(s13.name).back();
+    rep.num_requests = args.num_requests;
+    benchcommon::maybe_trace(args, rep);
     return 0;
 }

@@ -75,5 +75,14 @@ main(int argc, char **argv)
     std::cout << "(left: DistServe TPOT-bound, right: DistServe "
                  "TTFT-bound; WindServe adapts to both via Dynamic "
                  "Rescheduling / Dynamic Prefill Dispatch)\n";
+
+    // Trace WindServe on the decode-starved placement at peak rate,
+    // where Dynamic Rescheduling activity is densest.
+    harness::ExperimentConfig rep;
+    rep.scenario = harness::Scenario::opt13b_sharegpt_small_decode();
+    rep.system = harness::SystemKind::WindServe;
+    rep.per_gpu_rate = 3.0;
+    rep.num_requests = args.num_requests;
+    benchcommon::maybe_trace(args, rep);
     return 0;
 }

@@ -73,5 +73,14 @@ main(int argc, char **argv)
           harness::Scenario::opt13b_sharegpt(),
           harness::SystemKind::WindServeNoResche, {2.5, 3.0, 3.5, 4.0},
           args.num_requests, args.jobs);
+
+    // Trace the SBD ablation's counterpart: full WindServe on
+    // LongBench, where stream-split events are frequent.
+    harness::ExperimentConfig rep;
+    rep.scenario = harness::Scenario::llama2_13b_longbench();
+    rep.system = harness::SystemKind::WindServe;
+    rep.per_gpu_rate = 1.5;
+    rep.num_requests = args.num_requests;
+    benchcommon::maybe_trace(args, rep);
     return 0;
 }

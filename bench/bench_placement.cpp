@@ -54,5 +54,13 @@ main(int argc, char **argv)
            args.jobs);
     std::cout << "(Table 3 picks [TP-2,PP-1 | TP-2,PP-1] for the 13B "
                  "models and [TP-2,PP-2 | TP-2,PP-2] for 66B/70B)\n";
+
+    // Trace WindServe on the first search's scenario and rate.
+    harness::ExperimentConfig rep;
+    rep.scenario = harness::Scenario::opt13b_sharegpt();
+    rep.system = harness::SystemKind::WindServe;
+    rep.per_gpu_rate = 2.0;
+    rep.num_requests = args.num_requests;
+    benchcommon::maybe_trace(args, rep);
     return 0;
 }

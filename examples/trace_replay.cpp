@@ -9,7 +9,11 @@
  * Usage:
  *   trace_replay                         # synthesise a demo trace
  *   trace_replay my_trace.csv            # replay your own trace
- *   trace_replay my_trace.csv results.csv timeline.csv
+ *   trace_replay my_trace.csv results.csv timeline.csv trace.json
+ *
+ * The fourth output is a Chrome trace-event file (request/GPU/transfer
+ * spans plus the timeline probes as counter tracks) — open it in
+ * chrome://tracing or https://ui.perfetto.dev.
  *
  * Trace schema: arrival_time,prompt_tokens,output_tokens (header and
  * '#' comments allowed; arrivals non-decreasing).
@@ -47,6 +51,7 @@ main(int argc, char **argv)
 
     core::WindServeConfig cfg;
     core::WindServeSystem sys(cfg);
+    sys.enable_tracing();
 
     metrics::TimelineRecorder timeline(sys.simulator(), 1.0);
     timeline.add_probe("prefill_queue_tokens", [&] {
@@ -78,10 +83,20 @@ main(int argc, char **argv)
         argc > 2 ? argv[2] : "/tmp/windserve_results.csv";
     const char *timeline_path =
         argc > 3 ? argv[3] : "/tmp/windserve_timeline.csv";
+    const char *chrome_path =
+        argc > 4 ? argv[4] : "/tmp/windserve_trace.json";
     workload::save_results_csv(results_path, run.requests);
     std::ofstream tl(timeline_path);
     tl << timeline.csv();
-    std::cout << "wrote " << results_path << " and " << timeline_path
-              << "\n";
+
+    // Merge the probe series into the span trace so the queue/occupancy
+    // curves overlay the GPU timeline in Perfetto.
+    timeline.export_to(*sys.trace());
+    std::ofstream chrome(chrome_path);
+    sys.trace()->write_chrome_json(chrome);
+    std::cout << "wrote " << results_path << ", " << timeline_path
+              << " and " << chrome_path << " ("
+              << sys.trace()->num_events()
+              << " trace events; open in chrome://tracing)\n";
     return 0;
 }

@@ -90,6 +90,14 @@ DistServeSystem::on_prefill_complete(Request *r)
 }
 
 void
+DistServeSystem::wire_trace(obs::TraceRecorder &rec)
+{
+    prefill_->set_trace(&rec);
+    decode_->set_trace(&rec);
+    xfer_->set_trace(&rec);
+}
+
+void
 DistServeSystem::fill_system_metrics(metrics::RunMetrics &m)
 {
     m.prefill_compute_util = prefill_->mean_compute_utilization();

@@ -51,12 +51,13 @@ class DistServeSystem : public engine::ServingSystem
 
     engine::Instance &prefill_instance() { return *prefill_; }
     engine::Instance &decode_instance() { return *decode_; }
-    sim::Simulator &simulator() { return sim_; }
+    sim::Simulator &simulator() override { return sim_; }
 
   protected:
     void replay(const std::vector<workload::Request> &trace,
                 double horizon) override;
     void fill_system_metrics(metrics::RunMetrics &m) override;
+    void wire_trace(obs::TraceRecorder &rec) override;
     std::vector<workload::Request> take_requests() override
     {
         return std::move(requests_);

@@ -71,6 +71,13 @@ VllmColocatedSystem::replay(const std::vector<workload::Request> &trace,
 }
 
 void
+VllmColocatedSystem::wire_trace(obs::TraceRecorder &rec)
+{
+    for (auto &e : engines_)
+        e->set_trace(&rec);
+}
+
+void
 VllmColocatedSystem::fill_system_metrics(metrics::RunMetrics &m)
 {
     double compute = 0.0, bw = 0.0;

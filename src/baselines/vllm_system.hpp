@@ -49,12 +49,13 @@ class VllmColocatedSystem : public engine::ServingSystem
 
     engine::Instance &engine_instance(std::size_t i) { return *engines_[i]; }
     std::size_t num_engines() const { return engines_.size(); }
-    sim::Simulator &simulator() { return sim_; }
+    sim::Simulator &simulator() override { return sim_; }
 
   protected:
     void replay(const std::vector<workload::Request> &trace,
                 double horizon) override;
     void fill_system_metrics(metrics::RunMetrics &m) override;
+    void wire_trace(obs::TraceRecorder &rec) override;
     std::vector<workload::Request> take_requests() override
     {
         return std::move(requests_);

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/trace_recorder.hpp"
 #include "simcore/log.hpp"
 
 namespace windserve::core {
@@ -11,6 +12,12 @@ Coordinator::Coordinator(CoordinatorConfig cfg, Profiler &prefill_profiler,
     : cfg_(cfg), prefill_profiler_(prefill_profiler),
       decode_profiler_(decode_profiler)
 {}
+
+double
+Coordinator::log_now() const
+{
+    return clock_ ? clock_->now() : sim::kNoLogTime;
+}
 
 void
 Coordinator::compute_budget(const model::CostModel &decode_cost,
@@ -39,7 +46,7 @@ Coordinator::compute_budget(const model::CostModel &decode_cost,
             hi = mid - 1;
     }
     cfg_.budget_tokens = lo;
-    WS_LOG(Info, "coordinator")
+    WS_LOG_AT(Info, "coordinator", log_now())
         << "assist budget = " << lo << " tokens (limit " << limit << "s)";
 }
 
@@ -79,6 +86,14 @@ Coordinator::decide_dispatch(const workload::Request &r,
     std::size_t slots = available_slots(decode);
     if (slots >= r.prompt_tokens) {
         ++dispatches_;
+        if (trace_) {
+            trace_->instant(
+                obs::Category::Scheduler, "scheduler", "coordinator",
+                "dispatch-to-decode",
+                {obs::num_arg("req", std::uint64_t(r.id)),
+                 obs::num_arg("tokens", std::uint64_t(r.prompt_tokens)),
+                 obs::num_arg("predicted_ttft", ttft_pred)});
+        }
         return DispatchDecision::DecodeInstance;
     }
     return DispatchDecision::PrefillInstance;
@@ -107,7 +122,16 @@ Coordinator::maybe_reschedule(engine::Instance &decode,
     if (!migration.start(victim))
         return false;
     ++reschedules_;
-    WS_LOG(Debug, "coordinator")
+    if (trace_) {
+        trace_->instant(
+            obs::Category::Scheduler, "scheduler", "coordinator",
+            "reschedule",
+            {obs::num_arg("req", std::uint64_t(victim->id)),
+             obs::num_arg("ctx", std::uint64_t(victim->context_length())),
+             obs::num_arg("decode_occupancy",
+                          decode.blocks().occupancy())});
+    }
+    WS_LOG_AT(Debug, "coordinator", log_now())
         << "reschedule req " << victim->id << " ctx "
         << victim->context_length();
     return true;

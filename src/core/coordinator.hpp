@@ -22,6 +22,10 @@
 #include "engine/instance.hpp"
 #include "transfer/migration.hpp"
 
+namespace windserve::obs {
+class TraceRecorder;
+}
+
 namespace windserve::core {
 
 /** Tunables of the Coordinator's policies. */
@@ -113,12 +117,23 @@ class Coordinator
     std::uint64_t dispatches() const { return dispatches_; }
     std::uint64_t reschedules() const { return reschedules_; }
 
+    /** Record dispatch/reschedule decision instants on @p rec. */
+    void set_trace(obs::TraceRecorder *rec) { trace_ = rec; }
+
+    /** Timebase for timestamped logs and decision instants. The
+     *  coordinator owns no simulator; the serving system binds its own. */
+    void bind_clock(const sim::Simulator *clock) { clock_ = clock; }
+
   private:
+    double log_now() const;
+
     CoordinatorConfig cfg_;
     Profiler &prefill_profiler_;
     Profiler &decode_profiler_;
     std::uint64_t dispatches_ = 0;
     std::uint64_t reschedules_ = 0;
+    obs::TraceRecorder *trace_ = nullptr;
+    const sim::Simulator *clock_ = nullptr;
 };
 
 } // namespace windserve::core

@@ -35,6 +35,15 @@ class GlobalScheduler
     Coordinator &coordinator() { return coordinator_; }
     const Coordinator &coordinator() const { return coordinator_; }
 
+    /** Record coordinator decision instants on @p rec. */
+    void set_trace(obs::TraceRecorder *rec) { coordinator_.set_trace(rec); }
+
+    /** Bind the owning system's simulator for timestamped diagnostics. */
+    void bind_clock(const sim::Simulator *clock)
+    {
+        coordinator_.bind_clock(clock);
+    }
+
   private:
     Profiler prefill_profiler_;
     Profiler decode_profiler_;

@@ -71,6 +71,7 @@ WindServeSystem::WindServeSystem(WindServeConfig cfg)
         static_cast<std::size_t>(cfg_.dispatch_reserve_fraction *
                                  decode_cost.kv_capacity_tokens()));
     scheduler_ = std::make_unique<GlobalScheduler>(coord_cfg);
+    scheduler_->bind_clock(&sim_);
     sim::Rng calib_rng = seed_rng.fork();
     scheduler_->calibrate(prefill_cost, decode_cost, cfg_.ttft_slo,
                           cfg_.tpot_slo, calib_rng, cfg_.exec_noise_sigma);
@@ -120,6 +121,17 @@ WindServeSystem::num_gpus() const
 {
     return cfg_.prefill_parallelism.num_gpus() +
            cfg_.decode_parallelism.num_gpus();
+}
+
+void
+WindServeSystem::wire_trace(obs::TraceRecorder &rec)
+{
+    prefill_->set_trace(&rec);
+    decode_->set_trace(&rec);
+    xfer_->set_trace(&rec);
+    migration_->set_trace(&rec);
+    backup_->set_trace(&rec);
+    scheduler_->set_trace(&rec);
 }
 
 void

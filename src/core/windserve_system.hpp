@@ -77,13 +77,14 @@ class WindServeSystem : public engine::ServingSystem
     GlobalScheduler &scheduler() { return *scheduler_; }
     transfer::MigrationManager &migration() { return *migration_; }
     transfer::BackupManager &backup() { return *backup_; }
-    sim::Simulator &simulator() { return sim_; }
+    sim::Simulator &simulator() override { return sim_; }
     const WindServeConfig &config() const { return cfg_; }
 
   protected:
     void replay(const std::vector<workload::Request> &trace,
                 double horizon) override;
     void fill_system_metrics(metrics::RunMetrics &m) override;
+    void wire_trace(obs::TraceRecorder &rec) override;
     std::vector<workload::Request> take_requests() override
     {
         return std::move(requests_);

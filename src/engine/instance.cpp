@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 
+#include "obs/trace_recorder.hpp"
 #include "simcore/log.hpp"
 
 namespace windserve::engine {
@@ -48,6 +49,14 @@ Instance::max_per_group() const
 {
     std::size_t pp = groups_.size();
     return std::max<std::size_t>(1, cfg_.max_batch_size / pp);
+}
+
+void
+Instance::set_trace(obs::TraceRecorder *rec)
+{
+    trace_ = rec;
+    host_channel_.set_trace(rec, cfg_.name, "host-dma");
+    swap_.set_trace(rec, cfg_.name);
 }
 
 // ---------------------------------------------------------------------
@@ -162,6 +171,20 @@ Instance::try_start_prefill_slots()
             sampler_.prefill(static_cast<double>(batch.total_tokens));
         batch.started = sim_.now();
         batch.expected_end = sim_.now() + dur;
+        if (trace_) {
+            trace_->instant(
+                obs::Category::Scheduler, cfg_.name, "local-scheduler",
+                "prefill-batch",
+                {obs::num_arg("requests",
+                              std::uint64_t(batch.requests.size())),
+                 obs::num_arg("tokens", std::uint64_t(batch.total_tokens))});
+            trace_->span(
+                obs::Category::Gpu, cfg_.name, "slot" + std::to_string(s),
+                "prefill", sim_.now(), dur,
+                {obs::num_arg("tokens", std::uint64_t(batch.total_tokens)),
+                 obs::num_arg("requests",
+                              std::uint64_t(batch.requests.size()))});
+        }
         slots_[s] = std::move(batch);
         slot_busy_[s] = true;
         sim_.schedule(dur, [this, s] { complete_prefill_batch(s); });
@@ -219,6 +242,16 @@ Instance::try_start_sbd_stream()
     if (batch.empty())
         return;
     double dur = sampler_.sbd_prefill(static_cast<double>(tokens));
+    if (trace_) {
+        trace_->instant(
+            obs::Category::Scheduler, cfg_.name, "local-scheduler",
+            "stream-split",
+            {obs::num_arg("requests", std::uint64_t(batch.size())),
+             obs::num_arg("tokens", std::uint64_t(tokens))});
+        trace_->span(obs::Category::Gpu, cfg_.name, "sbd-stream",
+                     "sbd-prefill", sim_.now(), dur,
+                     {obs::num_arg("tokens", std::uint64_t(tokens))});
+    }
     sbd_batch_ = std::move(batch);
     sbd_tokens_ = tokens;
     sbd_active_ = true;
@@ -270,6 +303,14 @@ Instance::try_start_group(std::size_t g)
                 cand->state = RequestState::Prefilling;
                 cand->was_chunked = true;
                 chunk_head_[g] = cand;
+                if (trace_) {
+                    trace_->instant(
+                        obs::Category::Scheduler, cfg_.name,
+                        "local-scheduler", "chunk-admit",
+                        {obs::num_arg("req", std::uint64_t(cand->id)),
+                         obs::num_arg("tokens",
+                                      std::uint64_t(cand->prompt_tokens))});
+                }
             }
         }
         if (chunk_head_[g] != nullptr) {
@@ -306,21 +347,26 @@ Instance::try_start_group(std::size_t g)
         return;
 
     double dur;
+    const char *mode;
     if (!hybrid.empty()) {
+        mode = "hybrid";
         dur = sampler_.hybrid(static_cast<double>(hybrid_tokens),
                               static_cast<double>(batch),
                               static_cast<double>(sum_l));
         hybrid_assists_[g] = std::move(hybrid);
     } else if (chunk_tokens > 0) {
+        mode = "chunked";
         dur = sampler_.chunked(
             static_cast<double>(chunk_tokens),
             static_cast<double>(chunk_head_[g]->prefilled),
             static_cast<double>(batch), static_cast<double>(sum_l));
         group_chunk_[g] = chunk_tokens;
     } else if (sbd_active_) {
+        mode = "sbd-decode";
         dur = sampler_.sbd_decode(static_cast<double>(batch),
                                   static_cast<double>(sum_l));
     } else {
+        mode = "decode";
         dur = sampler_.decode(static_cast<double>(batch),
                               static_cast<double>(sum_l));
         if (callbacks.on_decode_observation) {
@@ -337,6 +383,16 @@ Instance::try_start_group(std::size_t g)
         // let the request be swapped out mid-migration (double-owned).
         if (r->state != RequestState::Migrating)
             r->state = RequestState::Decoding;
+    }
+    if (trace_) {
+        trace_->span(obs::Category::Gpu, cfg_.name,
+                     "group" + std::to_string(g), mode, sim_.now(), dur,
+                     {obs::num_arg("batch", std::uint64_t(batch)),
+                      obs::num_arg("sum_context", std::uint64_t(sum_l)),
+                      obs::num_arg("chunk_tokens",
+                                   std::uint64_t(chunk_tokens)),
+                      obs::num_arg("assist_tokens",
+                                   std::uint64_t(hybrid_tokens))});
     }
     grp.busy = true;
     grp.iteration_end = sim_.now() + dur;
@@ -466,10 +522,16 @@ Instance::handle_block_exhaustion(Request *r, std::size_t g)
 void
 Instance::swap_out(Request *victim)
 {
-    WS_LOG(Debug, cfg_.name)
+    WS_LOG_AT(Debug, cfg_.name, sim_.now())
         << "swap out req " << victim->id << " ctx "
         << victim->context_length();
     std::size_t ctx = victim->context_length();
+    if (trace_) {
+        trace_->instant(obs::Category::Scheduler, cfg_.name,
+                        "local-scheduler", "swap-out",
+                        {obs::num_arg("req", std::uint64_t(victim->id)),
+                         obs::num_arg("ctx", std::uint64_t(ctx))});
+    }
     blocks_.release(victim->id);
     swap_.swap_out(victim->id, ctx);
     ++victim->swap_outs;
@@ -499,11 +561,17 @@ Instance::try_swap_in()
         return; // not enough headroom yet
     blocks_.allocate(r->id, ctx);
     swapping_in_.insert(r->id);
-    host_channel_.submit(swap_.bytes_for(ctx), [this, r] {
+    host_channel_.submit(swap_.bytes_for(ctx), [this, r, ctx] {
         swap_.swap_in(r->id);
         swapping_in_.erase(r->id);
         swap_ready_.erase(r->id);
         r->state = RequestState::WaitingDecode;
+        if (trace_) {
+            trace_->instant(obs::Category::Scheduler, cfg_.name,
+                            "local-scheduler", "swap-in",
+                            {obs::num_arg("req", std::uint64_t(r->id)),
+                             obs::num_arg("ctx", std::uint64_t(ctx))});
+        }
         pump();
     });
 }

@@ -37,6 +37,10 @@
 #include "simcore/simulator.hpp"
 #include "simcore/utilization.hpp"
 
+namespace windserve::obs {
+class TraceRecorder;
+}
+
 namespace windserve::engine {
 
 /** What the instance is provisioned for. */
@@ -198,6 +202,15 @@ class Instance
     /** Total pure prefill passes executed. */
     std::uint64_t prefill_passes() const { return prefill_passes_; }
 
+    /**
+     * Record execution spans (prefill slots, SBD stream, decode groups),
+     * local-scheduler instants (batch formation, chunk admission, stream
+     * split, swap-out/in) and host-link DMA spans on @p rec. nullptr
+     * (the default) disables all emission; the instance name is the
+     * trace process.
+     */
+    void set_trace(obs::TraceRecorder *rec);
+
   private:
     void schedule_pump();
 
@@ -262,6 +275,7 @@ class Instance
     std::uint64_t decode_iters_ = 0;
     std::uint64_t prefill_passes_ = 0;
     bool pump_scheduled_ = false;
+    obs::TraceRecorder *trace_ = nullptr;
 };
 
 } // namespace windserve::engine

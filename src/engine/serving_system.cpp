@@ -1,6 +1,21 @@
 #include "engine/serving_system.hpp"
 
+#include "obs/trace_recorder.hpp"
+
 namespace windserve::engine {
+
+ServingSystem::ServingSystem() = default;
+ServingSystem::~ServingSystem() = default;
+
+obs::TraceRecorder *
+ServingSystem::enable_tracing()
+{
+    if (!trace_) {
+        trace_ = std::make_unique<obs::TraceRecorder>(simulator());
+        wire_trace(*trace_);
+    }
+    return trace_.get();
+}
 
 RunResult
 ServingSystem::run(const std::vector<workload::Request> &trace,
@@ -13,6 +28,13 @@ ServingSystem::run(const std::vector<workload::Request> &trace,
     out.metrics = metrics::Collector(slo).collect(out.requests);
     fill_system_metrics(out.metrics);
     out.num_gpus = num_gpus();
+    if (trace_) {
+        // Lifecycle spans are derived from the final timestamps, after
+        // the replay: emitted in request order, so the trace is a pure
+        // function of (config, workload) regardless of thread count.
+        for (const auto &r : out.requests)
+            trace_->record_request_lifecycle(r);
+    }
     return out;
 }
 

@@ -12,11 +12,19 @@
  */
 #pragma once
 
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "metrics/collector.hpp"
 #include "workload/request.hpp"
+
+namespace windserve::obs {
+class TraceRecorder;
+}
+namespace windserve::sim {
+class Simulator;
+}
 
 namespace windserve::engine {
 
@@ -36,13 +44,27 @@ struct RunResult {
 class ServingSystem
 {
   public:
-    virtual ~ServingSystem() = default;
+    virtual ~ServingSystem();
 
     /** Human-readable system name for tables. */
     virtual std::string name() const = 0;
 
     /** GPUs this deployment occupies (for per-GPU rate normalisation). */
     virtual std::size_t num_gpus() const = 0;
+
+    /** The simulation kernel this deployment runs on. */
+    virtual sim::Simulator &simulator() = 0;
+
+    /**
+     * Attach a per-run TraceRecorder (before run()). The recorder is
+     * owned by this system — no global state — and every component is
+     * wired to it via wire_trace(). Idempotent; returns the recorder.
+     */
+    obs::TraceRecorder *enable_tracing();
+
+    /** The attached recorder, or nullptr when tracing is off. */
+    obs::TraceRecorder *trace() { return trace_.get(); }
+    const obs::TraceRecorder *trace() const { return trace_.get(); }
 
     /**
      * Replay @p trace (sorted by arrival) until every request finishes
@@ -58,6 +80,10 @@ class ServingSystem
                   double horizon = 7200.0);
 
   protected:
+    // Out-of-line so std::unique_ptr<TraceRecorder> never needs the
+    // complete recorder type in derived translation units.
+    ServingSystem();
+
     /** Replay the trace on the simulation kernel (system-specific). */
     virtual void replay(const std::vector<workload::Request> &trace,
                         double horizon) = 0;
@@ -67,6 +93,12 @@ class ServingSystem
 
     /** Surrender ownership of the per-request results after replay. */
     virtual std::vector<workload::Request> take_requests() = 0;
+
+    /** Point every traced component at @p rec (system-specific). */
+    virtual void wire_trace(obs::TraceRecorder &rec) { (void)rec; }
+
+  private:
+    std::unique_ptr<obs::TraceRecorder> trace_;
 };
 
 } // namespace windserve::engine

@@ -1,5 +1,7 @@
 #include "harness/experiment.hpp"
 
+#include "obs/trace_recorder.hpp"
+
 namespace windserve::harness {
 
 const char *
@@ -113,6 +115,8 @@ ExperimentResult
 run_experiment(const ExperimentConfig &cfg)
 {
     auto system = make_system(cfg);
+    if (cfg.record_trace)
+        system->enable_tracing();
     auto trace = make_trace(cfg);
     auto run = system->run(trace, cfg.scenario.slo, cfg.horizon);
 
@@ -120,6 +124,12 @@ run_experiment(const ExperimentConfig &cfg)
     result.system_name = to_string(cfg.system);
     result.per_gpu_rate = cfg.per_gpu_rate;
     result.metrics = std::move(run.metrics);
+    if (const obs::TraceRecorder *rec = system->trace()) {
+        result.trace_json = rec->chrome_json();
+        result.trace_request_csv =
+            obs::TraceRecorder::request_csv(run.requests);
+        result.trace_events = rec->num_events();
+    }
 
     if (auto *ws = dynamic_cast<core::WindServeSystem *>(system.get())) {
         result.dispatches = ws->scheduler().coordinator().dispatches();

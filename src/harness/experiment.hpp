@@ -48,6 +48,12 @@ struct ExperimentConfig {
     std::optional<transfer::TransferPolicy> transfer_policy;
     /** Proactive KV backups (off = backup ablation). */
     bool enable_backup = true;
+    /**
+     * Attach a per-run obs::TraceRecorder and export the Chrome-trace
+     * JSON / lifecycle CSV into the result. Off by default: the traced
+     * run's scheduling is identical, only the exports are added.
+     */
+    bool record_trace = false;
 };
 
 /** Outcome of one experiment. */
@@ -61,6 +67,10 @@ struct ExperimentResult {
     std::uint64_t migrations_completed = 0;
     std::uint64_t backups = 0;
     std::uint64_t decode_swap_outs = 0;
+    // trace exports (record_trace only; empty otherwise)
+    std::string trace_json;        ///< Chrome trace-event document
+    std::string trace_request_csv; ///< per-request lifecycle table
+    std::size_t trace_events = 0;  ///< events recorded
 };
 
 /** Build the serving system an ExperimentConfig describes. */

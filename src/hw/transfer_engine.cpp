@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "obs/trace_recorder.hpp"
+
 namespace windserve::hw {
 
 Channel::Channel(sim::Simulator &sim, Link link, std::string name)
@@ -69,6 +71,7 @@ Channel::start_next()
     active_ = std::make_unique<Transfer>(std::move(queue_.front()));
     queue_.pop_front();
     active_started_ = sim_.now();
+    active_begun_ = sim_.now();
     active_latency_left_ = link_.latency;
     util_.set_busy(sim_.now(), true);
     reschedule_active();
@@ -81,6 +84,12 @@ Channel::finish_active()
     active_.reset();
     done_[done->id] = true;
     ++completed_;
+    if (trace_) {
+        trace_->span(obs::Category::Transfer, trace_process_, trace_track_,
+                     "xfer", active_begun_, sim_.now() - active_begun_,
+                     {obs::num_arg("bytes", done->bytes),
+                      obs::num_arg("id", done->id)});
+    }
     if (queue_.empty())
         util_.set_busy(sim_.now(), false);
     else
@@ -151,6 +160,15 @@ Channel::mean_utilization(sim::SimTime now)
 {
     util_.finalize(now);
     return util_.mean_utilization();
+}
+
+void
+Channel::set_trace(obs::TraceRecorder *rec, std::string process,
+                   std::string track)
+{
+    trace_ = rec;
+    trace_process_ = std::move(process);
+    trace_track_ = std::move(track);
 }
 
 } // namespace windserve::hw

@@ -27,6 +27,10 @@
 #include "simcore/simulator.hpp"
 #include "simcore/utilization.hpp"
 
+namespace windserve::obs {
+class TraceRecorder;
+}
+
 namespace windserve::hw {
 
 /** Handle for an outstanding transfer. */
@@ -78,6 +82,13 @@ class Channel
     /** Time-averaged busy fraction of the channel. */
     double mean_utilization(sim::SimTime now);
 
+    /**
+     * Record each completed transfer as an occupancy span on
+     * @p process / @p track of @p rec (nullptr disables, the default).
+     */
+    void set_trace(obs::TraceRecorder *rec, std::string process,
+                   std::string track);
+
     const Link &link() const { return link_; }
 
   private:
@@ -99,6 +110,7 @@ class Channel
     std::deque<Transfer> queue_;
     std::unique_ptr<Transfer> active_;
     sim::SimTime active_started_ = 0.0;   ///< when current segment began
+    sim::SimTime active_begun_ = 0.0;     ///< when the transfer left the queue
     double active_latency_left_ = 0.0;    ///< unpaid fixed latency
     sim::EventId active_event_ = 0;
     bool active_event_valid_ = false;
@@ -107,6 +119,9 @@ class Channel
     double total_bytes_ = 0.0;
     std::uint64_t completed_ = 0;
     sim::UtilizationTracker util_;
+    obs::TraceRecorder *trace_ = nullptr;
+    std::string trace_process_;
+    std::string trace_track_;
 };
 
 } // namespace windserve::hw

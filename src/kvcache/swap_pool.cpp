@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "obs/trace_recorder.hpp"
+
 namespace windserve::kvcache {
 
 SwapPool::SwapPool(double capacity_bytes, double bytes_per_token)
@@ -23,6 +25,8 @@ SwapPool::swap_out(ReqId id, std::size_t tokens)
     used_bytes_ += bytes;
     ++swap_out_events_;
     swapped_bytes_total_ += bytes;
+    if (trace_)
+        trace_->counter(trace_process_, "swap_pool_bytes", used_bytes_);
     return true;
 }
 
@@ -37,6 +41,8 @@ SwapPool::swap_in(ReqId id)
     swapped_bytes_total_ += bytes;
     ++swap_in_events_;
     tokens_.erase(it);
+    if (trace_)
+        trace_->counter(trace_process_, "swap_pool_bytes", used_bytes_);
 }
 
 std::size_t
@@ -50,6 +56,13 @@ double
 SwapPool::bytes_for(std::size_t tokens) const
 {
     return static_cast<double>(tokens) * bytes_per_token_;
+}
+
+void
+SwapPool::set_trace(obs::TraceRecorder *rec, std::string process)
+{
+    trace_ = rec;
+    trace_process_ = std::move(process);
 }
 
 } // namespace windserve::kvcache

@@ -12,9 +12,14 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <string>
 #include <unordered_map>
 
 #include "kvcache/block_manager.hpp"
+
+namespace windserve::obs {
+class TraceRecorder;
+}
 
 namespace windserve::kvcache {
 
@@ -45,6 +50,10 @@ class SwapPool
     std::uint64_t swap_in_events() const { return swap_in_events_; }
     double swapped_bytes_total() const { return swapped_bytes_total_; }
 
+    /** Emit a host-pool occupancy counter on @p rec after every swap
+     *  event, under @p process (nullptr disables, the default). */
+    void set_trace(obs::TraceRecorder *rec, std::string process);
+
   private:
     double capacity_bytes_;
     double bytes_per_token_;
@@ -53,6 +62,8 @@ class SwapPool
     std::uint64_t swap_out_events_ = 0;
     std::uint64_t swap_in_events_ = 0;
     double swapped_bytes_total_ = 0.0;
+    obs::TraceRecorder *trace_ = nullptr;
+    std::string trace_process_;
 };
 
 } // namespace windserve::kvcache

@@ -9,8 +9,10 @@ Collector::collect(const std::vector<workload::Request> &requests) const
     m.num_requests = requests.size();
     std::size_t ok_both = 0, ok_ttft = 0, ok_tpot = 0;
     for (const auto &r : requests) {
-        if (!r.finished())
+        if (!r.finished()) {
+            ++m.num_unfinished;
             continue;
+        }
         ++m.num_finished;
         if (double t = r.ttft(); t != workload::kNoTime)
             m.ttft.add(t);

@@ -26,6 +26,10 @@ struct RunMetrics {
 
     std::size_t num_requests = 0;
     std::size_t num_finished = 0;
+    /** Requests the run never completed (saturated cells). They carry
+     *  no latency samples, so they would otherwise vanish from every
+     *  percentile — this makes the exclusion explicit and reportable. */
+    std::size_t num_unfinished = 0;
 
     double slo_attainment = 0.0;  ///< both objectives
     double ttft_attainment = 0.0;

@@ -41,16 +41,43 @@ summary_line(const RunMetrics &m)
 }
 
 std::string
+percentile_table(const RunMetrics &m)
+{
+    // Manual column alignment: metrics sits below harness in the
+    // dependency stack, so it cannot use harness::TextTable.
+    std::ostringstream out;
+    char line[160];
+    std::snprintf(line, sizeof(line), "  %-8s%10s%10s%10s%10s", "latency",
+                  "mean", "p50", "p90", "p99");
+    out << line << "\n";
+    const struct {
+        const char *name;
+        const sim::Sample &s;
+    } rows[] = {{"ttft", m.ttft}, {"tpot", m.tpot}, {"e2e", m.e2e}};
+    for (const auto &row : rows) {
+        std::snprintf(line, sizeof(line), "  %-8s%10s%10s%10s%10s",
+                      row.name, fmt_seconds(row.s.mean()).c_str(),
+                      fmt_seconds(row.s.p50()).c_str(),
+                      fmt_seconds(row.s.p90()).c_str(),
+                      fmt_seconds(row.s.p99()).c_str());
+        out << line << "\n";
+    }
+    return out.str();
+}
+
+std::string
 detailed_report(const RunMetrics &m)
 {
     std::ostringstream out;
     out << summary_line(m) << "\n"
+        << percentile_table(m)
         << "  queueing: prefill p50=" << fmt_seconds(m.prefill_queueing.median())
         << " p99=" << fmt_seconds(m.prefill_queueing.p99())
         << ", decode p50=" << fmt_seconds(m.decode_queueing.median())
         << " p99=" << fmt_seconds(m.decode_queueing.p99()) << "\n"
         << "  attainment: ttft=" << fmt_percent(m.ttft_attainment)
-        << " tpot=" << fmt_percent(m.tpot_attainment) << "\n"
+        << " tpot=" << fmt_percent(m.tpot_attainment)
+        << " unfinished=" << m.num_unfinished << "\n"
         << "  events: swaps=" << m.swap_out_events
         << " migrations=" << m.migrations
         << " prefill-dispatches=" << m.prefill_dispatches << "\n"

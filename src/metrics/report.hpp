@@ -13,7 +13,11 @@ namespace windserve::metrics {
 /** One-line summary: ttft p50/p99, tpot p90/p99, slo. */
 std::string summary_line(const RunMetrics &m);
 
-/** Multi-line detailed report including queueing and utilization. */
+/** Aligned mean/p50/p90/p99 table for TTFT, TPOT and e2e latency. */
+std::string percentile_table(const RunMetrics &m);
+
+/** Multi-line detailed report including tail-latency percentiles,
+ *  queueing, unfinished-request count and utilization. */
 std::string detailed_report(const RunMetrics &m);
 
 /** Format seconds compactly: "12.3ms" / "1.24s". */

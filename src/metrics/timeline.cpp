@@ -4,6 +4,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "obs/trace_recorder.hpp"
+
 namespace windserve::metrics {
 
 TimelineRecorder::TimelineRecorder(sim::Simulator &sim, double interval)
@@ -77,6 +79,24 @@ TimelineRecorder::csv() const
         out << "\n";
     }
     return out.str();
+}
+
+void
+TimelineRecorder::export_to(obs::TraceRecorder &rec,
+                            const std::string &process) const
+{
+    for (std::size_t t = 0; t < times_.size(); ++t)
+        for (std::size_t i = 0; i < probes_.size(); ++i)
+            rec.counter_at(times_[t], process, probes_[i].name,
+                           series_[i][t]);
+}
+
+std::string
+TimelineRecorder::json(const std::string &process) const
+{
+    obs::TraceRecorder rec(sim_);
+    export_to(rec, process);
+    return rec.chrome_json();
 }
 
 double

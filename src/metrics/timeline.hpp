@@ -15,6 +15,10 @@
 
 #include "simcore/simulator.hpp"
 
+namespace windserve::obs {
+class TraceRecorder;
+}
+
 namespace windserve::metrics {
 
 /** One named quantity to sample. */
@@ -59,6 +63,18 @@ class TimelineRecorder
 
     /** Render as CSV: time,<probe0>,<probe1>,... */
     std::string csv() const;
+
+    /**
+     * Replay the recorded series into @p rec as Chrome-trace counter
+     * events under @p process, so probe curves overlay the span
+     * timeline in Perfetto.
+     */
+    void export_to(obs::TraceRecorder &rec,
+                   const std::string &process = "timeline") const;
+
+    /** Standalone Chrome-trace JSON of the probe series (counter
+     *  events only; merge via export_to to share a span timeline). */
+    std::string json(const std::string &process = "timeline") const;
 
     /** Maximum value a probe reached. */
     double peak(const std::string &name) const;

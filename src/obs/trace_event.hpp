@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Typed trace events captured by obs::TraceRecorder.
+ *
+ * The event model mirrors the Chrome trace-event format the recorder
+ * exports (chrome://tracing, Perfetto): complete spans ('X') for work
+ * with a known duration, async begin/end pairs ('b'/'e') for request
+ * lifecycle phases keyed by request id, instants ('i') for scheduler
+ * decisions, and counters ('C') for time series. Timestamps are
+ * simulated seconds; the JSON exporter converts to microseconds.
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace windserve::obs {
+
+/** Top-level taxonomy; becomes the Chrome-trace `cat` field. */
+enum class Category {
+    Request,   ///< per-request lifecycle phases
+    Gpu,       ///< per-instance execution passes (prefill/decode/...)
+    Transfer,  ///< link occupancy (KV transfer, migration, swap DMA)
+    Scheduler, ///< decision instants (dispatch, stream split, preemption)
+    Counter,   ///< numeric time series (queue depth, pool bytes)
+};
+
+const char *to_string(Category cat);
+
+/** One key/value annotation attached to an event (`args` in the JSON). */
+struct TraceArg {
+    std::string key;
+    std::string value; ///< pre-rendered JSON token
+    bool quoted = false;
+};
+
+/** Numeric argument (rendered unquoted). */
+TraceArg num_arg(std::string key, double value);
+TraceArg num_arg(std::string key, std::uint64_t value);
+/** String argument (escaped and quoted on export). */
+TraceArg str_arg(std::string key, std::string value);
+
+/** One recorded event. */
+struct TraceEvent {
+    char phase = 'i'; ///< 'X' span, 'b'/'e' async pair, 'i' instant, 'C' counter
+    Category cat = Category::Request;
+    std::string name;
+    double ts = 0.0;  ///< simulated seconds
+    double dur = 0.0; ///< span duration, seconds ('X' only)
+    std::uint32_t pid = 0;
+    std::uint32_t tid = 0;
+    std::uint64_t id = 0; ///< async-pair key ('b'/'e' only)
+    bool has_id = false;
+    std::vector<TraceArg> args;
+};
+
+} // namespace windserve::obs

@@ -18,23 +18,50 @@ Log::set_level(LogLevel lvl)
     level_.store(lvl, std::memory_order_relaxed);
 }
 
+std::string
+Log::format(LogLevel lvl, double sim_time, const std::string &component,
+            const std::string &message)
+{
+    static const char *names[] = {"off", "error", "warn",
+                                  "info", "debug", "trace"};
+    char prefix[64];
+    if (sim_time >= 0.0)
+        std::snprintf(prefix, sizeof(prefix), "[%.6f]", sim_time);
+    else
+        std::snprintf(prefix, sizeof(prefix), "[-]");
+    std::string out;
+    out.reserve(component.size() + message.size() + 32);
+    out += prefix;
+    out += " [";
+    out += names[static_cast<int>(lvl)];
+    out += "] ";
+    out += component;
+    out += ": ";
+    out += message;
+    return out;
+}
+
 void
-Log::write(LogLevel lvl, const std::string &component,
+Log::write(LogLevel lvl, double sim_time, const std::string &component,
            const std::string &message)
 {
     if (level() < lvl)
         return;
-    static const char *names[] = {"off", "error", "warn",
-                                  "info", "debug", "trace"};
-    std::fprintf(stderr, "[%s] %s: %s\n",
-                 names[static_cast<int>(lvl)], component.c_str(),
-                 message.c_str());
+    std::fprintf(stderr, "%s\n",
+                 format(lvl, sim_time, component, message).c_str());
+}
+
+void
+Log::write(LogLevel lvl, const std::string &component,
+           const std::string &message)
+{
+    write(lvl, kNoLogTime, component, message);
 }
 
 LogLine::~LogLine()
 {
     if (Log::level() >= lvl_)
-        Log::write(lvl_, component_, stream_.str());
+        Log::write(lvl_, sim_time_, component_, stream_.str());
 }
 
 } // namespace windserve::sim

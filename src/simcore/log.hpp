@@ -3,7 +3,9 @@
  * Minimal leveled logger for simulator diagnostics.
  *
  * Off by default so benchmark binaries stay quiet; tests and examples can
- * raise the level to trace scheduling decisions.
+ * raise the level to trace scheduling decisions. Components that know
+ * their simulated clock log through WS_LOG_AT so every line carries the
+ * simulated timestamp and can be correlated with an obs trace.
  */
 #pragma once
 
@@ -14,6 +16,9 @@
 namespace windserve::sim {
 
 enum class LogLevel { Off = 0, Error, Warn, Info, Debug, Trace };
+
+/** Sentinel for "no simulated clock available" (wall-clock-less line). */
+constexpr double kNoLogTime = -1.0;
 
 /**
  * Global log configuration. The level is the only process-wide mutable
@@ -28,7 +33,22 @@ class Log
     static LogLevel level();
     static void set_level(LogLevel lvl);
 
+    /**
+     * Render one line: "[<sim-time>] [level] component: message".
+     * @p sim_time < 0 renders the clock field as "-" (no simulated
+     * clock in scope). Exposed so tests can check the format without
+     * capturing stderr.
+     */
+    static std::string format(LogLevel lvl, double sim_time,
+                              const std::string &component,
+                              const std::string &message);
+
     /** Emit a message when @p lvl is enabled. */
+    static void write(LogLevel lvl, double sim_time,
+                      const std::string &component,
+                      const std::string &message);
+
+    /** Clock-less overload (sim_time = kNoLogTime). */
     static void write(LogLevel lvl, const std::string &component,
                       const std::string &message);
 
@@ -40,8 +60,8 @@ class Log
 class LogLine
 {
   public:
-    LogLine(LogLevel lvl, std::string component)
-        : lvl_(lvl), component_(std::move(component))
+    LogLine(LogLevel lvl, std::string component, double sim_time = kNoLogTime)
+        : lvl_(lvl), component_(std::move(component)), sim_time_(sim_time)
     {}
     ~LogLine();
 
@@ -56,10 +76,15 @@ class LogLine
   private:
     LogLevel lvl_;
     std::string component_;
+    double sim_time_;
     std::ostringstream stream_;
 };
 
 #define WS_LOG(lvl, component) \
     ::windserve::sim::LogLine(::windserve::sim::LogLevel::lvl, component)
+
+/** Timestamped variant: WS_LOG_AT(Debug, "engine", sim.now()) << ... */
+#define WS_LOG_AT(lvl, component, now) \
+    ::windserve::sim::LogLine(::windserve::sim::LogLevel::lvl, component, now)
 
 } // namespace windserve::sim

@@ -56,6 +56,7 @@ class Sample
     /** Exact percentile; p in [0,100]. Returns 0 on an empty sample. */
     double percentile(double p) const;
     double median() const { return percentile(50.0); }
+    double p50() const { return percentile(50.0); }
     double p90() const { return percentile(90.0); }
     double p99() const { return percentile(99.0); }
     /** Fraction of observations <= threshold (e.g. SLO attainment). */

@@ -16,6 +16,13 @@ KvTransferManager::bytes_for_tokens(double tokens) const
 }
 
 void
+KvTransferManager::set_trace(obs::TraceRecorder *rec)
+{
+    p2d_.set_trace(rec, "interconnect", "kv-p2d");
+    d2p_.set_trace(rec, "interconnect", "kv-d2p");
+}
+
+void
 KvTransferManager::transfer_prefill_kv(workload::Request *r,
                                        std::function<void()> done)
 {

@@ -21,6 +21,10 @@
 #include "model/model_spec.hpp"
 #include "workload/request.hpp"
 
+namespace windserve::obs {
+class TraceRecorder;
+}
+
 namespace windserve::transfer {
 
 /** How prefill KV reaches the decode instance. */
@@ -66,6 +70,9 @@ class KvTransferManager
 
     /** KV bytes for @p tokens tokens of this model. */
     double bytes_for_tokens(double tokens) const;
+
+    /** Record occupancy spans of both link directions on @p rec. */
+    void set_trace(obs::TraceRecorder *rec);
 
     const KvTransferConfig &config() const { return cfg_; }
 

@@ -1,5 +1,6 @@
 #include "transfer/migration.hpp"
 
+#include "obs/trace_recorder.hpp"
 #include "simcore/log.hpp"
 
 namespace windserve::transfer {
@@ -43,13 +44,13 @@ MigrationManager::start(Request *r)
     hw::TransferId tid = xfer_.reverse_channel().submit(
         xfer_.bytes_for_tokens(static_cast<double>(to_send)),
         [this, id] { complete(id); });
-    Migration m{r, tid, ctx, false, false};
+    Migration m{r, tid, ctx, false, false, sim_.now()};
     if (!cfg_.stall_free) {
         // Blocking migration (ablation): stop decoding right away.
         pause(m);
     }
     active_.emplace(id, m);
-    WS_LOG(Debug, "migration")
+    WS_LOG_AT(Debug, "migration", sim_.now())
         << "start req " << id << " ctx " << ctx << " send " << to_send;
     return true;
 }
@@ -112,6 +113,12 @@ MigrationManager::complete(workload::RequestId id)
 
     if (m.cancelled || r->finished()) {
         ++aborted_;
+        if (trace_) {
+            trace_->span(obs::Category::Transfer, "interconnect",
+                         "migration", "migrate-abort", m.started,
+                         sim_.now() - m.started,
+                         {obs::num_arg("req", std::uint64_t(id))});
+        }
         active_.erase(it);
         return;
     }
@@ -144,17 +151,31 @@ MigrationManager::complete(workload::RequestId id)
     if (!ok) {
         // Target filled up meanwhile: abort, resume at the source.
         ++aborted_;
+        if (trace_) {
+            trace_->span(obs::Category::Transfer, "interconnect",
+                         "migration", "migrate-abort", m.started,
+                         sim_.now() - m.started,
+                         {obs::num_arg("req", std::uint64_t(id)),
+                          obs::num_arg("ctx", std::uint64_t(ctx))});
+        }
         r->state = RequestState::Decoding;
         active_.erase(it);
         source_.enqueue_decode(r, /*kv_resident=*/true);
         return;
+    }
+    if (trace_) {
+        trace_->span(obs::Category::Transfer, "interconnect", "migration",
+                     "migrate", m.started, sim_.now() - m.started,
+                     {obs::num_arg("req", std::uint64_t(id)),
+                      obs::num_arg("ctx", std::uint64_t(ctx))});
     }
     source_.release_kv(r);
     backups_.drop(id);
     ++r->migrations;
     ++completed_;
     active_.erase(it);
-    WS_LOG(Debug, "migration") << "complete req " << id << " ctx " << ctx;
+    WS_LOG_AT(Debug, "migration", sim_.now())
+        << "complete req " << id << " ctx " << ctx;
     if (on_migrated)
         on_migrated(r);
 }
@@ -201,9 +222,18 @@ BackupManager::maybe_backup()
     target_.blocks().allocate(best->id, ctx);
     inflight_[best->id] = ctx;
     Request *r = best;
+    double started = sim_.now();
     xfer_.reverse_channel().submit(
-        xfer_.bytes_for_tokens(static_cast<double>(ctx)), [this, r, ctx] {
+        xfer_.bytes_for_tokens(static_cast<double>(ctx)),
+        [this, r, ctx, started] {
             inflight_.erase(r->id);
+            if (trace_) {
+                trace_->span(obs::Category::Transfer, "interconnect",
+                             "backup", "kv-backup", started,
+                             sim_.now() - started,
+                             {obs::num_arg("req", std::uint64_t(r->id)),
+                              obs::num_arg("ctx", std::uint64_t(ctx))});
+            }
             if (r->finished()) {
                 target_.blocks().release(r->id);
                 return;

@@ -85,6 +85,9 @@ class MigrationManager
 
     const MigrationConfig &config() const { return cfg_; }
 
+    /** Record one span per migration (start -> complete/abort). */
+    void set_trace(obs::TraceRecorder *rec) { trace_ = rec; }
+
   private:
     struct Migration {
         workload::Request *req;
@@ -92,6 +95,7 @@ class MigrationManager
         std::size_t synced_tokens; ///< context tokens submitted so far
         bool paused;
         bool cancelled;
+        double started; ///< sim time start() ran (trace span origin)
     };
 
     void complete(workload::RequestId id);
@@ -106,6 +110,7 @@ class MigrationManager
     std::unordered_map<workload::RequestId, Migration> active_;
     std::uint64_t completed_ = 0;
     std::uint64_t aborted_ = 0;
+    obs::TraceRecorder *trace_ = nullptr;
 };
 
 /** Proactive KV prefix backups (decode -> prefill). */
@@ -131,6 +136,9 @@ class BackupManager
     /** Policy tick — call from the coordinator's step hook. */
     void maybe_backup();
 
+    /** Record one span per backup copy. */
+    void set_trace(obs::TraceRecorder *rec) { trace_ = rec; }
+
     /** Release target-side blocks when a request completes or migrates. */
     void on_request_done(workload::Request *r);
 
@@ -146,6 +154,7 @@ class BackupManager
     Config cfg_;
     std::unordered_map<workload::RequestId, std::size_t> inflight_;
     std::uint64_t backups_taken_ = 0;
+    obs::TraceRecorder *trace_ = nullptr;
 };
 
 } // namespace windserve::transfer

@@ -38,6 +38,10 @@
 #include "kvcache/block_manager.hpp"
 #include "kvcache/swap_pool.hpp"
 
+// observability (structured trace recording)
+#include "obs/trace_event.hpp"
+#include "obs/trace_recorder.hpp"
+
 // workloads
 #include "workload/arrival.hpp"
 #include "workload/dataset.hpp"

@@ -1,0 +1,12 @@
+# Run one bench driver with --trace-out and validate the emitted file
+# with Python's stock JSON parser (ctest `trace_json_smoke`).
+execute_process(COMMAND ${BENCH} 60 --jobs 2 --trace-out ${OUT}
+                RESULT_VARIABLE rc OUTPUT_QUIET ERROR_QUIET)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "bench driver failed (rc=${rc})")
+endif()
+execute_process(COMMAND ${PYTHON} -m json.tool ${OUT}
+                RESULT_VARIABLE rc OUTPUT_QUIET)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "emitted trace is not valid JSON: ${OUT}")
+endif()
