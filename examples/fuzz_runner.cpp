@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Invariant-audited fuzz driver over all three serving systems.
+ *
+ * Sweeps randomized (workload, config) cases through WindServe,
+ * DistServe and vLLM with a fail-fast SimAuditor attached. On a
+ * violation it prints the auditor's report plus the exact command line
+ * that replays the failing case.
+ *
+ * Usage:
+ *   fuzz_runner [--iters=N] [--seed=S] [--jobs=J] [--system=NAME|all]
+ *   fuzz_runner --repro-seed=S --repro-config=NAME [--log=debug]
+ *
+ * The repro form runs exactly one case — the one a failure printed —
+ * optionally with leveled event logging for post-mortem inspection.
+ */
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "windserve/windserve.hpp"
+
+using namespace windserve;
+
+namespace {
+
+bool
+arg_value(const std::string &arg, const char *key, std::string &out)
+{
+    std::string prefix = std::string(key) + "=";
+    if (arg.rfind(prefix, 0) != 0)
+        return false;
+    out = arg.substr(prefix.size());
+    return true;
+}
+
+int
+repro(std::uint64_t seed, const std::string &config_name)
+{
+    harness::SystemKind kind = harness::parse_system_kind(config_name);
+    std::cout << "replaying seed " << seed << " on "
+              << harness::to_string(kind) << "\n";
+    harness::FuzzResult r = harness::run_fuzz_case(seed, kind);
+    std::cout << "ok: " << r.audit_events << " events audited, "
+              << r.finished << "/" << r.num_requests << " finished, "
+              << "checksum " << std::hex << r.checksum << std::dec << "\n";
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    harness::FuzzOptions opt;
+    opt.jobs = harness::default_jobs();
+    bool have_repro_seed = false;
+    std::uint64_t repro_seed = 0;
+    std::string repro_config = "windserve";
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i], v;
+        if (arg_value(arg, "--iters", v)) {
+            opt.iterations = std::stoul(v);
+        } else if (arg_value(arg, "--seed", v)) {
+            opt.base_seed = std::stoull(v);
+        } else if (arg_value(arg, "--jobs", v)) {
+            opt.jobs = std::stoul(v);
+        } else if (arg_value(arg, "--system", v)) {
+            if (v != "all")
+                opt.systems = {harness::parse_system_kind(v)};
+        } else if (arg_value(arg, "--repro-seed", v)) {
+            have_repro_seed = true;
+            repro_seed = std::stoull(v);
+        } else if (arg_value(arg, "--repro-config", v)) {
+            repro_config = v;
+        } else if (arg_value(arg, "--log", v)) {
+            sim::Log::set_level(v == "trace"   ? sim::LogLevel::Trace
+                                : v == "debug" ? sim::LogLevel::Debug
+                                               : sim::LogLevel::Info);
+        } else {
+            std::cerr << "unknown argument: " << arg << "\n";
+            return 2;
+        }
+    }
+
+    try {
+        if (have_repro_seed)
+            return repro(repro_seed, repro_config);
+
+        std::cout << "fuzzing " << opt.iterations << " cases x "
+                  << opt.systems.size() << " systems (base seed "
+                  << opt.base_seed << ", " << opt.jobs << " jobs)\n";
+        harness::FuzzSummary sum = harness::run_fuzz(opt);
+        std::cout << sum.results.size() << " cases, "
+                  << sum.total_events << " events audited, "
+                  << sum.total_violations << " violations\n";
+        return sum.total_violations == 0 ? 0 : 1;
+    } catch (const audit::InvariantViolation &e) {
+        // what() ends with the replayable "--repro-seed=S
+        // --repro-config=NAME" line; pass it back to this binary.
+        std::cerr << "INVARIANT VIOLATION\n" << e.what() << "\n"
+                  << "replay with: fuzz_runner <repro flags above>"
+                  << " [--log=debug]\n";
+        return 1;
+    }
+}

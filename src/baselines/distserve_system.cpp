@@ -26,6 +26,9 @@ DistServeSystem::DistServeSystem(DistServeConfig cfg)
     pcfg.max_batch_size = cfg_.max_batch_size;
     pcfg.max_prefill_tokens = cfg_.max_prefill_tokens;
     pcfg.exec_noise_sigma = cfg_.exec_noise_sigma;
+    pcfg.swap_enabled = cfg_.swap_enabled;
+    pcfg.host_memory_bytes = cfg_.host_memory_bytes;
+    pcfg.kv_capacity_tokens_override = cfg_.kv_capacity_tokens_override;
     prefill_ = std::make_unique<engine::Instance>(
         sim_, pcfg, prefill_cost, seed_rng.fork(),
         topo_.host_link(placement.prefill.front()));
@@ -37,6 +40,9 @@ DistServeSystem::DistServeSystem(DistServeConfig cfg)
     dcfg.max_batch_size = cfg_.max_batch_size;
     dcfg.max_prefill_tokens = cfg_.max_prefill_tokens;
     dcfg.exec_noise_sigma = cfg_.exec_noise_sigma;
+    dcfg.swap_enabled = cfg_.swap_enabled;
+    dcfg.host_memory_bytes = cfg_.host_memory_bytes;
+    dcfg.kv_capacity_tokens_override = cfg_.kv_capacity_tokens_override;
     decode_ = std::make_unique<engine::Instance>(
         sim_, dcfg, decode_cost, seed_rng.fork(),
         topo_.host_link(placement.decode.front()));
@@ -77,7 +83,7 @@ DistServeSystem::on_prefill_complete(Request *r)
 {
     if (r->output_tokens <= 1) {
         r->finish_time = sim_.now();
-        r->state = RequestState::Finished;
+        audit::transition(audit(), *r, RequestState::Finished);
         prefill_->release_kv(r);
         return;
     }
@@ -95,6 +101,14 @@ DistServeSystem::wire_trace(obs::TraceRecorder &rec)
     prefill_->set_trace(&rec);
     decode_->set_trace(&rec);
     xfer_->set_trace(&rec);
+}
+
+void
+DistServeSystem::wire_audit(audit::SimAuditor &a)
+{
+    prefill_->set_audit(&a);
+    decode_->set_audit(&a);
+    xfer_->set_audit(&a);
 }
 
 void

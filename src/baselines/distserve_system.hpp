@@ -36,6 +36,13 @@ struct DistServeConfig {
     std::size_t block_size = 16;
     std::size_t max_batch_size = 256;
     std::size_t max_prefill_tokens = 4096;
+    /** Preempt to host memory on KV exhaustion (park when disabled). */
+    bool swap_enabled = true;
+    /** Host DRAM budget per instance's swap pool. */
+    double host_memory_bytes = 256e9;
+    /** Override the derived per-instance KV capacity (tokens); 0 keeps
+     *  the cost-model value. */
+    std::size_t kv_capacity_tokens_override = 0;
     double exec_noise_sigma = 0.03;
     std::uint64_t seed = 7;
 };
@@ -58,6 +65,7 @@ class DistServeSystem : public engine::ServingSystem
                 double horizon) override;
     void fill_system_metrics(metrics::RunMetrics &m) override;
     void wire_trace(obs::TraceRecorder &rec) override;
+    void wire_audit(audit::SimAuditor &a) override;
     std::vector<workload::Request> take_requests() override
     {
         return std::move(requests_);

@@ -27,6 +27,9 @@ VllmColocatedSystem::VllmColocatedSystem(VllmConfig cfg)
         icfg.max_prefill_tokens = cfg_.max_prefill_tokens;
         icfg.chunk_size = cfg_.chunk_size;
         icfg.chunked_prefill = cfg_.chunked_prefill;
+        icfg.swap_enabled = cfg_.swap_enabled;
+        icfg.host_memory_bytes = cfg_.host_memory_bytes;
+        icfg.kv_capacity_tokens_override = cfg_.kv_capacity_tokens_override;
         icfg.exec_noise_sigma = cfg_.exec_noise_sigma;
         hw::GpuId first_gpu = e * gpus_per_engine;
         auto inst = std::make_unique<engine::Instance>(
@@ -35,7 +38,7 @@ VllmColocatedSystem::VllmColocatedSystem(VllmConfig cfg)
         inst->callbacks.on_prefill_complete = [this, raw](Request *r) {
             if (r->output_tokens <= 1) {
                 r->finish_time = sim_.now();
-                r->state = RequestState::Finished;
+                audit::transition(audit(), *r, RequestState::Finished);
                 raw->release_kv(r);
                 return;
             }
@@ -75,6 +78,13 @@ VllmColocatedSystem::wire_trace(obs::TraceRecorder &rec)
 {
     for (auto &e : engines_)
         e->set_trace(&rec);
+}
+
+void
+VllmColocatedSystem::wire_audit(audit::SimAuditor &a)
+{
+    for (auto &e : engines_)
+        e->set_audit(&a);
 }
 
 void

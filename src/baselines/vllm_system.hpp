@@ -34,6 +34,13 @@ struct VllmConfig {
     /** Per-iteration prefill token budget (vLLM max_num_batched_tokens). */
     std::size_t chunk_size = 2048;
     bool chunked_prefill = true;
+    /** Preempt to host memory on KV exhaustion (park when disabled). */
+    bool swap_enabled = true;
+    /** Host DRAM budget per engine's swap pool. */
+    double host_memory_bytes = 256e9;
+    /** Override the derived per-engine KV capacity (tokens); 0 keeps
+     *  the cost-model value. */
+    std::size_t kv_capacity_tokens_override = 0;
     double exec_noise_sigma = 0.03;
     std::uint64_t seed = 7;
 };
@@ -56,6 +63,7 @@ class VllmColocatedSystem : public engine::ServingSystem
                 double horizon) override;
     void fill_system_metrics(metrics::RunMetrics &m) override;
     void wire_trace(obs::TraceRecorder &rec) override;
+    void wire_audit(audit::SimAuditor &a) override;
     std::vector<workload::Request> take_requests() override
     {
         return std::move(requests_);

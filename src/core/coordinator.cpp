@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "audit/sim_auditor.hpp"
 #include "obs/trace_recorder.hpp"
 #include "simcore/log.hpp"
 
@@ -86,6 +87,8 @@ Coordinator::decide_dispatch(const workload::Request &r,
     std::size_t slots = available_slots(decode);
     if (slots >= r.prompt_tokens) {
         ++dispatches_;
+        if (audit_)
+            audit_->on_dispatch(r.id, r.prompt_tokens, slots);
         if (trace_) {
             trace_->instant(
                 obs::Category::Scheduler, "scheduler", "coordinator",
@@ -122,6 +125,10 @@ Coordinator::maybe_reschedule(engine::Instance &decode,
     if (!migration.start(victim))
         return false;
     ++reschedules_;
+    if (audit_) {
+        audit_->on_reschedule(victim->id, decode.blocks().occupancy(),
+                              cfg_.resched_occupancy_trigger);
+    }
     if (trace_) {
         trace_->instant(
             obs::Category::Scheduler, "scheduler", "coordinator",

@@ -120,6 +120,10 @@ class Coordinator
     /** Record dispatch/reschedule decision instants on @p rec. */
     void set_trace(obs::TraceRecorder *rec) { trace_ = rec; }
 
+    /** Report dispatch/reschedule decisions (with the slot/occupancy
+     *  evidence backing them) to @p a. */
+    void set_audit(audit::SimAuditor *a) { audit_ = a; }
+
     /** Timebase for timestamped logs and decision instants. The
      *  coordinator owns no simulator; the serving system binds its own. */
     void bind_clock(const sim::Simulator *clock) { clock_ = clock; }
@@ -133,6 +137,7 @@ class Coordinator
     std::uint64_t dispatches_ = 0;
     std::uint64_t reschedules_ = 0;
     obs::TraceRecorder *trace_ = nullptr;
+    audit::SimAuditor *audit_ = nullptr;
     const sim::Simulator *clock_ = nullptr;
 };
 

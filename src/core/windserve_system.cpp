@@ -36,6 +36,9 @@ WindServeSystem::WindServeSystem(WindServeConfig cfg)
     pcfg.chunk_size = cfg_.prefill_chunk_size;
     pcfg.chunked_prefill = true;
     pcfg.exec_noise_sigma = cfg_.exec_noise_sigma;
+    pcfg.swap_enabled = cfg_.swap_enabled;
+    pcfg.host_memory_bytes = cfg_.host_memory_bytes;
+    pcfg.kv_capacity_tokens_override = cfg_.kv_capacity_tokens_override;
     prefill_ = std::make_unique<engine::Instance>(
         sim_, pcfg, prefill_cost, seed_rng.fork(),
         topo_.host_link(placement.prefill.front()));
@@ -49,6 +52,9 @@ WindServeSystem::WindServeSystem(WindServeConfig cfg)
     dcfg.chunk_size = cfg_.chunk_size;
     dcfg.stream_based_disaggregation = cfg_.enable_sbd;
     dcfg.exec_noise_sigma = cfg_.exec_noise_sigma;
+    dcfg.swap_enabled = cfg_.swap_enabled;
+    dcfg.host_memory_bytes = cfg_.host_memory_bytes;
+    dcfg.kv_capacity_tokens_override = cfg_.kv_capacity_tokens_override;
     decode_ = std::make_unique<engine::Instance>(
         sim_, dcfg, decode_cost, seed_rng.fork(),
         topo_.host_link(placement.decode.front()));
@@ -111,7 +117,8 @@ WindServeSystem::WindServeSystem(WindServeConfig cfg)
     };
 
     migration_->on_migrated = [this](Request *r) {
-        r->state = RequestState::WaitingDecode;
+        // enqueue_decode performs the Migrating -> WaitingDecode
+        // transition itself.
         prefill_->enqueue_decode(r, /*kv_resident=*/true);
     };
 }
@@ -132,6 +139,16 @@ WindServeSystem::wire_trace(obs::TraceRecorder &rec)
     migration_->set_trace(&rec);
     backup_->set_trace(&rec);
     scheduler_->set_trace(&rec);
+}
+
+void
+WindServeSystem::wire_audit(audit::SimAuditor &a)
+{
+    prefill_->set_audit(&a);
+    decode_->set_audit(&a);
+    xfer_->set_audit(&a);
+    migration_->set_audit(&a);
+    scheduler_->set_audit(&a);
 }
 
 void
@@ -166,7 +183,7 @@ WindServeSystem::finish_prefill_only(engine::Instance &inst, Request *r)
     // Single-output-token request: the prefill's first token is also the
     // EOS; no decode phase exists.
     r->finish_time = sim_.now();
-    r->state = RequestState::Finished;
+    audit::transition(audit(), *r, RequestState::Finished);
     inst.release_kv(r);
     on_finished(r);
 }

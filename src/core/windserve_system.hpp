@@ -58,6 +58,14 @@ struct WindServeConfig {
     /** Stream-based disaggregation on the decode instance (§3.4). */
     bool enable_sbd = true;
 
+    /** Preempt to host memory on KV exhaustion (park when disabled). */
+    bool swap_enabled = true;
+    /** Host DRAM budget per instance's swap pool. */
+    double host_memory_bytes = 256e9;
+    /** Override the derived per-instance KV capacity (tokens); 0 keeps
+     *  the cost-model value. For tests and capacity studies. */
+    std::size_t kv_capacity_tokens_override = 0;
+
     double exec_noise_sigma = 0.03;
     std::uint64_t seed = 7;
 };
@@ -85,6 +93,7 @@ class WindServeSystem : public engine::ServingSystem
                 double horizon) override;
     void fill_system_metrics(metrics::RunMetrics &m) override;
     void wire_trace(obs::TraceRecorder &rec) override;
+    void wire_audit(audit::SimAuditor &a) override;
     std::vector<workload::Request> take_requests() override
     {
         return std::move(requests_);

@@ -39,6 +39,14 @@ struct DecodeGroup {
     bool busy = false;
     /** Completion time of the in-flight iteration (valid while busy). */
     double iteration_end = 0.0;
+    /**
+     * Members participating in the in-flight iteration, snapshotted at
+     * pass start. Continuous batching admits waiting requests into
+     * `members` at any time — including mid-pass — but only the
+     * snapshot earns the pass's token: a mid-pass joiner decodes
+     * nothing until the next iteration starts.
+     */
+    std::vector<Request *> iteration_members;
 
     /** Sum of current context lengths (the Eq. 2 sumL). */
     std::size_t sum_context() const;

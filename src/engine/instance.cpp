@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 
+#include "audit/sim_auditor.hpp"
 #include "obs/trace_recorder.hpp"
 #include "simcore/log.hpp"
 
@@ -59,6 +60,15 @@ Instance::set_trace(obs::TraceRecorder *rec)
     swap_.set_trace(rec, cfg_.name);
 }
 
+void
+Instance::set_audit(audit::SimAuditor *a)
+{
+    audit_ = a;
+    blocks_.set_audit(a, cfg_.name);
+    swap_.set_audit(a, cfg_.name);
+    host_channel_.set_audit(a);
+}
+
 // ---------------------------------------------------------------------
 // entry points
 // ---------------------------------------------------------------------
@@ -81,7 +91,7 @@ Instance::schedule_pump()
 void
 Instance::enqueue_prefill(Request *r)
 {
-    r->state = RequestState::WaitingPrefill;
+    audit::transition(audit_, *r, RequestState::WaitingPrefill);
     if (r->prefill_enqueue_time == workload::kNoTime)
         r->prefill_enqueue_time = sim_.now();
     prefill_q_.push_back(r);
@@ -91,7 +101,7 @@ Instance::enqueue_prefill(Request *r)
 void
 Instance::enqueue_decode(Request *r, bool kv_resident)
 {
-    r->state = RequestState::WaitingDecode;
+    audit::transition(audit_, *r, RequestState::WaitingDecode);
     if (r->decode_enqueue_time == workload::kNoTime)
         r->decode_enqueue_time = sim_.now();
     if (!kv_resident) {
@@ -106,7 +116,7 @@ Instance::enqueue_decode(Request *r, bool kv_resident)
 void
 Instance::enqueue_assist_prefill(Request *r)
 {
-    r->state = RequestState::WaitingPrefill;
+    audit::transition(audit_, *r, RequestState::WaitingPrefill);
     r->prefill_dispatched = true;
     if (r->prefill_enqueue_time == workload::kNoTime)
         r->prefill_enqueue_time = sim_.now();
@@ -165,7 +175,7 @@ Instance::try_start_prefill_slots()
         for (Request *r : batch.requests) {
             if (r->prefill_start_time == workload::kNoTime)
                 r->prefill_start_time = sim_.now();
-            r->state = RequestState::Prefilling;
+            audit::transition(audit_, *r, RequestState::Prefilling);
         }
         double dur =
             sampler_.prefill(static_cast<double>(batch.total_tokens));
@@ -235,7 +245,7 @@ Instance::try_start_sbd_stream()
         assist_q_.pop_front();
         if (r->prefill_start_time == workload::kNoTime)
             r->prefill_start_time = sim_.now();
-        r->state = RequestState::Prefilling;
+        audit::transition(audit_, *r, RequestState::Prefilling);
         batch.push_back(r);
         tokens += r->prompt_tokens;
     }
@@ -300,7 +310,7 @@ Instance::try_start_group(std::size_t g)
                 prefill_q_.pop_front();
                 if (cand->prefill_start_time == workload::kNoTime)
                     cand->prefill_start_time = sim_.now();
-                cand->state = RequestState::Prefilling;
+                audit::transition(audit_, *cand, RequestState::Prefilling);
                 cand->was_chunked = true;
                 chunk_head_[g] = cand;
                 if (trace_) {
@@ -337,7 +347,7 @@ Instance::try_start_group(std::size_t g)
             assist_q_.pop_front();
             if (r->prefill_start_time == workload::kNoTime)
                 r->prefill_start_time = sim_.now();
-            r->state = RequestState::Prefilling;
+            audit::transition(audit_, *r, RequestState::Prefilling);
             hybrid.push_back(r);
             hybrid_tokens += r->prompt_tokens;
         }
@@ -382,7 +392,7 @@ Instance::try_start_group(std::size_t g)
         // and exhaustion guards key off it, and clobbering it here would
         // let the request be swapped out mid-migration (double-owned).
         if (r->state != RequestState::Migrating)
-            r->state = RequestState::Decoding;
+            audit::transition(audit_, *r, RequestState::Decoding);
     }
     if (trace_) {
         trace_->span(obs::Category::Gpu, cfg_.name,
@@ -396,6 +406,7 @@ Instance::try_start_group(std::size_t g)
     }
     grp.busy = true;
     grp.iteration_end = sim_.now() + dur;
+    grp.iteration_members = grp.members;
     sim_.schedule(dur, [this, g] { complete_group(g); });
 }
 
@@ -432,14 +443,27 @@ Instance::complete_group(std::size_t g)
         }
     }
 
-    // Token generation for every member still resident in the group.
-    // An earlier member's block exhaustion may have swapped a later
-    // member out DURING this loop; a swapped-out member's pass result
-    // is discarded with its KV, so it must not receive the token (and
-    // certainly must not "finish" while sitting in the waiting queue).
-    std::vector<Request *> members = grp.members;
+    // Token generation for every request that PARTICIPATED in this pass
+    // (the snapshot taken at pass start — a request admitted into the
+    // group mid-pass computed nothing and earns nothing) and is still
+    // resident in the group. An earlier member's block exhaustion may
+    // have swapped a later member out DURING this loop; a swapped-out
+    // member's pass result is discarded with its KV, so it must not
+    // receive the token (and certainly must not "finish" while sitting
+    // in the waiting queue).
+    std::vector<Request *> members = std::move(grp.iteration_members);
+    grp.iteration_members.clear();
     for (Request *r : members) {
         if (!grp.contains(r))
+            continue;
+        // Reentrancy guard: a finish callback earlier in this loop may
+        // pump the instance and re-admit a just-parked snapshot member
+        // into this group. It is WaitingDecode again and computed
+        // nothing this pass; only members still in a computing state
+        // (Decoding, or Migrating under stall-free migration) earn the
+        // token.
+        if (r->state != RequestState::Decoding &&
+            r->state != RequestState::Migrating)
             continue;
         ++r->generated;
         r->note_token(sim_.now());
@@ -475,7 +499,7 @@ void
 Instance::finish_request(Request *r)
 {
     r->finish_time = sim_.now();
-    r->state = RequestState::Finished;
+    audit::transition(audit_, *r, RequestState::Finished);
     for (auto &grp : groups_)
         grp.remove(r);
     blocks_.release(r->id);
@@ -497,35 +521,57 @@ Instance::handle_block_exhaustion(Request *r, std::size_t g)
             pause_decoding(r);
             return;
         }
-        if (!cfg_.swap_enabled) {
-            swap_out(r);
-            return;
+        if (cfg_.swap_enabled) {
+            // Victims come from this group or idle groups; busy groups
+            // are mid-pass and cannot lose members. Candidates are
+            // rebuilt every round: swap_out() removes the victim from
+            // the live groups, and a stale snapshot would offer the
+            // same victim twice.
+            std::vector<DecodeGroup> candidates;
+            candidates.push_back(groups_[g]);
+            for (std::size_t i = 0; i < groups_.size(); ++i)
+                if (i != g && !groups_[i].busy)
+                    candidates.push_back(groups_[i]);
+            Request *victim = select_swap_victim(candidates, r);
+            if (victim == nullptr)
+                victim = r;
+            if (swap_out(victim)) {
+                if (victim == r)
+                    return;
+                continue;
+            }
+            // Host pool full: swapping cannot free blocks, fall through.
         }
-        // Victims come from this group or idle groups; busy groups are
-        // mid-pass and cannot lose members. Candidates are rebuilt every
-        // round: swap_out() removes the victim from the live groups, and
-        // a stale snapshot would offer the same victim twice.
-        std::vector<DecodeGroup> candidates;
-        candidates.push_back(groups_[g]);
-        for (std::size_t i = 0; i < groups_.size(); ++i)
-            if (i != g && !groups_[i].busy)
-                candidates.push_back(groups_[i]);
-        Request *victim = select_swap_victim(candidates, r);
-        if (victim == nullptr) {
-            swap_out(r);
-            return;
-        }
-        swap_out(victim);
+        // No swap path (disabled, or the host pool is full). Un-earn
+        // the token whose KV could not be stored and preempt: release
+        // this request's OWN blocks so the remaining members can make
+        // progress — keeping them could deadlock the instance when
+        // every holder is parked — and requeue at the front for
+        // re-admission once capacity frees up (recompute-style
+        // preemption; the recompute pass itself is not modeled by the
+        // cost layer). Each retry costs at least one decode pass of
+        // simulated time, so the loop cannot spin at one instant.
+        --r->generated;
+        audit::transition(audit_, *r, RequestState::WaitingDecode);
+        for (auto &grp : groups_)
+            grp.remove(r);
+        blocks_.release(r->id);
+        decode_q_.push_front(r);
+        return;
     }
 }
 
-void
+bool
 Instance::swap_out(Request *victim)
 {
-    WS_LOG_AT(Debug, cfg_.name, sim_.now())
-        << "swap out req " << victim->id << " ctx "
-        << victim->context_length();
     std::size_t ctx = victim->context_length();
+    // Reserve host-pool space FIRST: if the pool is full nothing may
+    // change, or a later swap_in would be asked for bytes the pool
+    // never accepted.
+    if (!swap_.swap_out(victim->id, ctx))
+        return false;
+    WS_LOG_AT(Debug, cfg_.name, sim_.now())
+        << "swap out req " << victim->id << " ctx " << ctx;
     if (trace_) {
         trace_->instant(obs::Category::Scheduler, cfg_.name,
                         "local-scheduler", "swap-out",
@@ -533,9 +579,8 @@ Instance::swap_out(Request *victim)
                          obs::num_arg("ctx", std::uint64_t(ctx))});
     }
     blocks_.release(victim->id);
-    swap_.swap_out(victim->id, ctx);
     ++victim->swap_outs;
-    victim->state = RequestState::SwappedOut;
+    audit::transition(audit_, *victim, RequestState::SwappedOut);
     for (auto &grp : groups_)
         grp.remove(victim);
     decode_q_.push_front(victim);
@@ -544,18 +589,26 @@ Instance::swap_out(Request *victim)
         swap_ready_.insert(id);
         pump();
     });
+    return true;
 }
 
 void
 Instance::try_swap_in()
 {
-    if (decode_q_.empty())
-        return;
-    Request *r = decode_q_.front();
-    if (r->state != RequestState::SwappedOut)
+    // FCFS among swapped requests: resume the first one in the queue.
+    // It need not be the queue front — block holders and parked
+    // requests ahead of it are admit_decodes' business.
+    Request *r = nullptr;
+    for (Request *cand : decode_q_) {
+        if (cand->state == RequestState::SwappedOut) {
+            r = cand;
+            break;
+        }
+    }
+    if (r == nullptr)
         return;
     if (!swap_ready_.count(r->id) || swapping_in_.count(r->id))
-        return;
+        return; // copy-out still in flight (or already inbound)
     std::size_t ctx = r->context_length();
     if (!blocks_.can_allocate(ctx + cfg_.block_size))
         return; // not enough headroom yet
@@ -565,7 +618,7 @@ Instance::try_swap_in()
         swap_.swap_in(r->id);
         swapping_in_.erase(r->id);
         swap_ready_.erase(r->id);
-        r->state = RequestState::WaitingDecode;
+        audit::transition(audit_, *r, RequestState::WaitingDecode);
         if (trace_) {
             trace_->instant(obs::Category::Scheduler, cfg_.name,
                             "local-scheduler", "swap-in",

@@ -211,6 +211,14 @@ class Instance
      */
     void set_trace(obs::TraceRecorder *rec);
 
+    /**
+     * Install @p a on this instance and everything it owns (block
+     * manager, swap pool, host DMA channel) and route every request
+     * state change through it. nullptr (the default) disables auditing
+     * with zero behavioural change.
+     */
+    void set_audit(audit::SimAuditor *a);
+
   private:
     void schedule_pump();
 
@@ -228,7 +236,8 @@ class Instance
     void finish_prefill_of(Request *r);
     void finish_request(Request *r);
     void handle_block_exhaustion(Request *r, std::size_t g);
-    void swap_out(Request *r);
+    /** @return false if the host pool rejected the victim (full). */
+    bool swap_out(Request *r);
     void refresh_utilization();
     std::size_t max_per_group() const;
 
@@ -276,6 +285,7 @@ class Instance
     std::uint64_t prefill_passes_ = 0;
     bool pump_scheduled_ = false;
     obs::TraceRecorder *trace_ = nullptr;
+    audit::SimAuditor *audit_ = nullptr;
 };
 
 } // namespace windserve::engine

@@ -35,10 +35,22 @@ admit_decodes(std::deque<Request *> &queue, std::vector<DecodeGroup> &groups,
               std::size_t max_per_group, kvcache::BlockManager &blocks)
 {
     std::vector<Request *> admitted;
-    while (!queue.empty()) {
-        Request *r = queue.front();
-        if (r->state == workload::RequestState::SwappedOut)
-            break; // needs an explicit swap-in first
+    // FCFS applies to *allocations*: once an earlier request is waiting
+    // on blocks (or on a swap-in), later requests may not allocate past
+    // it. Requests that already hold their KV (assist prefill, finished
+    // swap-in) are admitted regardless of position — holding them back
+    // behind a blocked head can deadlock the instance: the head waits
+    // for the holders' blocks while the holders wait for the head.
+    bool alloc_blocked = false;
+    for (auto it = queue.begin(); it != queue.end();) {
+        Request *r = *it;
+        if (r->state == workload::RequestState::SwappedOut) {
+            // Swap-in (not admission) brings it back; its pending
+            // block claim blocks later allocations.
+            alloc_blocked = true;
+            ++it;
+            continue;
+        }
         auto smallest = std::min_element(
             groups.begin(), groups.end(),
             [](const DecodeGroup &a, const DecodeGroup &b) {
@@ -48,11 +60,14 @@ admit_decodes(std::deque<Request *> &queue, std::vector<DecodeGroup> &groups,
             break;
         std::size_t tokens = r->context_length();
         if (!blocks.holds(r->id)) {
-            if (!blocks.can_allocate(tokens))
-                break;
-    blocks.allocate(r->id, tokens);
+            if (alloc_blocked || !blocks.can_allocate(tokens)) {
+                alloc_blocked = true;
+                ++it;
+                continue;
+            }
+            blocks.allocate(r->id, tokens);
         }
-        queue.pop_front();
+        it = queue.erase(it);
         smallest->members.push_back(r);
         admitted.push_back(r);
     }

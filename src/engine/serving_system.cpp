@@ -17,6 +17,17 @@ ServingSystem::enable_tracing()
     return trace_.get();
 }
 
+audit::SimAuditor *
+ServingSystem::enable_audit(audit::AuditConfig cfg)
+{
+    if (!audit_) {
+        audit_ = std::make_unique<audit::SimAuditor>(simulator(),
+                                                     std::move(cfg));
+        wire_audit(*audit_);
+    }
+    return audit_.get();
+}
+
 RunResult
 ServingSystem::run(const std::vector<workload::Request> &trace,
                    const metrics::SloSpec &slo, double horizon)
@@ -28,6 +39,10 @@ ServingSystem::run(const std::vector<workload::Request> &trace,
     out.metrics = metrics::Collector(slo).collect(out.requests);
     fill_system_metrics(out.metrics);
     out.num_gpus = num_gpus();
+    if (audit_) {
+        audit_->finish_run(out.requests, out.metrics.num_finished,
+                           out.metrics.num_unfinished);
+    }
     if (trace_) {
         // Lifecycle spans are derived from the final timestamps, after
         // the replay: emitted in request order, so the trace is a pure

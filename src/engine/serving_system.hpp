@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "audit/sim_auditor.hpp"
 #include "metrics/collector.hpp"
 #include "workload/request.hpp"
 
@@ -67,6 +68,19 @@ class ServingSystem
     const obs::TraceRecorder *trace() const { return trace_.get(); }
 
     /**
+     * Attach a per-run SimAuditor (before run()). Mirrors
+     * enable_tracing(): the auditor is owned by this system and every
+     * component is wired to it via wire_audit(). With auditing off the
+     * run is byte-identical to an unaudited one. Idempotent (@p cfg is
+     * ignored on repeat calls); returns the auditor.
+     */
+    audit::SimAuditor *enable_audit(audit::AuditConfig cfg = {});
+
+    /** The attached auditor, or nullptr when auditing is off. */
+    audit::SimAuditor *audit() { return audit_.get(); }
+    const audit::SimAuditor *audit() const { return audit_.get(); }
+
+    /**
      * Replay @p trace (sorted by arrival) until every request finishes
      * or @p horizon simulated seconds elapse, then collect metrics
      * against @p slo. Unfinished requests remain in their last state
@@ -97,8 +111,12 @@ class ServingSystem
     /** Point every traced component at @p rec (system-specific). */
     virtual void wire_trace(obs::TraceRecorder &rec) { (void)rec; }
 
+    /** Point every audited component at @p a (system-specific). */
+    virtual void wire_audit(audit::SimAuditor &a) { (void)a; }
+
   private:
     std::unique_ptr<obs::TraceRecorder> trace_;
+    std::unique_ptr<audit::SimAuditor> audit_;
 };
 
 } // namespace windserve::engine

@@ -43,6 +43,9 @@ make_windserve(const ExperimentConfig &cfg)
     if (cfg.transfer_policy)
         ws.transfer.policy = *cfg.transfer_policy;
     ws.coordinator.enable_backup = cfg.enable_backup;
+    ws.swap_enabled = cfg.swap_enabled;
+    ws.host_memory_bytes = cfg.host_memory_bytes;
+    ws.kv_capacity_tokens_override = cfg.kv_capacity_tokens_override;
     ws.seed = cfg.seed ^ 0x9e3779b97f4a7c15ULL;
     switch (cfg.system) {
       case SystemKind::WindServeNoSplit:
@@ -79,6 +82,9 @@ make_system(const ExperimentConfig &cfg)
         ds.topology = sc.topology;
         ds.prefill_parallelism = sc.prefill_parallelism;
         ds.decode_parallelism = sc.decode_parallelism;
+        ds.swap_enabled = cfg.swap_enabled;
+        ds.host_memory_bytes = cfg.host_memory_bytes;
+        ds.kv_capacity_tokens_override = cfg.kv_capacity_tokens_override;
         ds.seed = cfg.seed ^ 0x9e3779b97f4a7c15ULL;
         return std::make_unique<baselines::DistServeSystem>(ds);
       }
@@ -91,6 +97,9 @@ make_system(const ExperimentConfig &cfg)
         vc.engine_parallelism = sc.prefill_parallelism;
         vc.num_engines =
             sc.num_gpus() / sc.prefill_parallelism.num_gpus();
+        vc.swap_enabled = cfg.swap_enabled;
+        vc.host_memory_bytes = cfg.host_memory_bytes;
+        vc.kv_capacity_tokens_override = cfg.kv_capacity_tokens_override;
         vc.seed = cfg.seed ^ 0x9e3779b97f4a7c15ULL;
         return std::make_unique<baselines::VllmColocatedSystem>(vc);
       }
@@ -117,6 +126,12 @@ run_experiment(const ExperimentConfig &cfg)
     auto system = make_system(cfg);
     if (cfg.record_trace)
         system->enable_tracing();
+    if (cfg.audit) {
+        audit::AuditConfig ac;
+        ac.repro_seed = cfg.seed;
+        ac.repro_config = to_string(cfg.system);
+        system->enable_audit(ac);
+    }
     auto trace = make_trace(cfg);
     auto run = system->run(trace, cfg.scenario.slo, cfg.horizon);
 
@@ -129,6 +144,10 @@ run_experiment(const ExperimentConfig &cfg)
         result.trace_request_csv =
             obs::TraceRecorder::request_csv(run.requests);
         result.trace_events = rec->num_events();
+    }
+    if (const audit::SimAuditor *aud = system->audit()) {
+        result.audit_events = aud->events_audited();
+        result.audit_violations = aud->total_violations();
     }
 
     if (auto *ws = dynamic_cast<core::WindServeSystem *>(system.get())) {

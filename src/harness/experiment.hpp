@@ -54,6 +54,22 @@ struct ExperimentConfig {
      * run's scheduling is identical, only the exports are added.
      */
     bool record_trace = false;
+    /**
+     * Attach a fail-fast audit::SimAuditor that checks simulation
+     * invariants (KV conservation, lifecycle legality, link capacity,
+     * end-of-run accounting) at every event. Violations throw
+     * audit::InvariantViolation carrying the replayable seed. Off by
+     * default: an audited run's results are identical to an unaudited
+     * one.
+     */
+    bool audit = false;
+    /** KV capacity override for every instance (tokens; 0 = derived).
+     *  Lets tests and the fuzzer force memory pressure. */
+    std::size_t kv_capacity_tokens_override = 0;
+    /** Host DRAM budget per swap pool. */
+    double host_memory_bytes = 256e9;
+    /** Swap to host on KV exhaustion (park-in-queue when disabled). */
+    bool swap_enabled = true;
 };
 
 /** Outcome of one experiment. */
@@ -71,6 +87,9 @@ struct ExperimentResult {
     std::string trace_json;        ///< Chrome trace-event document
     std::string trace_request_csv; ///< per-request lifecycle table
     std::size_t trace_events = 0;  ///< events recorded
+    // audit outcome (audit only; zero otherwise)
+    std::uint64_t audit_events = 0;     ///< invariant checks performed
+    std::uint64_t audit_violations = 0; ///< violations recorded
 };
 
 /** Build the serving system an ExperimentConfig describes. */

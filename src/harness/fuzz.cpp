@@ -1,0 +1,173 @@
+#include "harness/fuzz.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstring>
+#include <stdexcept>
+
+#include "audit/sim_auditor.hpp"
+#include "harness/parallel.hpp"
+#include "simcore/rng.hpp"
+
+namespace windserve::harness {
+
+namespace {
+
+// FNV-1a, folded over a value's raw bytes.
+std::uint64_t
+fnv1a(std::uint64_t h, const void *data, std::size_t len)
+{
+    const unsigned char *p = static_cast<const unsigned char *>(data);
+    for (std::size_t i = 0; i < len; ++i) {
+        h ^= p[i];
+        h *= 0x100000001b3ULL;
+    }
+    return h;
+}
+
+std::uint64_t
+hash_request(const workload::Request &r)
+{
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    h = fnv1a(h, &r.id, sizeof(r.id));
+    std::uint64_t gen = r.generated;
+    h = fnv1a(h, &gen, sizeof(gen));
+    h = fnv1a(h, &r.finish_time, sizeof(r.finish_time));
+    h = fnv1a(h, &r.first_token_time, sizeof(r.first_token_time));
+    std::uint32_t state = static_cast<std::uint32_t>(r.state);
+    h = fnv1a(h, &state, sizeof(state));
+    return h;
+}
+
+} // namespace
+
+std::uint64_t
+result_checksum(const std::vector<workload::Request> &requests)
+{
+    // XOR of per-request hashes: order-independent, so checksums agree
+    // no matter how a caller ordered or partitioned the result set.
+    std::uint64_t acc = 0;
+    for (const auto &r : requests)
+        acc ^= hash_request(r);
+    return acc;
+}
+
+ExperimentConfig
+make_fuzz_config(std::uint64_t seed, SystemKind system)
+{
+    // Independent stream per (seed, system) so the same seed explores
+    // different configs on each system.
+    sim::Rng rng(seed * 0x9e3779b97f4a7c15ULL +
+                 static_cast<std::uint64_t>(system) + 1);
+
+    ExperimentConfig cfg;
+    cfg.scenario = Scenario::opt13b_sharegpt();
+    cfg.system = system;
+    cfg.seed = seed;
+    cfg.audit = true;
+    cfg.num_requests =
+        static_cast<std::size_t>(rng.uniform_int(40, 140));
+    cfg.per_gpu_rate = rng.uniform(0.4, 2.5);
+    // Bounded horizon: overload cases may legitimately not drain; the
+    // auditor's end-of-run accounting covers unfinished requests too.
+    cfg.horizon = rng.uniform(600.0, 1200.0);
+
+    // Memory pressure dial. The floor keeps every sampled request
+    // admissible (ShareGPT max_context is 2048 tokens) while staying
+    // small enough that long decodes exhaust blocks and exercise
+    // swapping, migration and parking.
+    if (rng.chance(0.6)) {
+        cfg.kv_capacity_tokens_override =
+            static_cast<std::size_t>(rng.uniform_int(2560, 8192));
+    }
+    if (rng.chance(0.3)) {
+        // Tiny host pool: swap-outs start bouncing off a full pool.
+        cfg.host_memory_bytes = rng.uniform(1e6, 5e8);
+    }
+    if (rng.chance(0.15))
+        cfg.swap_enabled = false; // park-in-queue fallback only
+
+    // System-behaviour dials (WindServe variants read these).
+    if (rng.chance(0.25))
+        cfg.stall_free = false;
+    if (rng.chance(0.25))
+        cfg.enable_backup = false;
+    if (rng.chance(0.2))
+        cfg.transfer_policy = transfer::TransferPolicy::Synchronous;
+    if (rng.chance(0.2))
+        cfg.thrd = rng.uniform(0.05, 0.5);
+    return cfg;
+}
+
+FuzzResult
+run_fuzz_case(const ExperimentConfig &cfg)
+{
+    auto system = make_system(cfg);
+    audit::AuditConfig ac;
+    ac.repro_seed = cfg.seed;
+    ac.repro_config = to_string(cfg.system);
+    audit::SimAuditor *aud = system->enable_audit(ac);
+    auto trace = make_trace(cfg);
+    auto run = system->run(trace, cfg.scenario.slo, cfg.horizon);
+
+    FuzzResult res;
+    res.seed = cfg.seed;
+    res.system_name = to_string(cfg.system);
+    res.audit_events = aud->events_audited();
+    res.audit_violations = aud->total_violations();
+    res.num_requests = run.requests.size();
+    res.finished = run.metrics.num_finished;
+    res.unfinished = run.metrics.num_unfinished;
+    for (const auto &r : run.requests)
+        res.generated_tokens += r.generated;
+    res.checksum = result_checksum(run.requests);
+    return res;
+}
+
+FuzzResult
+run_fuzz_case(std::uint64_t seed, SystemKind system)
+{
+    return run_fuzz_case(make_fuzz_config(seed, system));
+}
+
+FuzzSummary
+run_fuzz(const FuzzOptions &opt)
+{
+    std::size_t total = opt.iterations * opt.systems.size();
+    FuzzSummary sum;
+    sum.results.resize(total);
+    parallel_for(total, opt.jobs, [&](std::size_t i) {
+        std::size_t iter = i / opt.systems.size();
+        SystemKind system = opt.systems[i % opt.systems.size()];
+        sum.results[i] = run_fuzz_case(
+            opt.base_seed + static_cast<std::uint64_t>(iter), system);
+    });
+    for (const auto &r : sum.results) {
+        sum.total_events += r.audit_events;
+        sum.total_violations += r.audit_violations;
+    }
+    return sum;
+}
+
+SystemKind
+parse_system_kind(const std::string &name)
+{
+    std::string k;
+    for (char c : name)
+        k += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    if (k == "windserve")
+        return SystemKind::WindServe;
+    if (k == "distserve")
+        return SystemKind::DistServe;
+    if (k == "vllm")
+        return SystemKind::Vllm;
+    if (k == "windserve-no-split")
+        return SystemKind::WindServeNoSplit;
+    if (k == "windserve-no-resche")
+        return SystemKind::WindServeNoResche;
+    if (k == "windserve-no-dispatch")
+        return SystemKind::WindServeNoDispatch;
+    throw std::invalid_argument("unknown system: " + name);
+}
+
+} // namespace windserve::harness

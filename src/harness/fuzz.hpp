@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Property-based fuzzing of the serving systems under invariant audit.
+ *
+ * Each fuzz case is a randomized (workload, config) pair derived purely
+ * from a 64-bit seed, replayed through one of the three systems with a
+ * fail-fast audit::SimAuditor attached. Properties checked per case:
+ *
+ *  - zero invariant violations (the auditor throws otherwise, carrying
+ *    the replayable `--repro-seed=S --repro-config=...` line);
+ *  - determinism: the same seed produces bit-identical per-request
+ *    results, summarised as an order-independent FNV checksum that the
+ *    tests compare across repeat runs and across thread counts.
+ *
+ * Configs deliberately stress the memory machinery: small KV capacity
+ * overrides force swap-outs and migrations, tiny host pools force the
+ * pool-full parking path, and disabled swapping exercises the
+ * park-in-queue fallback.
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "harness/experiment.hpp"
+
+namespace windserve::harness {
+
+/** Outcome of one audited fuzz case. */
+struct FuzzResult {
+    std::uint64_t seed = 0;
+    std::string system_name;
+    std::uint64_t audit_events = 0;     ///< invariant checks performed
+    std::uint64_t audit_violations = 0; ///< 0 unless fail_fast was off
+    std::size_t num_requests = 0;
+    std::size_t finished = 0;
+    std::size_t unfinished = 0;
+    std::uint64_t generated_tokens = 0; ///< sum over all requests
+    std::uint64_t checksum = 0;         ///< FNV over per-request results
+};
+
+/** Options of a fuzz campaign. */
+struct FuzzOptions {
+    /** Randomized cases per system. */
+    std::size_t iterations = 70;
+    /** Case i of a system uses seed base_seed + i. */
+    std::uint64_t base_seed = 1;
+    /** Worker threads (cases are independent; results are slot-ordered
+     *  so the output is identical at any thread count). */
+    std::size_t jobs = 1;
+    /** Systems to sweep; defaults to all three. */
+    std::vector<SystemKind> systems = {SystemKind::WindServe,
+                                       SystemKind::DistServe,
+                                       SystemKind::Vllm};
+};
+
+/** Aggregated outcome of a campaign (all cases, in deterministic order). */
+struct FuzzSummary {
+    std::vector<FuzzResult> results;
+    std::uint64_t total_events = 0;
+    std::uint64_t total_violations = 0;
+};
+
+/**
+ * Derive the randomized experiment config of fuzz case @p seed on
+ * @p system. Pure function of its arguments.
+ */
+ExperimentConfig make_fuzz_config(std::uint64_t seed, SystemKind system);
+
+/** Order-independent FNV-1a checksum of per-request outcomes. */
+std::uint64_t result_checksum(const std::vector<workload::Request> &requests);
+
+/**
+ * Run one audited case. Throws audit::InvariantViolation (fail-fast)
+ * if any invariant breaks; the exception message contains the repro
+ * line.
+ */
+FuzzResult run_fuzz_case(const ExperimentConfig &cfg);
+
+/** Convenience: run_fuzz_case(make_fuzz_config(seed, system)). */
+FuzzResult run_fuzz_case(std::uint64_t seed, SystemKind system);
+
+/**
+ * Run a full campaign (iterations x systems cases). The first
+ * violation cancels outstanding cases and rethrows on the calling
+ * thread.
+ */
+FuzzSummary run_fuzz(const FuzzOptions &opt);
+
+/** Parse "windserve"/"distserve"/"vllm" (any case, also the display
+ *  names to_string emits). Throws std::invalid_argument otherwise. */
+SystemKind parse_system_kind(const std::string &name);
+
+} // namespace windserve::harness

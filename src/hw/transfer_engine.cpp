@@ -4,6 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "audit/sim_auditor.hpp"
 #include "obs/trace_recorder.hpp"
 
 namespace windserve::hw {
@@ -21,6 +22,8 @@ Channel::submit(double bytes, std::function<void()> on_complete)
     if (bytes < 0.0)
         throw std::invalid_argument("Channel::submit: negative bytes");
     TransferId id = next_id_++;
+    if (audit_)
+        audit_->on_transfer_submit(name_, id, bytes);
     done_[id] = false;
     total_bytes_ += bytes;
     queue_.push_back(Transfer{id, bytes, 0.0, std::move(on_complete)});
@@ -84,6 +87,11 @@ Channel::finish_active()
     active_.reset();
     done_[done->id] = true;
     ++completed_;
+    if (audit_) {
+        audit_->on_transfer_complete(name_, done->id, done->bytes,
+                                     active_begun_, link_.bandwidth,
+                                     link_.latency);
+    }
     if (trace_) {
         trace_->span(obs::Category::Transfer, trace_process_, trace_track_,
                      "xfer", active_begun_, sim_.now() - active_begun_,
@@ -108,6 +116,9 @@ Channel::append(TransferId id, double bytes)
     if (bytes == 0.0)
         return;
     auto it = done_.find(id);
+    bool open = it != done_.end() && !it->second;
+    if (audit_)
+        audit_->on_transfer_append(name_, id, bytes, open);
     if (it == done_.end())
         throw std::invalid_argument("Channel::append: unknown transfer");
     if (it->second)
@@ -169,6 +180,12 @@ Channel::set_trace(obs::TraceRecorder *rec, std::string process,
     trace_ = rec;
     trace_process_ = std::move(process);
     trace_track_ = std::move(track);
+}
+
+void
+Channel::set_audit(audit::SimAuditor *a)
+{
+    audit_ = a;
 }
 
 } // namespace windserve::hw

@@ -27,6 +27,9 @@
 #include "simcore/simulator.hpp"
 #include "simcore/utilization.hpp"
 
+namespace windserve::audit {
+class SimAuditor;
+}
 namespace windserve::obs {
 class TraceRecorder;
 }
@@ -89,6 +92,11 @@ class Channel
     void set_trace(obs::TraceRecorder *rec, std::string process,
                    std::string track);
 
+    /** Report submit/append/complete events to @p a under this channel's
+     *  name; completion hooks carry enough to check the link's physical
+     *  capacity bound. nullptr (the default) disables auditing. */
+    void set_audit(audit::SimAuditor *a);
+
     const Link &link() const { return link_; }
 
   private:
@@ -122,6 +130,7 @@ class Channel
     obs::TraceRecorder *trace_ = nullptr;
     std::string trace_process_;
     std::string trace_track_;
+    audit::SimAuditor *audit_ = nullptr;
 };
 
 } // namespace windserve::hw

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "audit/sim_auditor.hpp"
+
 namespace windserve::kvcache {
 
 BlockManager::BlockManager(std::size_t total_blocks, std::size_t block_size)
@@ -26,10 +28,16 @@ BlockManager::can_allocate(std::size_t tokens) const
 bool
 BlockManager::allocate(ReqId id, std::size_t tokens)
 {
-    if (per_req_.count(id))
-        throw std::logic_error("BlockManager::allocate: id already held");
     std::size_t need = blocks_for(tokens);
-    if (need > free_blocks())
+    bool fresh = per_req_.count(id) == 0;
+    bool fits = need <= free_blocks();
+    if (audit_) {
+        audit_->on_kv_alloc(audit_owner_, id, tokens, need, fresh && fits,
+                            used_blocks_, total_blocks_);
+    }
+    if (!fresh)
+        throw std::logic_error("BlockManager::allocate: id already held");
+    if (!fits)
         return false;
     used_blocks_ += need;
     total_tokens_ += tokens;
@@ -41,15 +49,22 @@ bool
 BlockManager::grow(ReqId id, std::size_t new_tokens)
 {
     auto it = per_req_.find(id);
-    if (it == per_req_.end())
-        throw std::logic_error("BlockManager::grow: unknown id");
-    if (new_tokens < it->second.tokens)
-        throw std::logic_error("BlockManager::grow: shrinking not allowed");
+    bool known = it != per_req_.end();
+    bool growing = known && new_tokens >= it->second.tokens;
     std::size_t need = blocks_for(new_tokens);
-    std::size_t extra = need > it->second.blocks
-                            ? need - it->second.blocks
-                            : 0;
-    if (extra > free_blocks())
+    std::size_t extra =
+        known && need > it->second.blocks ? need - it->second.blocks : 0;
+    bool fits = extra <= free_blocks();
+    if (audit_) {
+        audit_->on_kv_grow(audit_owner_, id, new_tokens, need,
+                           known && growing && fits, used_blocks_,
+                           total_blocks_);
+    }
+    if (!known)
+        throw std::logic_error("BlockManager::grow: unknown id");
+    if (!growing)
+        throw std::logic_error("BlockManager::grow: shrinking not allowed");
+    if (!fits)
         return false;
     used_blocks_ += extra;
     total_tokens_ += new_tokens - it->second.tokens;
@@ -62,7 +77,13 @@ void
 BlockManager::release(ReqId id)
 {
     auto it = per_req_.find(id);
-    if (it == per_req_.end())
+    bool known = it != per_req_.end();
+    if (audit_) {
+        audit_->on_kv_release(audit_owner_, id,
+                              known ? it->second.blocks : 0, known,
+                              used_blocks_);
+    }
+    if (!known)
         return;
     used_blocks_ -= it->second.blocks;
     total_tokens_ -= it->second.tokens;
@@ -89,6 +110,13 @@ BlockManager::occupancy() const
     return total_blocks_ ? static_cast<double>(used_blocks_) /
                                static_cast<double>(total_blocks_)
                          : 1.0;
+}
+
+void
+BlockManager::set_audit(audit::SimAuditor *a, std::string owner)
+{
+    audit_ = a;
+    audit_owner_ = std::move(owner);
 }
 
 } // namespace windserve::kvcache

@@ -11,7 +11,12 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <string>
 #include <unordered_map>
+
+namespace windserve::audit {
+class SimAuditor;
+}
 
 namespace windserve::kvcache {
 
@@ -77,6 +82,15 @@ class BlockManager
     /** Total tokens stored across all holders. */
     std::size_t total_tokens() const { return total_tokens_; }
 
+    /**
+     * Report every allocate/grow/release to @p a under @p owner (the
+     * instance name). nullptr (the default) disables auditing. Hooks
+     * fire BEFORE the operation applies — and before the manager's own
+     * logic_error throws — so the auditor can attach the repro seed to
+     * the first inconsistent event.
+     */
+    void set_audit(audit::SimAuditor *a, std::string owner);
+
   private:
     struct Alloc {
         std::size_t tokens;
@@ -88,6 +102,8 @@ class BlockManager
     std::size_t used_blocks_ = 0;
     std::size_t total_tokens_ = 0;
     std::unordered_map<ReqId, Alloc> per_req_;
+    audit::SimAuditor *audit_ = nullptr;
+    std::string audit_owner_;
 };
 
 } // namespace windserve::kvcache

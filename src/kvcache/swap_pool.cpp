@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "audit/sim_auditor.hpp"
 #include "obs/trace_recorder.hpp"
 
 namespace windserve::kvcache {
@@ -16,10 +17,16 @@ SwapPool::SwapPool(double capacity_bytes, double bytes_per_token)
 bool
 SwapPool::swap_out(ReqId id, std::size_t tokens)
 {
-    if (tokens_.count(id))
-        throw std::logic_error("SwapPool::swap_out: id already swapped");
+    bool held = tokens_.count(id) > 0;
     double bytes = bytes_for(tokens);
-    if (used_bytes_ + bytes > capacity_bytes_)
+    bool fits = used_bytes_ + bytes <= capacity_bytes_;
+    if (audit_) {
+        audit_->on_swap_out(audit_owner_, id, tokens, bytes, !held && fits,
+                            held, used_bytes_, capacity_bytes_);
+    }
+    if (held)
+        throw std::logic_error("SwapPool::swap_out: id already swapped");
+    if (!fits)
         return false;
     tokens_[id] = tokens;
     used_bytes_ += bytes;
@@ -34,6 +41,9 @@ void
 SwapPool::swap_in(ReqId id)
 {
     auto it = tokens_.find(id);
+    if (audit_)
+        audit_->on_swap_in(audit_owner_, id, it != tokens_.end(),
+                           used_bytes_);
     if (it == tokens_.end())
         throw std::logic_error("SwapPool::swap_in: id not swapped");
     double bytes = bytes_for(it->second);
@@ -63,6 +73,13 @@ SwapPool::set_trace(obs::TraceRecorder *rec, std::string process)
 {
     trace_ = rec;
     trace_process_ = std::move(process);
+}
+
+void
+SwapPool::set_audit(audit::SimAuditor *a, std::string owner)
+{
+    audit_ = a;
+    audit_owner_ = std::move(owner);
 }
 
 } // namespace windserve::kvcache

@@ -17,6 +17,9 @@
 
 #include "kvcache/block_manager.hpp"
 
+namespace windserve::audit {
+class SimAuditor;
+}
 namespace windserve::obs {
 class TraceRecorder;
 }
@@ -54,6 +57,10 @@ class SwapPool
      *  event, under @p process (nullptr disables, the default). */
     void set_trace(obs::TraceRecorder *rec, std::string process);
 
+    /** Report every swap event to @p a under @p owner (the instance
+     *  name); hooks fire before the pool's own logic_error throws. */
+    void set_audit(audit::SimAuditor *a, std::string owner);
+
   private:
     double capacity_bytes_;
     double bytes_per_token_;
@@ -64,6 +71,8 @@ class SwapPool
     double swapped_bytes_total_ = 0.0;
     obs::TraceRecorder *trace_ = nullptr;
     std::string trace_process_;
+    audit::SimAuditor *audit_ = nullptr;
+    std::string audit_owner_;
 };
 
 } // namespace windserve::kvcache

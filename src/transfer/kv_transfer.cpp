@@ -1,5 +1,7 @@
 #include "transfer/kv_transfer.hpp"
 
+#include "audit/sim_auditor.hpp"
+
 namespace windserve::transfer {
 
 KvTransferManager::KvTransferManager(sim::Simulator &sim, hw::Link link,
@@ -23,13 +25,21 @@ KvTransferManager::set_trace(obs::TraceRecorder *rec)
 }
 
 void
+KvTransferManager::set_audit(audit::SimAuditor *a)
+{
+    audit_ = a;
+    p2d_.set_audit(a);
+    d2p_.set_audit(a);
+}
+
+void
 KvTransferManager::transfer_prefill_kv(workload::Request *r,
                                        std::function<void()> done)
 {
     double bytes = bytes_for_tokens(static_cast<double>(r->prompt_tokens));
     if (cfg_.policy == TransferPolicy::Overlapped)
         bytes *= cfg_.overlap_tail_fraction;
-    r->state = workload::RequestState::Transferring;
+    audit::transition(audit_, *r, workload::RequestState::Transferring);
     p2d_.submit(bytes, [this, r, done = std::move(done)] {
         r->transfer_done_time = sim_.now();
         done();

@@ -74,6 +74,9 @@ class KvTransferManager
     /** Record occupancy spans of both link directions on @p rec. */
     void set_trace(obs::TraceRecorder *rec);
 
+    /** Audit both link directions and the Transferring transition. */
+    void set_audit(audit::SimAuditor *a);
+
     const KvTransferConfig &config() const { return cfg_; }
 
   private:
@@ -82,6 +85,7 @@ class KvTransferManager
     double kv_bytes_per_token_;
     hw::Channel p2d_;
     hw::Channel d2p_;
+    audit::SimAuditor *audit_ = nullptr;
 };
 
 } // namespace windserve::transfer

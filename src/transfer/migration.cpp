@@ -1,5 +1,6 @@
 #include "transfer/migration.hpp"
 
+#include "audit/sim_auditor.hpp"
 #include "obs/trace_recorder.hpp"
 #include "simcore/log.hpp"
 
@@ -39,7 +40,7 @@ MigrationManager::start(Request *r)
 
     std::size_t backed = backups_.backed_up_tokens(r->id);
     std::size_t to_send = ctx > backed ? ctx - backed : 0;
-    r->state = RequestState::Migrating;
+    audit::transition(audit_, *r, RequestState::Migrating);
     workload::RequestId id = r->id;
     hw::TransferId tid = xfer_.reverse_channel().submit(
         xfer_.bytes_for_tokens(static_cast<double>(to_send)),
@@ -158,7 +159,7 @@ MigrationManager::complete(workload::RequestId id)
                          {obs::num_arg("req", std::uint64_t(id)),
                           obs::num_arg("ctx", std::uint64_t(ctx))});
         }
-        r->state = RequestState::Decoding;
+        audit::transition(audit_, *r, RequestState::Decoding);
         active_.erase(it);
         source_.enqueue_decode(r, /*kv_resident=*/true);
         return;

@@ -88,6 +88,9 @@ class MigrationManager
     /** Record one span per migration (start -> complete/abort). */
     void set_trace(obs::TraceRecorder *rec) { trace_ = rec; }
 
+    /** Route the Migrating/abort state transitions through @p a. */
+    void set_audit(audit::SimAuditor *a) { audit_ = a; }
+
   private:
     struct Migration {
         workload::Request *req;
@@ -111,6 +114,7 @@ class MigrationManager
     std::uint64_t completed_ = 0;
     std::uint64_t aborted_ = 0;
     obs::TraceRecorder *trace_ = nullptr;
+    audit::SimAuditor *audit_ = nullptr;
 };
 
 /** Proactive KV prefix backups (decode -> prefill). */

@@ -42,6 +42,9 @@
 #include "obs/trace_event.hpp"
 #include "obs/trace_recorder.hpp"
 
+// runtime invariant auditing
+#include "audit/sim_auditor.hpp"
+
 // workloads
 #include "workload/arrival.hpp"
 #include "workload/dataset.hpp"
@@ -80,6 +83,7 @@
 #include "harness/cluster.hpp"
 #include "harness/configs.hpp"
 #include "harness/experiment.hpp"
+#include "harness/fuzz.hpp"
 #include "harness/parallel.hpp"
 #include "harness/sweep.hpp"
 #include "harness/placement_search.hpp"

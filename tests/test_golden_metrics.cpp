@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Golden-metrics snapshot: the chatbot scenario at a fixed seed must
+ * keep producing the same latency distribution. A behavioural change
+ * anywhere in the scheduling stack shows up here as a drifted
+ * percentile long before it is visible in a figure.
+ *
+ * The golden values live in tests/golden/chatbot_metrics.txt ("key
+ * value" lines). Regenerate intentionally with:
+ *
+ *     WS_UPDATE_GOLDEN=1 ./test_golden_metrics
+ *
+ * and commit the diff. Comparison uses a relative tolerance so
+ * platform-level floating-point noise never trips it; real scheduling
+ * changes move these numbers by far more.
+ */
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+
+#include "harness/experiment.hpp"
+
+namespace hs = windserve::harness;
+
+namespace {
+
+constexpr double kRelTol = 0.05; // 5%
+
+std::string
+golden_path()
+{
+    return std::string(WS_GOLDEN_DIR) + "/chatbot_metrics.txt";
+}
+
+/** The audited metrics snapshot, in a fixed key order. */
+std::vector<std::pair<std::string, double>>
+snapshot()
+{
+    hs::ExperimentConfig ec;
+    ec.scenario = hs::Scenario::opt13b_sharegpt();
+    ec.system = hs::SystemKind::WindServe;
+    ec.per_gpu_rate = 2.0;
+    ec.num_requests = 400;
+    ec.seed = 1234;
+    ec.audit = true; // snapshot and invariants in one pass
+    auto r = hs::run_experiment(ec);
+    EXPECT_EQ(r.audit_violations, 0u);
+    EXPECT_EQ(r.metrics.num_finished + r.metrics.num_unfinished, 400u);
+
+    const auto &m = r.metrics;
+    return {
+        {"num_finished", static_cast<double>(m.num_finished)},
+        {"ttft_mean", m.ttft.mean()},
+        {"ttft_p50", m.ttft.p50()},
+        {"ttft_p90", m.ttft.p90()},
+        {"ttft_p99", m.ttft.p99()},
+        {"tpot_mean", m.tpot.mean()},
+        {"tpot_p50", m.tpot.p50()},
+        {"tpot_p90", m.tpot.p90()},
+        {"tpot_p99", m.tpot.p99()},
+        {"e2e_mean", m.e2e.mean()},
+        {"e2e_p50", m.e2e.p50()},
+        {"e2e_p90", m.e2e.p90()},
+        {"e2e_p99", m.e2e.p99()},
+        {"slo_attainment", m.slo_attainment},
+    };
+}
+
+std::map<std::string, double>
+load_golden(const std::string &path)
+{
+    std::ifstream in(path);
+    std::map<std::string, double> golden;
+    std::string key;
+    double value;
+    while (in >> key >> value)
+        golden[key] = value;
+    return golden;
+}
+
+} // namespace
+
+TEST(GoldenMetrics, ChatbotScenarioMatchesSnapshot)
+{
+    auto snap = snapshot();
+
+    if (std::getenv("WS_UPDATE_GOLDEN")) {
+        std::ofstream out(golden_path());
+        ASSERT_TRUE(out) << "cannot write " << golden_path();
+        out.precision(17);
+        for (const auto &[key, value] : snap)
+            out << key << " " << value << "\n";
+        GTEST_SKIP() << "golden file regenerated: " << golden_path();
+    }
+
+    auto golden = load_golden(golden_path());
+    ASSERT_FALSE(golden.empty())
+        << "missing golden file " << golden_path()
+        << " — regenerate with WS_UPDATE_GOLDEN=1";
+    ASSERT_EQ(golden.size(), snap.size()) << "golden key set drifted";
+
+    for (const auto &[key, value] : snap) {
+        ASSERT_TRUE(golden.count(key)) << "golden misses key " << key;
+        double want = golden[key];
+        double tol = kRelTol * std::max(std::abs(want), 1e-9);
+        EXPECT_NEAR(value, want, tol)
+            << key << " drifted: got " << value << ", golden " << want
+            << " (retune intentionally with WS_UPDATE_GOLDEN=1)";
+    }
+}

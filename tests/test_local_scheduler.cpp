@@ -158,16 +158,33 @@ TEST(DecodeAdmission, SkipsAllocationIfResident)
     EXPECT_EQ(bm.blocks_of(0), 4u); // unchanged
 }
 
-TEST(DecodeAdmission, BlocksOnSwappedOutHead)
+TEST(DecodeAdmission, SwappedOutHeadBlocksAllocationsNotHolders)
 {
-    auto reqs = make_requests({16, 16});
+    auto reqs = make_requests({16, 16, 16});
     reqs[0].state = wl::RequestState::SwappedOut;
     auto q = queue_of(reqs);
     std::vector<eng::DecodeGroup> groups(1);
     kv::BlockManager bm(100, 16);
+    bm.allocate(1, 16); // req 1 already resident (e.g. finished swap-in)
     auto admitted = eng::admit_decodes(q, groups, 8, bm);
-    // Strict FCFS: a swapped-out head blocks later arrivals.
+    // A swapped-out head has a pending claim on blocks: later requests
+    // may not allocate past it, but a request that already holds its KV
+    // is admitted — parking it too can deadlock the instance.
+    ASSERT_EQ(admitted.size(), 1u);
+    EXPECT_EQ(admitted[0]->id, 1u);
+    EXPECT_EQ(q.size(), 2u); // swapped head + blocked non-holder remain
+}
+
+TEST(DecodeAdmission, BlockedHeadStopsLaterAllocations)
+{
+    auto reqs = make_requests({160, 16});
+    auto q = queue_of(reqs);
+    std::vector<eng::DecodeGroup> groups(1);
+    kv::BlockManager bm(5, 16); // head (10 blocks) cannot fit; req 1 could
+    auto admitted = eng::admit_decodes(q, groups, 8, bm);
+    // FCFS for allocations: the small request must not jump the queue.
     EXPECT_TRUE(admitted.empty());
+    EXPECT_EQ(q.size(), 2u);
 }
 
 TEST(VictimSelection, SwapPicksLatestArrival)

@@ -8,7 +8,9 @@
 
 #include <memory>
 
+#include "audit/sim_auditor.hpp"
 #include "harness/experiment.hpp"
+#include "harness/fuzz.hpp"
 #include "hw/gpu_spec.hpp"
 #include "transfer/migration.hpp"
 
@@ -241,6 +243,177 @@ TEST(Regression, MigrationsNeverLeakSourceBlocks)
     EXPECT_GT(ws->migration().completed(), 0u);
     EXPECT_EQ(ws->decode_instance().blocks().used_blocks(), 0u);
     EXPECT_EQ(ws->prefill_instance().blocks().used_blocks(), 0u);
+}
+
+// Bug 7 (pool-full swap corrupted accounting): Instance::swap_out used
+// to ignore SwapPool::swap_out()'s rejection — the victim's GPU blocks
+// were already released, its state set SwappedOut and the host DMA
+// submitted, so the later swap-in threw (the KV was never in the
+// pool). Found by the invariant auditor (swap-in-unknown). Now the
+// pool accepts FIRST; on rejection the grower parks in the decode
+// queue keeping its blocks and retries after the next pass.
+TEST(Regression, SwapPoolFullParksInsteadOfCorruptingAccounting)
+{
+    hs::ExperimentConfig ec;
+    ec.scenario = hs::Scenario::opt13b_sharegpt();
+    ec.system = hs::SystemKind::Vllm;
+    ec.per_gpu_rate = 2.0;
+    ec.num_requests = 80;
+    ec.seed = 33;
+    ec.horizon = 36000.0;
+    ec.kv_capacity_tokens_override = 2560; // heavy KV pressure
+    ec.audit = true;                       // the invariant net itself
+
+    // Control: same pressure with a real host pool swaps.
+    auto with_pool = hs::run_experiment(ec);
+    EXPECT_GT(with_pool.decode_swap_outs, 0u);
+    EXPECT_EQ(with_pool.audit_violations, 0u);
+    EXPECT_EQ(with_pool.metrics.num_finished, 80u);
+
+    // A pool too small for any request rejects every swap-out; the
+    // old code crashed here, the parking path must drain the trace.
+    ec.host_memory_bytes = 1e4;
+    auto no_pool = hs::run_experiment(ec);
+    EXPECT_EQ(no_pool.decode_swap_outs, 0u);
+    EXPECT_EQ(no_pool.audit_violations, 0u);
+    EXPECT_EQ(no_pool.metrics.num_finished, 80u);
+}
+
+// Bug 8 (inverted swap_enabled branch): block exhaustion used to swap
+// exactly when swapping was DISABLED (and never when enabled). With
+// swapping off, the same pressure must finish through parking alone.
+TEST(Regression, SwapDisabledNeverSwaps)
+{
+    hs::ExperimentConfig ec;
+    ec.scenario = hs::Scenario::opt13b_sharegpt();
+    ec.system = hs::SystemKind::Vllm;
+    ec.per_gpu_rate = 2.0;
+    ec.num_requests = 80;
+    ec.seed = 33;
+    ec.horizon = 36000.0;
+    ec.kv_capacity_tokens_override = 2560;
+    ec.swap_enabled = false;
+    ec.audit = true;
+    auto r = hs::run_experiment(ec);
+    EXPECT_EQ(r.decode_swap_outs, 0u);
+    EXPECT_EQ(r.audit_violations, 0u);
+    EXPECT_EQ(r.metrics.num_finished, 80u);
+}
+
+// Bug 9 (migration cancellation): a request that finishes at the
+// source while its migration transfer is still draining must abort the
+// migration cleanly — no target allocation, no double ownership, no
+// residue in either block manager.
+TEST(Regression, MigrationCancelledByFinishLeavesNoResidue)
+{
+    sim::Simulator s;
+    windserve::audit::SimAuditor aud(s);
+    md::CostModel cost(md::ModelSpec::opt_13b(), hw::GpuSpec::a800_80g(),
+                       {2, 1});
+    eng::InstanceConfig dc;
+    dc.role = eng::InstanceRole::Decode;
+    dc.exec_noise_sigma = 0.0;
+    eng::Instance decode(s, dc, cost, sim::Rng(1),
+                         {hw::LinkType::HostPCIe, 20e9, 1e-6});
+    eng::InstanceConfig pc;
+    pc.role = eng::InstanceRole::Prefill;
+    pc.chunked_prefill = true;
+    pc.exec_noise_sigma = 0.0;
+    eng::Instance prefill(s, pc, cost, sim::Rng(2),
+                          {hw::LinkType::HostPCIe, 20e9, 1e-6});
+    // Slow reverse link: 1200 tokens of KV outlast a 5-token decode.
+    tr::KvTransferManager xfer(s, {hw::LinkType::PCIeSwitch, 1e9, 1e-5},
+                               md::ModelSpec::opt_13b(), {});
+    windserve::kvcache::BackupRegistry reg;
+    tr::MigrationManager mig(s, xfer, decode, prefill, reg);
+    decode.set_audit(&aud);
+    prefill.set_audit(&aud);
+    mig.set_audit(&aud);
+    decode.callbacks.on_step = [&] { mig.on_source_step(); };
+    decode.callbacks.on_finished = [&](wl::Request *r) {
+        mig.on_request_finished(r);
+    };
+    mig.on_migrated = [&](wl::Request *r) {
+        prefill.enqueue_decode(r, true);
+    };
+    auto r = decode_req(1, 1200, 5);
+    s.schedule(0.0, [&] { decode.enqueue_decode(&r, false); });
+    s.schedule(0.05, [&] { ASSERT_TRUE(mig.start(&r)); });
+    s.run_until(300.0);
+    EXPECT_TRUE(r.finished());
+    EXPECT_EQ(r.generated, 5u);
+    EXPECT_EQ(r.migrations, 0u); // never completed a migration
+    EXPECT_EQ(mig.completed(), 0u);
+    EXPECT_EQ(mig.aborted(), 1u);
+    EXPECT_EQ(mig.active(), 0u);
+    EXPECT_FALSE(decode.blocks().holds(1));
+    EXPECT_FALSE(prefill.blocks().holds(1));
+    EXPECT_TRUE(aud.ok());
+}
+
+// Bug 10 (mid-pass admission earned a free token): continuous batching
+// admits waiting requests into a decode group at any time, including
+// while an iteration is in flight. The completion loop used to hand
+// the pass's token to EVERY current member — so a request admitted
+// mid-pass received a token it never computed, and could even finish
+// straight out of the waiting queue (the auditor flags the
+// WaitingDecode -> Finished edge). Only the pass-start snapshot may
+// earn tokens.
+TEST(Regression, MidPassAdmissionEarnsNoToken)
+{
+    sim::Simulator s;
+    windserve::audit::SimAuditor aud(s);
+    md::CostModel cost(md::ModelSpec::opt_13b(), hw::GpuSpec::a800_80g(),
+                       {2, 1});
+    eng::InstanceConfig cfg;
+    cfg.role = eng::InstanceRole::Decode;
+    cfg.exec_noise_sigma = 0.0;
+    eng::Instance inst(s, cfg, cost, sim::Rng(1),
+                       {hw::LinkType::HostPCIe, 20e9, 1e-6});
+    inst.set_audit(&aud);
+    auto a = decode_req(1, 512, 50, 0.0);
+    auto b = decode_req(2, 512, 2, 0.0); // one token from finishing
+    int steps = 0;
+    inst.callbacks.on_step = [&] {
+        if (++steps == 1) {
+            // First pass just completed. b joined mid-pass: it must not
+            // have earned that pass's token, let alone finished.
+            EXPECT_EQ(b.generated, 1u);
+            EXPECT_EQ(b.state, wl::RequestState::WaitingDecode);
+        }
+    };
+    int finished = 0;
+    inst.callbacks.on_finished = [&](wl::Request *) { ++finished; };
+    s.schedule(0.0, [&] { inst.enqueue_decode(&a, false); });
+    // 1 ms in: a's first iteration is in flight; b arrives and is
+    // admitted into the busy group.
+    s.schedule(0.001, [&] { inst.enqueue_decode(&b, false); });
+    s.run_until(600.0);
+    EXPECT_GE(steps, 2);
+    EXPECT_EQ(finished, 2);
+    EXPECT_EQ(a.generated, 50u);
+    EXPECT_EQ(b.generated, 2u);
+    EXPECT_TRUE(aud.ok());
+    EXPECT_EQ(inst.blocks().used_blocks(), 0u);
+}
+
+// Bug 11: complete_group clears the group's busy flag before handing
+// out tokens, and finish_request fires on_finished synchronously — the
+// coordinator's callback could pump() reentrantly and re-admit a
+// just-parked snapshot member into the completing group, where it
+// earned a token it never computed (and could even "finish" straight
+// out of WaitingDecode). Also covers the head-of-line deadlock where a
+// swapped-out request that cannot fit blocked admission of block
+// holders queued behind it. Both were found by the fuzz campaign;
+// these seeds replay the exact failing cases.
+TEST(Regression, FuzzReplaySeedsStayClean)
+{
+    for (std::uint64_t seed : {5ull, 25ull}) {
+        auto r = hs::run_fuzz_case(seed, hs::SystemKind::WindServe);
+        EXPECT_EQ(r.audit_violations, 0u) << "seed " << seed;
+        EXPECT_GT(r.audit_events, 0u) << "seed " << seed;
+        EXPECT_EQ(r.unfinished, 0u) << "seed " << seed;
+    }
 }
 
 // The full Figure-12 configuration used to crash; run a compressed

@@ -267,7 +267,11 @@ TEST(WindServeSystem, OverlappedTransferBeatsSynchronousTpot)
     sync_cfg.transfer.policy = windserve::transfer::TransferPolicy::Synchronous;
     core::WindServeSystem sync_sys(sync_cfg);
     auto sm = sync_sys.run(trace, scenario.slo).metrics;
-    // The 2nd token waits on the transfer under the sync policy:
-    // decode queueing (and thus TPOT tail) should be visibly worse.
-    EXPECT_LT(am.decode_queueing.mean(), sm.decode_queueing.mean());
+    // The 2nd token waits on the transfer under the sync policy, so
+    // TPOT — mean and especially the tail — is visibly worse. (Mean
+    // decode *queueing* is no longer a usable proxy: admission control
+    // admits block holders promptly regardless of queue position, and
+    // the residual difference is seed-level noise.)
+    EXPECT_LT(am.tpot.mean(), sm.tpot.mean());
+    EXPECT_LT(am.tpot.p99(), sm.tpot.p99());
 }
