@@ -9,10 +9,15 @@
  *
  * Usage:
  *   fuzz_runner [--iters=N] [--seed=S] [--jobs=J] [--system=NAME|all]
- *   fuzz_runner --repro-seed=S --repro-config=NAME [--log=debug]
+ *               [--chaos]
+ *   fuzz_runner --repro-seed=S --repro-config=NAME [--chaos] [--log=debug]
  *
  * The repro form runs exactly one case — the one a failure printed —
  * optionally with leveled event logging for post-mortem inspection.
+ * --chaos derives a fault schedule (instance crashes, link outages,
+ * stragglers) from each case seed and replays it under full audit; a
+ * chaos case's repro line carries the flag, so pasting it back
+ * reproduces the faults too.
  */
 #include <cstdlib>
 #include <iostream>
@@ -35,15 +40,20 @@ arg_value(const std::string &arg, const char *key, std::string &out)
 }
 
 int
-repro(std::uint64_t seed, const std::string &config_name)
+repro(std::uint64_t seed, const std::string &config_name, bool chaos)
 {
     harness::SystemKind kind = harness::parse_system_kind(config_name);
     std::cout << "replaying seed " << seed << " on "
-              << harness::to_string(kind) << "\n";
-    harness::FuzzResult r = harness::run_fuzz_case(seed, kind);
+              << harness::to_string(kind)
+              << (chaos ? " (chaos)" : "") << "\n";
+    harness::FuzzResult r = harness::run_fuzz_case(
+        harness::make_fuzz_config(seed, kind, chaos));
     std::cout << "ok: " << r.audit_events << " events audited, "
-              << r.finished << "/" << r.num_requests << " finished, "
-              << "checksum " << std::hex << r.checksum << std::dec << "\n";
+              << r.finished << "/" << r.num_requests << " finished";
+    if (chaos)
+        std::cout << ", " << r.aborted << " aborted";
+    std::cout << ", checksum " << std::hex << r.checksum << std::dec
+              << "\n";
     return 0;
 }
 
@@ -74,6 +84,8 @@ main(int argc, char **argv)
             repro_seed = std::stoull(v);
         } else if (arg_value(arg, "--repro-config", v)) {
             repro_config = v;
+        } else if (arg == "--chaos") {
+            opt.chaos = true;
         } else if (arg_value(arg, "--log", v)) {
             sim::Log::set_level(v == "trace"   ? sim::LogLevel::Trace
                                 : v == "debug" ? sim::LogLevel::Debug
@@ -86,11 +98,12 @@ main(int argc, char **argv)
 
     try {
         if (have_repro_seed)
-            return repro(repro_seed, repro_config);
+            return repro(repro_seed, repro_config, opt.chaos);
 
         std::cout << "fuzzing " << opt.iterations << " cases x "
                   << opt.systems.size() << " systems (base seed "
-                  << opt.base_seed << ", " << opt.jobs << " jobs)\n";
+                  << opt.base_seed << ", " << opt.jobs << " jobs"
+                  << (opt.chaos ? ", chaos" : "") << ")\n";
         harness::FuzzSummary sum = harness::run_fuzz(opt);
         std::cout << sum.results.size() << " cases, "
                   << sum.total_events << " events audited, "

@@ -303,9 +303,12 @@ bool
 SimAuditor::allowed(RequestState from, RequestState to)
 {
     // Self-transitions are re-queues/re-admissions and legal everywhere
-    // except Finished (a double-finish is exactly the bug to catch).
-    if (from == to)
-        return from != RequestState::Finished;
+    // except the terminal states (a double-finish is exactly the bug to
+    // catch).
+    if (from == to) {
+        return from != RequestState::Finished &&
+               from != RequestState::Aborted;
+    }
     switch (from) {
       case RequestState::Created:
         return to == RequestState::WaitingPrefill ||
@@ -337,22 +340,69 @@ SimAuditor::allowed(RequestState from, RequestState to)
       case RequestState::SwappedOut:
         return to == RequestState::WaitingDecode;
       case RequestState::Finished:
+      case RequestState::Aborted:
         return false;
     }
     return false;
+}
+
+bool
+SimAuditor::edge_allowed(RequestState from, RequestState to) const
+{
+    if (allowed(from, to))
+        return true;
+    if (!faults_enabled_)
+        return false;
+    // Fault-recovery edges: a crash victim re-enters the global
+    // scheduler from whatever live state the crash caught it in —
+    // recompute lands in WaitingPrefill, a backup restore lands in
+    // WaitingDecode — and any live request may be aborted once the
+    // retry cap is exceeded. The terminal states stay terminal.
+    if (from == RequestState::Finished || from == RequestState::Aborted)
+        return false;
+    return to == RequestState::WaitingPrefill ||
+           to == RequestState::WaitingDecode ||
+           to == RequestState::Aborted;
 }
 
 void
 SimAuditor::on_transition(Request &r, RequestState to)
 {
     tick();
-    if (!allowed(r.state, to)) {
+    if (!edge_allowed(r.state, to)) {
         std::ostringstream os;
         os << "illegal edge " << workload::to_string(r.state) << " -> "
            << workload::to_string(to);
         violate("lifecycle-transition", r.id, os.str());
     }
     r.state = to;
+}
+
+void
+SimAuditor::on_instance_crash(const std::string &owner, std::size_t mgr_used,
+                              double pool_used)
+{
+    tick();
+    KvLedger &led = kv_[owner];
+    if (mgr_used != 0 || led.used != 0 || !led.blocks.empty()) {
+        std::ostringstream os;
+        os << owner << ": post-crash residue — manager " << mgr_used
+           << " blocks, shadow " << led.used << " blocks over "
+           << led.blocks.size() << " holders";
+        violate("crash-kv-leak", 0, os.str());
+    }
+    led.blocks.clear();
+    led.used = 0;
+    PoolLedger &pled = pools_[owner];
+    if (pool_used > 1.0 || pled.used > 1.0 || !pled.bytes.empty()) {
+        std::ostringstream os;
+        os << owner << ": post-crash host-pool residue — pool "
+           << pool_used << "B, shadow " << pled.used << "B over "
+           << pled.bytes.size() << " holders";
+        violate("crash-swap-leak", 0, os.str());
+    }
+    pled.bytes.clear();
+    pled.used = 0.0;
 }
 
 // ---------------------------------------------------------------------
@@ -394,11 +444,14 @@ SimAuditor::finish_run(const std::vector<Request> &requests,
 {
     tick();
     std::size_t finished_states = 0;
-    std::unordered_set<RequestId> finished_ids;
+    // Terminal = Finished or Aborted: neither may leave ledger residue.
+    std::unordered_set<RequestId> terminal_ids;
     for (const Request &r : requests) {
         if (r.finished()) {
             ++finished_states;
-            finished_ids.insert(r.id);
+            terminal_ids.insert(r.id);
+        } else if (r.state == RequestState::Aborted) {
+            terminal_ids.insert(r.id);
         }
         if (r.generated > r.output_tokens) {
             std::ostringstream os;
@@ -413,6 +466,30 @@ SimAuditor::finish_run(const std::vector<Request> &requests,
             os << "finished with " << r.generated << " of "
                << r.output_tokens << " output tokens";
             violate("finish-incomplete", r.id, os.str());
+        }
+        // A crash survivor's stamps mix incarnations: first_token_time
+        // is first-ever (client-observed TTFT) while the re-dispatch
+        // re-stamped the phases around it, so the canonical ordering
+        // genuinely does not hold. Every stamp still postdates arrival.
+        if (r.incarnation > 0) {
+            const double stamps[] = {
+                r.prefill_enqueue_time, r.prefill_start_time,
+                r.first_token_time,     r.transfer_done_time,
+                r.decode_enqueue_time,  r.decode_start_time,
+                r.finish_time,
+            };
+            for (double s : stamps) {
+                if (s != workload::kNoTime &&
+                    s + cfg_.time_tolerance < r.arrival_time) {
+                    violate("lifecycle-timestamps", r.id,
+                            "stamp predates arrival on crash survivor");
+                }
+            }
+            if (r.finish_time == workload::kNoTime) {
+                violate("finish-unstamped", r.id,
+                        "finished without a finish_time");
+            }
+            continue;
         }
         // Timestamp chain in canonical lifecycle order; absent stamps
         // (kNoTime) drop out. The present ones must be non-decreasing,
@@ -468,13 +545,14 @@ SimAuditor::finish_run(const std::vector<Request> &requests,
         violate("run-accounting", 0, os.str());
     }
 
-    // No residue of a finished request may remain in any ledger: its
-    // KV blocks and host-pool bytes must have been returned.
+    // No residue of a terminal (finished or aborted) request may remain
+    // in any ledger: its KV blocks and host-pool bytes must have been
+    // returned.
     for (const auto &[owner, led] : kv_) {
         for (const auto &[id, blocks] : led.blocks) {
-            if (finished_ids.count(id)) {
+            if (terminal_ids.count(id)) {
                 std::ostringstream os;
-                os << owner << ": finished request still holds " << blocks
+                os << owner << ": terminal request still holds " << blocks
                    << " KV blocks";
                 violate("kv-leak", id, os.str());
             }
@@ -482,9 +560,9 @@ SimAuditor::finish_run(const std::vector<Request> &requests,
     }
     for (const auto &[owner, led] : pools_) {
         for (const auto &[id, bytes] : led.bytes) {
-            if (finished_ids.count(id)) {
+            if (terminal_ids.count(id)) {
                 std::ostringstream os;
-                os << owner << ": finished request still holds " << bytes
+                os << owner << ": terminal request still holds " << bytes
                    << "B of host pool";
                 violate("swap-leak", id, os.str());
             }
@@ -521,6 +599,7 @@ SimAuditor::repro_line() const
     os << "--repro-seed=" << cfg_.repro_seed;
     if (!cfg_.repro_config.empty())
         os << " --repro-config=" << cfg_.repro_config;
+    os << cfg_.repro_extra;
     return os.str();
 }
 

@@ -69,6 +69,9 @@ struct AuditConfig {
     std::uint64_t repro_seed = 0;
     /** Config token for the repro line (e.g. "windserve"). */
     std::string repro_config;
+    /** Extra CLI flags appended verbatim to the repro line (e.g.
+     *  " --chaos" for fault-injected fuzz cases). */
+    std::string repro_extra;
 };
 
 /** One recorded invariant violation. */
@@ -164,9 +167,32 @@ class SimAuditor
      */
     void on_transition(workload::Request &r, workload::RequestState to);
 
-    /** True iff @p from -> @p to is a legal lifecycle edge. */
+    /** True iff @p from -> @p to is a legal fault-free lifecycle edge. */
     static bool allowed(workload::RequestState from,
                         workload::RequestState to);
+
+    // ------------------------------------------------------------------
+    // fault injection (fault::FaultInjector)
+    // ------------------------------------------------------------------
+
+    /**
+     * Admit the crash-recovery lifecycle edges on top of the fault-free
+     * table: a live request may be thrown back to WaitingPrefill
+     * (recompute) or WaitingDecode (backup restore), or move to Aborted
+     * past the retry cap. Off by default so fault-free runs keep the
+     * strict table.
+     */
+    void set_faults_enabled(bool on) { faults_enabled_ = on; }
+    bool faults_enabled() const { return faults_enabled_; }
+
+    /**
+     * Checked right after Instance::crash() wiped @p owner: a crash
+     * frees ALL blocks and host-pool bytes, so both the component
+     * counters (@p mgr_used, @p pool_used) and the shadow ledgers must
+     * read empty — residue means the eviction leaked.
+     */
+    void on_instance_crash(const std::string &owner, std::size_t mgr_used,
+                           double pool_used);
 
     // ------------------------------------------------------------------
     // coordinator decisions (paper Algorithm 1 / Dynamic Rescheduling)
@@ -228,9 +254,13 @@ class SimAuditor
     void tick();
     void violate(std::string invariant, workload::RequestId req,
                  std::string detail);
+    /** allowed() plus the fault-recovery edges when enabled. */
+    bool edge_allowed(workload::RequestState from,
+                      workload::RequestState to) const;
 
     const sim::Simulator &sim_;
     AuditConfig cfg_;
+    bool faults_enabled_ = false;
     double last_time_ = 0.0;
     std::uint64_t events_ = 0;
     std::uint64_t total_violations_ = 0;

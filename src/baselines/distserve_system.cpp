@@ -1,5 +1,7 @@
 #include "baselines/distserve_system.hpp"
 
+#include "fault/fault_injector.hpp"
+
 namespace windserve::baselines {
 
 using workload::Request;
@@ -85,14 +87,49 @@ DistServeSystem::on_prefill_complete(Request *r)
         r->finish_time = sim_.now();
         audit::transition(audit(), *r, RequestState::Finished);
         prefill_->release_kv(r);
+        if (faults())
+            faults()->note_decode_ready(r);
         return;
     }
     // Synchronous transfer: the request only becomes eligible for decode
     // admission after the full KV copy lands.
-    xfer_->transfer_prefill_kv(r, [this, r] {
+    transferring_[r->id] = r;
+    xfer_->transfer_prefill_kv(r, [this, r, inc = r->incarnation] {
+        if (r->incarnation != inc)
+            return; // the prefill crashed mid-copy; r was re-dispatched
+        transferring_.erase(r->id);
         prefill_->release_kv(r);
         decode_->enqueue_decode(r, /*kv_resident=*/false);
+        if (faults())
+            faults()->note_decode_ready(r);
     });
+}
+
+void
+DistServeSystem::wire_faults(fault::FaultInjector &inj)
+{
+    inj.add_instance(prefill_.get());
+    inj.add_instance(decode_.get());
+    inj.add_channel(&xfer_->forward_channel());
+    inj.add_channel(&xfer_->reverse_channel());
+    xfer_->set_faults(&inj);
+    // DistServe-style recovery: no KV backups and no role flexibility —
+    // every crash victim recomputes its full prefill on the (only)
+    // prefill instance. This is the expensive full-re-migration path
+    // WindServe's backup-aware re-dispatch is benchmarked against.
+    inj.set_redispatch([this](Request *r) {
+        r->prefilled = 0;
+        r->generated = 0;
+        prefill_->enqueue_prefill(r);
+    });
+    inj.set_crash_hook(
+        [this](engine::Instance &inst, std::vector<Request *> &victims) {
+            if (&inst == prefill_.get()) {
+                for (auto &[id, r] : transferring_)
+                    victims.push_back(r);
+                transferring_.clear();
+            }
+        });
 }
 
 void

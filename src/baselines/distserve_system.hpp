@@ -15,6 +15,7 @@
  */
 #pragma once
 
+#include <map>
 #include <memory>
 
 #include "engine/instance.hpp"
@@ -66,6 +67,7 @@ class DistServeSystem : public engine::ServingSystem
     void fill_system_metrics(metrics::RunMetrics &m) override;
     void wire_trace(obs::TraceRecorder &rec) override;
     void wire_audit(audit::SimAuditor &a) override;
+    void wire_faults(fault::FaultInjector &inj) override;
     std::vector<workload::Request> take_requests() override
     {
         return std::move(requests_);
@@ -81,6 +83,9 @@ class DistServeSystem : public engine::ServingSystem
     std::unique_ptr<engine::Instance> decode_;
     std::unique_ptr<transfer::KvTransferManager> xfer_;
     std::vector<workload::Request> requests_;
+    /** In-flight post-prefill KV copies (a prefill crash sweeps these;
+     *  they sit in no instance queue). */
+    std::map<workload::RequestId, workload::Request *> transferring_;
 };
 
 } // namespace windserve::baselines

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "fault/fault_injector.hpp"
+
 namespace windserve::baselines {
 
 using workload::Request;
@@ -40,10 +42,14 @@ VllmColocatedSystem::VllmColocatedSystem(VllmConfig cfg)
                 r->finish_time = sim_.now();
                 audit::transition(audit(), *r, RequestState::Finished);
                 raw->release_kv(r);
+                if (faults())
+                    faults()->note_decode_ready(r);
                 return;
             }
             // Co-located: the request decodes where it prefillled.
             raw->enqueue_decode(r, /*kv_resident=*/true);
+            if (faults())
+                faults()->note_decode_ready(r);
         };
         engines_.push_back(std::move(inst));
     }
@@ -71,6 +77,31 @@ VllmColocatedSystem::replay(const std::vector<workload::Request> &trace,
     sim_.run_until(horizon);
     for (auto &e : engines_)
         e->finalize_stats();
+}
+
+void
+VllmColocatedSystem::wire_faults(fault::FaultInjector &inj)
+{
+    for (auto &e : engines_)
+        inj.add_instance(e.get());
+    // No cross-engine KV: a victim restarts from scratch on the first
+    // live engine, probing round-robin from its home engine.
+    inj.set_redispatch([this](Request *r) {
+        r->prefilled = 0;
+        r->generated = 0;
+        std::size_t n = engines_.size();
+        std::size_t home = static_cast<std::size_t>(r->id) % n;
+        for (std::size_t k = 0; k < n; ++k) {
+            engine::Instance *eng = engines_[(home + k) % n].get();
+            if (!eng->is_down()) {
+                eng->enqueue_prefill(r);
+                return;
+            }
+        }
+        // Everything is down: queue on the home engine; it resumes the
+        // request after its repair.
+        engines_[home]->enqueue_prefill(r);
+    });
 }
 
 void

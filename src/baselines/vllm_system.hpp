@@ -64,6 +64,7 @@ class VllmColocatedSystem : public engine::ServingSystem
     void fill_system_metrics(metrics::RunMetrics &m) override;
     void wire_trace(obs::TraceRecorder &rec) override;
     void wire_audit(audit::SimAuditor &a) override;
+    void wire_faults(fault::FaultInjector &inj) override;
     std::vector<workload::Request> take_requests() override
     {
         return std::move(requests_);

@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "fault/fault_injector.hpp"
 #include "simcore/log.hpp"
 
 namespace windserve::core {
@@ -152,6 +153,26 @@ WindServeSystem::wire_audit(audit::SimAuditor &a)
 }
 
 void
+WindServeSystem::wire_faults(fault::FaultInjector &inj)
+{
+    inj.add_instance(prefill_.get());
+    inj.add_instance(decode_.get());
+    inj.add_channel(&xfer_->forward_channel());
+    inj.add_channel(&xfer_->reverse_channel());
+    xfer_->set_faults(&inj);
+    // Chaos armed: checkpoint proactively so crash victims have a
+    // prefill-side KV copy to resume from (the backup-aware half of
+    // backup-aware re-dispatch).
+    backup_->fault_tolerance_mode();
+    inj.set_redispatch(
+        [this](Request *r) { redispatch_after_fault(r); });
+    inj.set_crash_hook(
+        [this](engine::Instance &inst, std::vector<Request *> &victims) {
+            on_instance_crashed(inst, victims);
+        });
+}
+
+void
 WindServeSystem::replay(const std::vector<workload::Request> &trace,
                         double horizon)
 {
@@ -171,6 +192,16 @@ WindServeSystem::on_arrival(Request *r)
 {
     DispatchDecision d = scheduler_->coordinator().decide_dispatch(
         *r, *prefill_, *decode_);
+    // A down instance starts nothing until repaired: route around it
+    // while the peer is up — phase-disaggregation's both-roles-capable
+    // instances make this a free availability win.
+    if (d == DispatchDecision::DecodeInstance && decode_->is_down() &&
+        !prefill_->is_down()) {
+        d = DispatchDecision::PrefillInstance;
+    } else if (d == DispatchDecision::PrefillInstance &&
+               prefill_->is_down() && !decode_->is_down()) {
+        d = DispatchDecision::DecodeInstance;
+    }
     if (d == DispatchDecision::DecodeInstance)
         decode_->enqueue_assist_prefill(r);
     else
@@ -197,9 +228,15 @@ WindServeSystem::on_prefill_complete_at_prefill(Request *r)
     }
     // WindServe overlaps the KV copy with the prefill pass; only the
     // tail is left on the critical path here (transfer config).
-    xfer_->transfer_prefill_kv(r, [this, r] {
+    transferring_[r->id] = r;
+    xfer_->transfer_prefill_kv(r, [this, r, inc = r->incarnation] {
+        if (r->incarnation != inc)
+            return; // the prefill crashed mid-copy; r was re-dispatched
+        transferring_.erase(r->id);
         prefill_->release_kv(r);
         decode_->enqueue_decode(r, /*kv_resident=*/false);
+        if (faults())
+            faults()->note_decode_ready(r);
     });
 }
 
@@ -215,6 +252,8 @@ WindServeSystem::on_prefill_complete_at_decode(Request *r)
     // Dispatch).
     r->transfer_done_time = sim_.now();
     decode_->enqueue_decode(r, /*kv_resident=*/true);
+    if (faults())
+        faults()->note_decode_ready(r);
 }
 
 void
@@ -222,8 +261,53 @@ WindServeSystem::on_finished(Request *r)
 {
     migration_->on_request_finished(r);
     backup_->on_request_done(r);
+    if (faults())
+        faults()->note_decode_ready(r); // single-token recoveries finish
+                                        // without re-entering a decode queue
     if (outstanding_ > 0)
         --outstanding_;
+}
+
+void
+WindServeSystem::redispatch_after_fault(Request *r)
+{
+    // Backup-aware re-dispatch (the recovery counterpart of §3.3's
+    // proactive backups): when a KV prefix backup survives at the
+    // prefill instance, resume decoding from it there — only the tokens
+    // generated since the backup are recomputed. Otherwise fall back to
+    // a full prefill recompute through the normal dispatch path.
+    std::size_t backed = backup_registry_.backed_up_tokens(r->id);
+    if (backed >= r->prompt_tokens && backed > 0 && !prefill_->is_down() &&
+        prefill_->blocks().holds(r->id)) {
+        backup_registry_.drop(r->id);
+        r->prefilled = r->prompt_tokens;
+        r->generated = backed - r->prompt_tokens;
+        prefill_->enqueue_decode(r, /*kv_resident=*/true);
+        faults()->note_decode_ready(r);
+        return;
+    }
+    r->prefilled = 0;
+    r->generated = 0;
+    on_arrival(r);
+}
+
+void
+WindServeSystem::on_instance_crashed(engine::Instance &inst,
+                                     std::vector<Request *> &victims)
+{
+    if (&inst == prefill_.get()) {
+        // Every backup copy lived in the crashed HBM.
+        migration_->on_target_crash();
+        backup_->on_target_crash();
+        backup_registry_.clear();
+        for (auto &[id, r] : transferring_)
+            victims.push_back(r);
+        transferring_.clear();
+    } else {
+        backup_->on_source_crash();
+        for (Request *r : migration_->cancel_active())
+            victims.push_back(r);
+    }
 }
 
 void

@@ -17,6 +17,7 @@
  */
 #pragma once
 
+#include <map>
 #include <memory>
 
 #include "core/global_scheduler.hpp"
@@ -94,6 +95,7 @@ class WindServeSystem : public engine::ServingSystem
     void fill_system_metrics(metrics::RunMetrics &m) override;
     void wire_trace(obs::TraceRecorder &rec) override;
     void wire_audit(audit::SimAuditor &a) override;
+    void wire_faults(fault::FaultInjector &inj) override;
     std::vector<workload::Request> take_requests() override
     {
         return std::move(requests_);
@@ -105,6 +107,13 @@ class WindServeSystem : public engine::ServingSystem
     void on_prefill_complete_at_decode(workload::Request *r);
     void on_finished(workload::Request *r);
     void finish_prefill_only(engine::Instance &inst, workload::Request *r);
+
+    /** Backup-aware re-dispatch of a crash victim (paper's recovery
+     *  advantage: resume from the prefill-side KV backup when one
+     *  survives; recompute the prefill otherwise). */
+    void redispatch_after_fault(workload::Request *r);
+    void on_instance_crashed(engine::Instance &inst,
+                             std::vector<workload::Request *> &victims);
 
     WindServeConfig cfg_;
     sim::Simulator sim_;
@@ -118,6 +127,10 @@ class WindServeSystem : public engine::ServingSystem
     std::unique_ptr<GlobalScheduler> scheduler_;
     std::vector<workload::Request> requests_;
     std::size_t outstanding_ = 0;
+    /** Requests whose prefill KV copy is in flight — invisible to both
+     *  instances' queues, so a prefill crash must sweep them here.
+     *  Ordered map: the crash hook iterates it. */
+    std::map<workload::RequestId, workload::Request *> transferring_;
 };
 
 } // namespace windserve::core

@@ -145,6 +145,8 @@ Instance::chunk_mode_active() const
 void
 Instance::pump()
 {
+    if (down_)
+        return;
     try_swap_in();
     if (!chunk_mode_active() && cfg_.role != InstanceRole::Colocated)
         try_start_prefill_slots();
@@ -179,6 +181,7 @@ Instance::try_start_prefill_slots()
         }
         double dur =
             sampler_.prefill(static_cast<double>(batch.total_tokens));
+        dur *= slowdown_;
         batch.started = sim_.now();
         batch.expected_end = sim_.now() + dur;
         if (trace_) {
@@ -197,7 +200,10 @@ Instance::try_start_prefill_slots()
         }
         slots_[s] = std::move(batch);
         slot_busy_[s] = true;
-        sim_.schedule(dur, [this, s] { complete_prefill_batch(s); });
+        sim_.schedule(dur, [this, s, e = epoch_] {
+            if (e == epoch_)
+                complete_prefill_batch(s);
+        });
     }
 }
 
@@ -252,6 +258,7 @@ Instance::try_start_sbd_stream()
     if (batch.empty())
         return;
     double dur = sampler_.sbd_prefill(static_cast<double>(tokens));
+    dur *= slowdown_;
     if (trace_) {
         trace_->instant(
             obs::Category::Scheduler, cfg_.name, "local-scheduler",
@@ -266,7 +273,10 @@ Instance::try_start_sbd_stream()
     sbd_tokens_ = tokens;
     sbd_active_ = true;
     sbd_end_ = sim_.now() + dur;
-    sim_.schedule(dur, [this] { complete_sbd_stream(); });
+    sim_.schedule(dur, [this, e = epoch_] {
+        if (e == epoch_)
+            complete_sbd_stream();
+    });
 }
 
 void
@@ -358,6 +368,7 @@ Instance::try_start_group(std::size_t g)
 
     double dur;
     const char *mode;
+    bool pure_decode = false;
     if (!hybrid.empty()) {
         mode = "hybrid";
         dur = sampler_.hybrid(static_cast<double>(hybrid_tokens),
@@ -379,10 +390,14 @@ Instance::try_start_group(std::size_t g)
         mode = "decode";
         dur = sampler_.decode(static_cast<double>(batch),
                               static_cast<double>(sum_l));
-        if (callbacks.on_decode_observation) {
-            callbacks.on_decode_observation(static_cast<double>(batch),
-                                            static_cast<double>(sum_l), dur);
-        }
+        pure_decode = true;
+    }
+    dur *= slowdown_;
+    // Observed AFTER the straggler factor: the latency predictor must
+    // learn the duration the pass will actually take.
+    if (pure_decode && callbacks.on_decode_observation) {
+        callbacks.on_decode_observation(static_cast<double>(batch),
+                                        static_cast<double>(sum_l), dur);
     }
 
     for (Request *r : grp.members) {
@@ -407,7 +422,10 @@ Instance::try_start_group(std::size_t g)
     grp.busy = true;
     grp.iteration_end = sim_.now() + dur;
     grp.iteration_members = grp.members;
-    sim_.schedule(dur, [this, g] { complete_group(g); });
+    sim_.schedule(dur, [this, g, e = epoch_] {
+        if (e == epoch_)
+            complete_group(g);
+    });
 }
 
 void
@@ -585,7 +603,9 @@ Instance::swap_out(Request *victim)
         grp.remove(victim);
     decode_q_.push_front(victim);
     kvcache::ReqId id = victim->id;
-    host_channel_.submit(swap_.bytes_for(ctx), [this, id] {
+    host_channel_.submit(swap_.bytes_for(ctx), [this, id, e = epoch_] {
+        if (e != epoch_)
+            return;
         swap_ready_.insert(id);
         pump();
     });
@@ -614,7 +634,9 @@ Instance::try_swap_in()
         return; // not enough headroom yet
     blocks_.allocate(r->id, ctx);
     swapping_in_.insert(r->id);
-    host_channel_.submit(swap_.bytes_for(ctx), [this, r, ctx] {
+    host_channel_.submit(swap_.bytes_for(ctx), [this, r, ctx, e = epoch_] {
+        if (e != epoch_)
+            return;
         swap_.swap_in(r->id);
         swapping_in_.erase(r->id);
         swap_ready_.erase(r->id);
@@ -654,6 +676,82 @@ Instance::is_decoding(const Request *r) const
         if (grp.contains(r))
             return true;
     return false;
+}
+
+// ---------------------------------------------------------------------
+// fault injection
+// ---------------------------------------------------------------------
+
+std::vector<Request *>
+Instance::crash()
+{
+    down_ = true;
+    ++epoch_; // in-flight completions are now stale and no-op
+
+    // Victims: everything queued or running HERE. Group members cover
+    // the iteration snapshot (a snapshotted request that already left
+    // the group is finished or parked in decode_q_). The injector sorts
+    // and dedupes, so collection order is irrelevant.
+    std::vector<Request *> victims;
+    victims.insert(victims.end(), prefill_q_.begin(), prefill_q_.end());
+    victims.insert(victims.end(), assist_q_.begin(), assist_q_.end());
+    victims.insert(victims.end(), decode_q_.begin(), decode_q_.end());
+    for (Request *r : chunk_head_)
+        if (r != nullptr)
+            victims.push_back(r);
+    for (std::size_t s = 0; s < slots_.size(); ++s)
+        if (slot_busy_[s])
+            victims.insert(victims.end(), slots_[s].requests.begin(),
+                           slots_[s].requests.end());
+    victims.insert(victims.end(), sbd_batch_.begin(), sbd_batch_.end());
+    for (const auto &grp : groups_)
+        victims.insert(victims.end(), grp.members.begin(),
+                       grp.members.end());
+    for (const auto &[g, assists] : hybrid_assists_)
+        victims.insert(victims.end(), assists.begin(), assists.end());
+
+    // All on-GPU KV is gone — including blocks held for requests that
+    // are not scheduled here (a foreign BackupManager's copies).
+    for (kvcache::ReqId id : blocks_.holders())
+        blocks_.release(id);
+    // The host copy of a preempted request is useless once its
+    // scheduling state is lost (recovery restarts it); drop it so the
+    // pool ledger stays clean.
+    for (kvcache::ReqId id : swap_.holders())
+        swap_.drop(id);
+
+    prefill_q_.clear();
+    assist_q_.clear();
+    decode_q_.clear();
+    std::fill(chunk_head_.begin(), chunk_head_.end(), nullptr);
+    for (std::size_t s = 0; s < slots_.size(); ++s)
+        slots_[s] = PrefillBatch{};
+    slot_busy_.assign(slot_busy_.size(), false);
+    sbd_batch_.clear();
+    sbd_active_ = false;
+    sbd_tokens_ = 0;
+    for (auto &grp : groups_) {
+        grp.members.clear();
+        grp.iteration_members.clear();
+        grp.busy = false;
+    }
+    hybrid_assists_.clear();
+    group_chunk_.clear();
+    swap_ready_.clear();
+    swapping_in_.clear();
+
+    WS_LOG_AT(Info, cfg_.name, sim_.now())
+        << "crash: " << victims.size() << " victims evicted";
+    refresh_utilization();
+    return victims;
+}
+
+void
+Instance::repair()
+{
+    down_ = false;
+    WS_LOG_AT(Info, cfg_.name, sim_.now()) << "repaired";
+    pump();
 }
 
 // ---------------------------------------------------------------------

@@ -219,6 +219,32 @@ class Instance
      */
     void set_audit(audit::SimAuditor *a);
 
+    // ------------------------------------------------------------------
+    // fault injection (fault::FaultInjector)
+    // ------------------------------------------------------------------
+
+    /**
+     * The instance dies: all on-GPU KV is lost and its blocks freed,
+     * host swap-pool residue is dropped, every queued or running
+     * request is evicted, and in-flight completion events are
+     * invalidated (epoch bump). The instance refuses work until
+     * repair(). @return the evicted requests, for re-dispatch; foreign
+     * block holders (e.g. backup copies) lose their blocks but are not
+     * victims — their owner reconciles them via the crash hook.
+     */
+    std::vector<Request *> crash();
+
+    /** Bring a crashed instance back up, empty and at full capacity. */
+    void repair();
+
+    /** True between crash() and repair(). */
+    bool is_down() const { return down_; }
+
+    /** Execution-time multiplier for straggler windows; 1.0 restores
+     *  nominal speed. Applies to passes started after the call. */
+    void set_slowdown(double factor) { slowdown_ = factor; }
+    double slowdown() const { return slowdown_; }
+
   private:
     void schedule_pump();
 
@@ -284,6 +310,11 @@ class Instance
     std::uint64_t decode_iters_ = 0;
     std::uint64_t prefill_passes_ = 0;
     bool pump_scheduled_ = false;
+    bool down_ = false;
+    double slowdown_ = 1.0;
+    /** Bumped by crash(); completion events capture it and no-op when
+     *  stale, severing the dead incarnation's in-flight work. */
+    std::uint64_t epoch_ = 0;
     obs::TraceRecorder *trace_ = nullptr;
     audit::SimAuditor *audit_ = nullptr;
 };

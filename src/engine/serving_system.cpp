@@ -1,5 +1,6 @@
 #include "engine/serving_system.hpp"
 
+#include "fault/fault_injector.hpp"
 #include "obs/trace_recorder.hpp"
 
 namespace windserve::engine {
@@ -13,6 +14,8 @@ ServingSystem::enable_tracing()
     if (!trace_) {
         trace_ = std::make_unique<obs::TraceRecorder>(simulator());
         wire_trace(*trace_);
+        if (faults_)
+            faults_->set_trace(trace_.get());
     }
     return trace_.get();
 }
@@ -24,8 +27,30 @@ ServingSystem::enable_audit(audit::AuditConfig cfg)
         audit_ = std::make_unique<audit::SimAuditor>(simulator(),
                                                      std::move(cfg));
         wire_audit(*audit_);
+        if (faults_) {
+            faults_->set_audit(audit_.get());
+            audit_->set_faults_enabled(true);
+        }
     }
     return audit_.get();
+}
+
+fault::FaultInjector *
+ServingSystem::enable_faults(const fault::FaultConfig &cfg)
+{
+    if (!faults_) {
+        faults_ = std::make_unique<fault::FaultInjector>(
+            simulator(), fault::FaultPlan::generate(cfg));
+        if (audit_) {
+            faults_->set_audit(audit_.get());
+            audit_->set_faults_enabled(true);
+        }
+        if (trace_)
+            faults_->set_trace(trace_.get());
+        wire_faults(*faults_);
+        faults_->arm();
+    }
+    return faults_.get();
 }
 
 RunResult
@@ -38,6 +63,17 @@ ServingSystem::run(const std::vector<workload::Request> &trace,
     out.requests = take_requests();
     out.metrics = metrics::Collector(slo).collect(out.requests);
     fill_system_metrics(out.metrics);
+    if (faults_) {
+        out.metrics.instance_crashes = faults_->instance_crashes();
+        out.metrics.link_outages = faults_->link_outages();
+        out.metrics.straggler_windows = faults_->straggler_windows();
+        out.metrics.fault_redispatches = faults_->redispatches();
+        out.metrics.fault_retries = faults_->retries();
+        out.metrics.fault_aborts = faults_->aborts();
+        out.metrics.transfer_timeouts = faults_->transfer_timeouts();
+        out.metrics.fault_recoveries = faults_->recoveries();
+        out.metrics.recovery_latency = faults_->recovery_latency();
+    }
     out.num_gpus = num_gpus();
     if (audit_) {
         audit_->finish_run(out.requests, out.metrics.num_finished,

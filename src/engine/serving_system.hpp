@@ -26,6 +26,10 @@ class TraceRecorder;
 namespace windserve::sim {
 class Simulator;
 }
+namespace windserve::fault {
+class FaultInjector;
+struct FaultConfig;
+}
 
 namespace windserve::engine {
 
@@ -81,6 +85,22 @@ class ServingSystem
     const audit::SimAuditor *audit() const { return audit_.get(); }
 
     /**
+     * Attach a per-run chaos engine (before run()). Mirrors
+     * enable_tracing()/enable_audit(): the injector is owned by this
+     * system, the fault schedule is derived deterministically from
+     * @p cfg, and every target is wired via wire_faults(), which also
+     * arms the schedule on the simulator. With faults off — or with an
+     * empty schedule — the run is byte-identical to a fault-free one.
+     * Idempotent (@p cfg is ignored on repeat calls); returns the
+     * injector.
+     */
+    fault::FaultInjector *enable_faults(const fault::FaultConfig &cfg);
+
+    /** The attached injector, or nullptr when faults are off. */
+    fault::FaultInjector *faults() { return faults_.get(); }
+    const fault::FaultInjector *faults() const { return faults_.get(); }
+
+    /**
      * Replay @p trace (sorted by arrival) until every request finishes
      * or @p horizon simulated seconds elapse, then collect metrics
      * against @p slo. Unfinished requests remain in their last state
@@ -114,9 +134,16 @@ class ServingSystem
     /** Point every audited component at @p a (system-specific). */
     virtual void wire_audit(audit::SimAuditor &a) { (void)a; }
 
+    /**
+     * Register fault targets (instances, channels) and recovery hooks
+     * on @p inj (system-specific). Called before the schedule is armed.
+     */
+    virtual void wire_faults(fault::FaultInjector &inj) { (void)inj; }
+
   private:
     std::unique_ptr<obs::TraceRecorder> trace_;
     std::unique_ptr<audit::SimAuditor> audit_;
+    std::unique_ptr<fault::FaultInjector> faults_;
 };
 
 } // namespace windserve::engine

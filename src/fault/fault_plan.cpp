@@ -1,0 +1,110 @@
+#include "fault/fault_plan.hpp"
+
+#include "simcore/rng.hpp"
+
+#include <algorithm>
+#include <tuple>
+
+namespace windserve::fault {
+
+const char *
+to_string(FaultKind k)
+{
+    switch (k) {
+    case FaultKind::InstanceCrash: return "instance_crash";
+    case FaultKind::LinkDown: return "link_down";
+    case FaultKind::LinkUp: return "link_up";
+    case FaultKind::StragglerBegin: return "straggler_begin";
+    case FaultKind::StragglerEnd: return "straggler_end";
+    }
+    return "?";
+}
+
+namespace {
+
+// Poisson arrivals on [warmup, horizon). Window faults (outages,
+// straggler phases) emit a begin/end pair sharing one target so the
+// injector resolves both onto the same entity. The end event is kept
+// even past the horizon: a window that opens must close.
+void
+emit_crashes(std::vector<FaultEvent> &out, sim::Rng &rng,
+             const FaultConfig &cfg)
+{
+    if (cfg.crash_mtbf <= 0.0)
+        return;
+    double t = cfg.warmup;
+    while (true) {
+        t += rng.exponential(1.0 / cfg.crash_mtbf);
+        if (t >= cfg.horizon)
+            break;
+        FaultEvent ev;
+        ev.time = t;
+        ev.kind = FaultKind::InstanceCrash;
+        ev.target = rng.uniform_int(0, 1023);
+        ev.param = rng.exponential(1.0 / cfg.mean_repair);
+        out.push_back(ev);
+    }
+}
+
+void
+emit_windows(std::vector<FaultEvent> &out, sim::Rng &rng, double mtbf,
+             double mean_len, double begin_param, FaultKind begin,
+             FaultKind end, const FaultConfig &cfg)
+{
+    if (mtbf <= 0.0)
+        return;
+    double t = cfg.warmup;
+    while (true) {
+        t += rng.exponential(1.0 / mtbf);
+        if (t >= cfg.horizon)
+            break;
+        double len = rng.exponential(1.0 / mean_len);
+        std::size_t target = rng.uniform_int(0, 1023);
+        out.push_back({t, begin, target, begin_param});
+        out.push_back({t + len, end, target, 1.0});
+        t += len; // windows on one stream do not overlap
+    }
+}
+
+} // namespace
+
+FaultPlan
+FaultPlan::generate(const FaultConfig &cfg)
+{
+    FaultPlan plan;
+    plan.cfg_ = cfg;
+
+    // One forked stream per fault class, in fixed order, so dialing
+    // one class up or down never perturbs the others' schedules.
+    sim::Rng root(cfg.seed);
+    sim::Rng crash_rng = root.fork();
+    sim::Rng link_rng = root.fork();
+    sim::Rng straggler_rng = root.fork();
+
+    emit_crashes(plan.events_, crash_rng, cfg);
+    emit_windows(plan.events_, link_rng, cfg.link_mtbf, cfg.mean_outage,
+                 cfg.degrade_factor, FaultKind::LinkDown, FaultKind::LinkUp,
+                 cfg);
+    emit_windows(plan.events_, straggler_rng, cfg.straggler_mtbf,
+                 cfg.mean_straggler, cfg.straggler_slowdown,
+                 FaultKind::StragglerBegin, FaultKind::StragglerEnd, cfg);
+
+    std::stable_sort(plan.events_.begin(), plan.events_.end(),
+                     [](const FaultEvent &a, const FaultEvent &b) {
+                         return std::tie(a.time, a.kind, a.target) <
+                                std::tie(b.time, b.kind, b.target);
+                     });
+    return plan;
+}
+
+std::size_t
+FaultPlan::num_crashes() const
+{
+    std::size_t n = 0;
+    for (const auto &ev : events_)
+        if (ev.kind == FaultKind::InstanceCrash)
+            ++n;
+    return n;
+}
+
+} // namespace windserve::fault

@@ -130,7 +130,15 @@ run_experiment(const ExperimentConfig &cfg)
         audit::AuditConfig ac;
         ac.repro_seed = cfg.seed;
         ac.repro_config = to_string(cfg.system);
+        if (cfg.faults)
+            ac.repro_extra = " --chaos";
         system->enable_audit(ac);
+    }
+    if (cfg.faults) {
+        fault::FaultConfig fc = *cfg.faults;
+        if (fc.horizon <= 0.0)
+            fc.horizon = cfg.horizon;
+        system->enable_faults(fc);
     }
     auto trace = make_trace(cfg);
     auto run = system->run(trace, cfg.scenario.slo, cfg.horizon);

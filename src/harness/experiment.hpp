@@ -12,6 +12,7 @@
 #include "baselines/distserve_system.hpp"
 #include "baselines/vllm_system.hpp"
 #include "core/windserve_system.hpp"
+#include "fault/fault_plan.hpp"
 #include "harness/configs.hpp"
 #include "metrics/collector.hpp"
 #include "workload/trace.hpp"
@@ -63,6 +64,14 @@ struct ExperimentConfig {
      * one.
      */
     bool audit = false;
+    /**
+     * Attach a fault::FaultInjector with this chaos schedule. Empty
+     * (the default) runs fault-free; a config with horizon <= 0 takes
+     * the experiment's horizon. The schedule is a pure function of the
+     * config, so two runs with the same ExperimentConfig see identical
+     * faults.
+     */
+    std::optional<fault::FaultConfig> faults;
     /** KV capacity override for every instance (tokens; 0 = derived).
      *  Lets tests and the fuzzer force memory pressure. */
     std::size_t kv_capacity_tokens_override = 0;

@@ -53,7 +53,7 @@ result_checksum(const std::vector<workload::Request> &requests)
 }
 
 ExperimentConfig
-make_fuzz_config(std::uint64_t seed, SystemKind system)
+make_fuzz_config(std::uint64_t seed, SystemKind system, bool chaos)
 {
     // Independent stream per (seed, system) so the same seed explores
     // different configs on each system.
@@ -96,6 +96,35 @@ make_fuzz_config(std::uint64_t seed, SystemKind system)
         cfg.transfer_policy = transfer::TransferPolicy::Synchronous;
     if (rng.chance(0.2))
         cfg.thrd = rng.uniform(0.05, 0.5);
+
+    if (chaos) {
+        // All chaos draws come AFTER every base draw: toggling the flag
+        // never perturbs the fault-free config of the same seed.
+        // Tight dials: the sampled traces (40-140 requests on 4 GPUs)
+        // drain within tens of seconds, so faults must land early and
+        // often to catch requests in flight at all.
+        fault::FaultConfig fc;
+        fc.seed = seed ^ 0xc2b2ae3d27d4eb4fULL;
+        fc.warmup = rng.uniform(2.0, 20.0);
+        fc.crash_mtbf = rng.uniform(8.0, 80.0);
+        fc.mean_repair = rng.uniform(2.0, 15.0);
+        if (rng.chance(0.5)) {
+            fc.link_mtbf = rng.uniform(20.0, 120.0);
+            fc.mean_outage = rng.uniform(0.5, 4.0);
+            fc.degrade_factor =
+                rng.chance(0.5) ? 0.0 : rng.uniform(0.05, 0.5);
+        }
+        if (rng.chance(0.5)) {
+            fc.straggler_mtbf = rng.uniform(30.0, 150.0);
+            fc.mean_straggler = rng.uniform(5.0, 20.0);
+            fc.straggler_slowdown = rng.uniform(1.5, 4.0);
+        }
+        if (rng.chance(0.3)) {
+            fc.recovery.max_attempts =
+                static_cast<std::size_t>(rng.uniform_int(1, 4));
+        }
+        cfg.faults = fc; // horizon <= 0: takes the experiment horizon
+    }
     return cfg;
 }
 
@@ -106,7 +135,15 @@ run_fuzz_case(const ExperimentConfig &cfg)
     audit::AuditConfig ac;
     ac.repro_seed = cfg.seed;
     ac.repro_config = to_string(cfg.system);
+    if (cfg.faults)
+        ac.repro_extra = " --chaos";
     audit::SimAuditor *aud = system->enable_audit(ac);
+    if (cfg.faults) {
+        fault::FaultConfig fc = *cfg.faults;
+        if (fc.horizon <= 0.0)
+            fc.horizon = cfg.horizon;
+        system->enable_faults(fc);
+    }
     auto trace = make_trace(cfg);
     auto run = system->run(trace, cfg.scenario.slo, cfg.horizon);
 
@@ -118,6 +155,7 @@ run_fuzz_case(const ExperimentConfig &cfg)
     res.num_requests = run.requests.size();
     res.finished = run.metrics.num_finished;
     res.unfinished = run.metrics.num_unfinished;
+    res.aborted = run.metrics.num_aborted;
     for (const auto &r : run.requests)
         res.generated_tokens += r.generated;
     res.checksum = result_checksum(run.requests);
@@ -139,8 +177,9 @@ run_fuzz(const FuzzOptions &opt)
     parallel_for(total, opt.jobs, [&](std::size_t i) {
         std::size_t iter = i / opt.systems.size();
         SystemKind system = opt.systems[i % opt.systems.size()];
-        sum.results[i] = run_fuzz_case(
-            opt.base_seed + static_cast<std::uint64_t>(iter), system);
+        sum.results[i] = run_fuzz_case(make_fuzz_config(
+            opt.base_seed + static_cast<std::uint64_t>(iter), system,
+            opt.chaos));
     });
     for (const auto &r : sum.results) {
         sum.total_events += r.audit_events;

@@ -36,6 +36,7 @@ struct FuzzResult {
     std::size_t num_requests = 0;
     std::size_t finished = 0;
     std::size_t unfinished = 0;
+    std::size_t aborted = 0;            ///< chaos mode: retry cap exceeded
     std::uint64_t generated_tokens = 0; ///< sum over all requests
     std::uint64_t checksum = 0;         ///< FNV over per-request results
 };
@@ -53,6 +54,9 @@ struct FuzzOptions {
     std::vector<SystemKind> systems = {SystemKind::WindServe,
                                        SystemKind::DistServe,
                                        SystemKind::Vllm};
+    /** Chaos mode: derive a fault schedule from each case seed and run
+     *  it under full audit (crash edges enabled). */
+    bool chaos = false;
 };
 
 /** Aggregated outcome of a campaign (all cases, in deterministic order). */
@@ -64,9 +68,13 @@ struct FuzzSummary {
 
 /**
  * Derive the randomized experiment config of fuzz case @p seed on
- * @p system. Pure function of its arguments.
+ * @p system. Pure function of its arguments. With @p chaos the config
+ * additionally carries a seed-derived fault schedule; the chaos draws
+ * come after every base draw, so a case's fault-free config is
+ * untouched by the flag.
  */
-ExperimentConfig make_fuzz_config(std::uint64_t seed, SystemKind system);
+ExperimentConfig make_fuzz_config(std::uint64_t seed, SystemKind system,
+                                  bool chaos = false);
 
 /** Order-independent FNV-1a checksum of per-request outcomes. */
 std::uint64_t result_checksum(const std::vector<workload::Request> &requests);

@@ -37,12 +37,17 @@ Channel::settle_active_progress()
 {
     if (!active_)
         return;
+    if (rate_factor_ <= 0.0) {
+        // Stalled link: no latency was paid, no byte moved.
+        active_started_ = sim_.now();
+        return;
+    }
     double elapsed = sim_.now() - active_started_;
     double lat_used = std::min(elapsed, active_latency_left_);
     double wire_time = elapsed - lat_used;
     active_latency_left_ -= lat_used;
     double moved = std::min(active_->bytes - active_->sent,
-                            wire_time * link_.bandwidth);
+                            wire_time * link_.bandwidth * rate_factor_);
     active_->sent += moved;
     active_started_ = sim_.now();
 }
@@ -56,14 +61,28 @@ Channel::reschedule_active()
         sim_.cancel(active_event_);
         active_event_valid_ = false;
     }
+    if (rate_factor_ <= 0.0)
+        return; // stalled; set_rate_factor reschedules on restore
     double remaining = active_->bytes - active_->sent;
-    double dur = active_latency_left_ + remaining / link_.bandwidth;
+    double dur =
+        active_latency_left_ + remaining / (link_.bandwidth * rate_factor_);
     active_event_ = sim_.schedule(dur, [this] {
         active_event_valid_ = false;
         settle_active_progress();
         finish_active();
     });
     active_event_valid_ = true;
+}
+
+void
+Channel::set_rate_factor(double factor)
+{
+    factor = std::max(0.0, factor);
+    if (factor == rate_factor_)
+        return;
+    settle_active_progress();
+    rate_factor_ = factor;
+    reschedule_active();
 }
 
 void
@@ -150,7 +169,7 @@ Channel::remaining_bytes(TransferId id) const
         double wire_time =
             std::max(0.0, elapsed - active_latency_left_);
         double moved = std::min(active_->bytes - active_->sent,
-                                wire_time * link_.bandwidth);
+                                wire_time * link_.bandwidth * rate_factor_);
         return active_->bytes - active_->sent - moved;
     }
     for (const auto &t : queue_)

@@ -97,6 +97,18 @@ class Channel
      *  capacity bound. nullptr (the default) disables auditing. */
     void set_audit(audit::SimAuditor *a);
 
+    /**
+     * Scale the effective bandwidth (fault injection): 1.0 is nominal,
+     * values in (0,1) model a degraded link, 0 stalls the channel —
+     * in-flight progress is settled and frozen until a later call
+     * restores a positive factor. Queued transfers are never lost;
+     * degradation only stretches their completion times, so the
+     * auditor's physical capacity bound still holds.
+     */
+    void set_rate_factor(double factor);
+    double rate_factor() const { return rate_factor_; }
+
+    const std::string &name() const { return name_; }
     const Link &link() const { return link_; }
 
   private:
@@ -120,6 +132,7 @@ class Channel
     sim::SimTime active_started_ = 0.0;   ///< when current segment began
     sim::SimTime active_begun_ = 0.0;     ///< when the transfer left the queue
     double active_latency_left_ = 0.0;    ///< unpaid fixed latency
+    double rate_factor_ = 1.0;            ///< fault-injected bandwidth scale
     sim::EventId active_event_ = 0;
     bool active_event_valid_ = false;
     std::unordered_map<TransferId, bool> done_;

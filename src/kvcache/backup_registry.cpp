@@ -1,7 +1,6 @@
 #include "kvcache/backup_registry.hpp"
 
-#include <numeric>
-#include <stdexcept>
+#include <algorithm>
 
 namespace windserve::kvcache {
 
@@ -9,13 +8,10 @@ void
 BackupRegistry::record(ReqId id, std::size_t tokens)
 {
     auto it = tokens_.find(id);
-    if (it == tokens_.end()) {
+    if (it == tokens_.end())
         tokens_[id] = tokens;
-    } else {
-        if (tokens < it->second)
-            throw std::logic_error("BackupRegistry: backup cannot shrink");
-        it->second = tokens;
-    }
+    else
+        it->second = std::max(it->second, tokens);
 }
 
 std::size_t
@@ -47,6 +43,7 @@ BackupRegistry::ids() const
     out.reserve(tokens_.size());
     for (const auto &[id, t] : tokens_)
         out.push_back(id);
+    std::sort(out.begin(), out.end());
     return out;
 }
 

@@ -25,7 +25,12 @@ namespace windserve::kvcache {
 class BackupRegistry
 {
   public:
-    /** Record (or extend) a backup of the first @p tokens tokens. */
+    /**
+     * Record (or extend) a backup of the first @p tokens tokens. A
+     * re-record with fewer tokens keeps the larger backup — the prefix
+     * already on the prefill side does not evaporate because a later
+     * sync was shorter.
+     */
     void record(ReqId id, std::size_t tokens);
 
     /** Tokens of @p id already present on the prefill side (0 if none). */
@@ -33,15 +38,21 @@ class BackupRegistry
 
     bool has_backup(ReqId id) const { return tokens_.count(id) > 0; }
 
-    /** Drop a request's backup (request finished or migrated). */
+    /** Drop a request's backup (request finished or migrated).
+     *  No-op for unknown ids. */
     void drop(ReqId id);
+
+    /** Drop every backup (the backing instance crashed). */
+    void clear() { tokens_.clear(); }
 
     std::size_t num_backups() const { return tokens_.size(); }
 
     /** Sum of backed-up tokens across all requests. */
     std::size_t total_tokens() const;
 
-    /** Ids with a live backup (unspecified order). */
+    /** Ids with a live backup, sorted ascending — consumers iterate
+     *  backups, so hash-map order would leak platform-dependent
+     *  behaviour into otherwise deterministic runs. */
     std::vector<ReqId> ids() const;
 
   private:

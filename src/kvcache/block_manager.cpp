@@ -1,5 +1,6 @@
 #include "kvcache/block_manager.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "audit/sim_auditor.hpp"
@@ -102,6 +103,17 @@ BlockManager::blocks_of(ReqId id) const
 {
     auto it = per_req_.find(id);
     return it == per_req_.end() ? 0 : it->second.blocks;
+}
+
+std::vector<ReqId>
+BlockManager::holders() const
+{
+    std::vector<ReqId> out;
+    out.reserve(per_req_.size());
+    for (const auto &[id, alloc] : per_req_)
+        out.push_back(id);
+    std::sort(out.begin(), out.end());
+    return out;
 }
 
 double

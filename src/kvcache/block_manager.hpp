@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 namespace windserve::audit {
 class SimAuditor;
@@ -75,6 +76,9 @@ class BlockManager
 
     /** Number of requests holding blocks. */
     std::size_t num_holders() const { return per_req_.size(); }
+
+    /** Ids of all holders, sorted (crash cleanup iterates these). */
+    std::vector<ReqId> holders() const;
 
     /** Fraction of capacity in use, in [0,1]. */
     double occupancy() const;

@@ -1,5 +1,6 @@
 #include "kvcache/swap_pool.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "audit/sim_auditor.hpp"
@@ -53,6 +54,34 @@ SwapPool::swap_in(ReqId id)
     tokens_.erase(it);
     if (trace_)
         trace_->counter(trace_process_, "swap_pool_bytes", used_bytes_);
+}
+
+void
+SwapPool::drop(ReqId id)
+{
+    auto it = tokens_.find(id);
+    if (it == tokens_.end())
+        return; // nothing to discard
+    // Ledger-wise a drop is a swap-in that skips the DMA: the auditor
+    // credits the bytes back against this id.
+    if (audit_)
+        audit_->on_swap_in(audit_owner_, id, true, used_bytes_);
+    used_bytes_ -= bytes_for(it->second);
+    ++drops_;
+    tokens_.erase(it);
+    if (trace_)
+        trace_->counter(trace_process_, "swap_pool_bytes", used_bytes_);
+}
+
+std::vector<ReqId>
+SwapPool::holders() const
+{
+    std::vector<ReqId> out;
+    out.reserve(tokens_.size());
+    for (const auto &[id, t] : tokens_)
+        out.push_back(id);
+    std::sort(out.begin(), out.end());
+    return out;
 }
 
 std::size_t

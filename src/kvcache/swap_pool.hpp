@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "kvcache/block_manager.hpp"
 
@@ -39,7 +40,17 @@ class SwapPool
     /** Remove a request's KV from host (after swap-in or abort). */
     void swap_in(ReqId id);
 
+    /**
+     * Discard a request's host copy without a swap-in (crash cleanup).
+     * Unlike swap_in this neither counts as a swap-in event nor throws
+     * on unknown ids, so metrics and double-drop semantics stay clean.
+     */
+    void drop(ReqId id);
+
     bool holds(ReqId id) const { return tokens_.count(id) > 0; }
+
+    /** Ids of all swapped-out requests, sorted (crash cleanup). */
+    std::vector<ReqId> holders() const;
     std::size_t tokens_of(ReqId id) const;
 
     /** Bytes a swap (out or in) of @p tokens moves over the host link. */
@@ -51,6 +62,7 @@ class SwapPool
     /** Lifetime counters (for Fig. 1a). */
     std::uint64_t swap_out_events() const { return swap_out_events_; }
     std::uint64_t swap_in_events() const { return swap_in_events_; }
+    std::uint64_t drops() const { return drops_; }
     double swapped_bytes_total() const { return swapped_bytes_total_; }
 
     /** Emit a host-pool occupancy counter on @p rec after every swap
@@ -68,6 +80,7 @@ class SwapPool
     std::unordered_map<ReqId, std::size_t> tokens_;
     std::uint64_t swap_out_events_ = 0;
     std::uint64_t swap_in_events_ = 0;
+    std::uint64_t drops_ = 0;
     double swapped_bytes_total_ = 0.0;
     obs::TraceRecorder *trace_ = nullptr;
     std::string trace_process_;

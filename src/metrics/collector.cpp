@@ -8,12 +8,16 @@ Collector::collect(const std::vector<workload::Request> &requests) const
     RunMetrics m;
     m.num_requests = requests.size();
     std::size_t ok_both = 0, ok_ttft = 0, ok_tpot = 0;
+    std::size_t generated_total = 0;
     for (const auto &r : requests) {
         if (!r.finished()) {
             ++m.num_unfinished;
+            if (r.state == workload::RequestState::Aborted)
+                ++m.num_aborted;
             continue;
         }
         ++m.num_finished;
+        generated_total += r.generated;
         if (double t = r.ttft(); t != workload::kNoTime)
             m.ttft.add(t);
         if (double t = r.tpot(); t != workload::kNoTime)
@@ -46,6 +50,12 @@ Collector::collect(const std::vector<workload::Request> &requests) const
         m.slo_attainment = static_cast<double>(ok_both) / n;
         m.ttft_attainment = static_cast<double>(ok_ttft) / n;
         m.tpot_attainment = static_cast<double>(ok_tpot) / n;
+    }
+    // Goodput counts only tokens of COMPLETED requests: work burnt on
+    // requests that later crashed-and-aborted does not count.
+    if (m.makespan > 0.0) {
+        m.goodput_tokens_per_s =
+            static_cast<double>(generated_total) / m.makespan;
     }
     return m;
 }

@@ -30,6 +30,9 @@ struct RunMetrics {
      *  no latency samples, so they would otherwise vanish from every
      *  percentile — this makes the exclusion explicit and reportable. */
     std::size_t num_unfinished = 0;
+    /** Subset of num_unfinished the fault-recovery machinery gave up on
+     *  (retry cap exceeded). Always 0 on fault-free runs. */
+    std::size_t num_aborted = 0;
 
     double slo_attainment = 0.0;  ///< both objectives
     double ttft_attainment = 0.0;
@@ -46,6 +49,23 @@ struct RunMetrics {
     double prefill_bandwidth_util = 0.0;
 
     double makespan = 0.0; ///< simulated completion time of the trace
+
+    // --- availability under faults (all zero on fault-free runs) ---
+    /** Completed output tokens per simulated second of makespan: the
+     *  throughput that survived crashes, retries, and aborts. */
+    double goodput_tokens_per_s = 0.0;
+    std::uint64_t instance_crashes = 0;
+    std::uint64_t link_outages = 0;
+    std::uint64_t straggler_windows = 0;
+    /** Crash victims routed back through the global scheduler. */
+    std::uint64_t fault_redispatches = 0;
+    /** Re-dispatch attempts beyond each victim's first. */
+    std::uint64_t fault_retries = 0;
+    std::uint64_t fault_aborts = 0;
+    std::uint64_t transfer_timeouts = 0;
+    std::uint64_t fault_recoveries = 0;
+    /** Crash -> decode-ready latency over completed recoveries. */
+    sim::Sample recovery_latency;
 };
 
 /** Builds RunMetrics from the finished request set. */

@@ -84,6 +84,27 @@ detailed_report(const RunMetrics &m)
         << "  util: prefill-compute=" << fmt_percent(m.prefill_compute_util)
         << " decode-bw=" << fmt_percent(m.decode_bandwidth_util) << "\n"
         << "  makespan=" << fmt_seconds(m.makespan);
+    // Availability section only when the chaos subsystem was active, so
+    // fault-free reports stay byte-identical to pre-fault builds.
+    if (m.instance_crashes > 0 || m.link_outages > 0 ||
+        m.straggler_windows > 0 || m.num_aborted > 0 ||
+        m.transfer_timeouts > 0) {
+        out << "\n  faults: crashes=" << m.instance_crashes
+            << " outages=" << m.link_outages
+            << " stragglers=" << m.straggler_windows
+            << " xfer-timeouts=" << m.transfer_timeouts << "\n"
+            << "  recovery: redispatches=" << m.fault_redispatches
+            << " retries=" << m.fault_retries
+            << " aborted=" << m.num_aborted
+            << " recovered=" << m.fault_recoveries
+            << " latency mean=" << fmt_seconds(m.recovery_latency.empty()
+                                                   ? workload::kNoTime
+                                                   : m.recovery_latency.mean())
+            << " p99=" << fmt_seconds(m.recovery_latency.empty()
+                                          ? workload::kNoTime
+                                          : m.recovery_latency.p99()) << "\n"
+            << "  goodput=" << m.goodput_tokens_per_s << " tok/s";
+    }
     return out.str();
 }
 

@@ -24,6 +24,7 @@ enum class Category {
     Transfer,  ///< link occupancy (KV transfer, migration, swap DMA)
     Scheduler, ///< decision instants (dispatch, stream split, preemption)
     Counter,   ///< numeric time series (queue depth, pool bytes)
+    Fault,     ///< injected faults and recovery milestones
 };
 
 const char *to_string(Category cat);

@@ -24,6 +24,8 @@ to_string(Category cat)
         return "scheduler";
       case Category::Counter:
         return "counter";
+      case Category::Fault:
+        return "fault";
     }
     return "unknown";
 }

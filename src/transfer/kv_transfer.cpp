@@ -1,14 +1,31 @@
 #include "transfer/kv_transfer.hpp"
 
+#include <memory>
+#include <utility>
+
 #include "audit/sim_auditor.hpp"
+#include "fault/fault_injector.hpp"
 
 namespace windserve::transfer {
+
+namespace {
+
+hw::Link
+staged_link(hw::Link link, double factor)
+{
+    link.bandwidth *= factor;
+    return link;
+}
+
+} // namespace
 
 KvTransferManager::KvTransferManager(sim::Simulator &sim, hw::Link link,
                                      const model::ModelSpec &model,
                                      KvTransferConfig cfg)
     : sim_(sim), cfg_(cfg), kv_bytes_per_token_(model.kv_bytes_per_token()),
-      p2d_(sim, link, "kv/p2d"), d2p_(sim, link, "kv/d2p")
+      p2d_(sim, link, "kv/p2d"), d2p_(sim, link, "kv/d2p"),
+      staged_(sim, staged_link(link, cfg.staged_bandwidth_factor),
+              "kv/staged")
 {}
 
 double
@@ -22,6 +39,7 @@ KvTransferManager::set_trace(obs::TraceRecorder *rec)
 {
     p2d_.set_trace(rec, "interconnect", "kv-p2d");
     d2p_.set_trace(rec, "interconnect", "kv-d2p");
+    staged_.set_trace(rec, "interconnect", "kv-staged");
 }
 
 void
@@ -30,6 +48,7 @@ KvTransferManager::set_audit(audit::SimAuditor *a)
     audit_ = a;
     p2d_.set_audit(a);
     d2p_.set_audit(a);
+    staged_.set_audit(a);
 }
 
 void
@@ -40,9 +59,39 @@ KvTransferManager::transfer_prefill_kv(workload::Request *r,
     if (cfg_.policy == TransferPolicy::Overlapped)
         bytes *= cfg_.overlap_tail_fraction;
     audit::transition(audit_, *r, workload::RequestState::Transferring);
-    p2d_.submit(bytes, [this, r, done = std::move(done)] {
+
+    double timeout =
+        faults_ ? faults_->policy().transfer_timeout : 0.0;
+    if (timeout <= 0.0) {
+        p2d_.submit(bytes, [this, r, done = std::move(done)] {
+            r->transfer_done_time = sim_.now();
+            done();
+        });
+        return;
+    }
+    // Watchdog race: whichever of {direct completion, timeout} fires
+    // first claims the transfer; the loser sees the flag and no-ops.
+    // The staged path is a GPU->host->GPU bounce, immune to direct-link
+    // outages (it is never registered as an outage target), so exactly
+    // one completion reaches the caller.
+    auto settled = std::make_shared<bool>(false);
+    auto finish = std::make_shared<std::function<void()>>(std::move(done));
+    p2d_.submit(bytes, [this, r, settled, finish] {
+        if (*settled)
+            return; // timed out; the staged copy owns this request now
+        *settled = true;
         r->transfer_done_time = sim_.now();
-        done();
+        (*finish)();
+    });
+    sim_.schedule(timeout, [this, r, bytes, settled, finish] {
+        if (*settled)
+            return; // direct copy landed in time
+        *settled = true;
+        faults_->count_transfer_timeout();
+        staged_.submit(bytes, [this, r, finish] {
+            r->transfer_done_time = sim_.now();
+            (*finish)();
+        });
     });
 }
 

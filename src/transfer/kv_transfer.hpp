@@ -24,6 +24,9 @@
 namespace windserve::obs {
 class TraceRecorder;
 }
+namespace windserve::fault {
+class FaultInjector;
+}
 
 namespace windserve::transfer {
 
@@ -42,6 +45,12 @@ struct KvTransferConfig {
      * be exact, a small constant is robust across models).
      */
     double overlap_tail_fraction = 0.05;
+    /**
+     * Bandwidth of the host-staged fallback path relative to the direct
+     * link (GPU -> host DRAM -> GPU bounce when the direct path times
+     * out under fault injection).
+     */
+    double staged_bandwidth_factor = 0.25;
 };
 
 /**
@@ -68,6 +77,9 @@ class KvTransferManager
     /** Channel carrying prefill -> decode traffic. */
     hw::Channel &forward_channel() { return p2d_; }
 
+    /** Host-staged fallback path (outage-immune, slower). */
+    hw::Channel &staged_channel() { return staged_; }
+
     /** KV bytes for @p tokens tokens of this model. */
     double bytes_for_tokens(double tokens) const;
 
@@ -77,6 +89,15 @@ class KvTransferManager
     /** Audit both link directions and the Transferring transition. */
     void set_audit(audit::SimAuditor *a);
 
+    /**
+     * Arm the transfer watchdog: when @p inj 's recovery policy sets a
+     * transfer timeout, a prefill-KV copy that has not landed by then
+     * is re-issued over the host-staged path (the direct copy is
+     * disowned — its completion is ignored). nullptr (the default)
+     * disables the watchdog with zero behavioural change.
+     */
+    void set_faults(fault::FaultInjector *inj) { faults_ = inj; }
+
     const KvTransferConfig &config() const { return cfg_; }
 
   private:
@@ -85,7 +106,9 @@ class KvTransferManager
     double kv_bytes_per_token_;
     hw::Channel p2d_;
     hw::Channel d2p_;
+    hw::Channel staged_;
     audit::SimAuditor *audit_ = nullptr;
+    fault::FaultInjector *faults_ = nullptr;
 };
 
 } // namespace windserve::transfer

@@ -1,5 +1,7 @@
 #include "transfer/migration.hpp"
 
+#include <algorithm>
+
 #include "audit/sim_auditor.hpp"
 #include "obs/trace_recorder.hpp"
 #include "simcore/log.hpp"
@@ -30,6 +32,8 @@ MigrationManager::start(Request *r)
 {
     if (is_migrating(r) || r->finished())
         return false;
+    if (source_.is_down() || target_.is_down())
+        return false; // no endpoint to copy from/to until repair
     std::size_t ctx = r->context_length();
     std::size_t already_there = target_.blocks().holds(r->id)
                                     ? target_.blocks().tokens_of(r->id)
@@ -103,6 +107,52 @@ MigrationManager::on_request_finished(Request *r)
         it->second.cancelled = true;
 }
 
+std::vector<Request *>
+MigrationManager::cancel_active()
+{
+    std::vector<Request *> out;
+    for (auto &[id, m] : active_) {
+        if (m.cancelled)
+            continue;
+        m.cancelled = true;
+        out.push_back(m.req);
+    }
+    std::sort(out.begin(), out.end(),
+              [](const Request *a, const Request *b) { return a->id < b->id; });
+    return out;
+}
+
+void
+MigrationManager::on_target_crash()
+{
+    std::vector<workload::RequestId> ids;
+    ids.reserve(active_.size());
+    for (const auto &[id, m] : active_)
+        ids.push_back(id);
+    std::sort(ids.begin(), ids.end());
+    for (auto id : ids) {
+        auto it = active_.find(id);
+        Migration &m = it->second;
+        Request *r = m.req;
+        ++aborted_;
+        if (trace_) {
+            trace_->span(obs::Category::Transfer, "interconnect",
+                         "migration", "migrate-abort", m.started,
+                         sim_.now() - m.started,
+                         {obs::num_arg("req", std::uint64_t(id))});
+        }
+        bool was_paused = m.paused;
+        active_.erase(it);
+        // The in-flight copy's completion finds no active entry and
+        // no-ops when it drains.
+        if (r->finished())
+            continue;
+        audit::transition(audit_, *r, RequestState::Decoding);
+        if (was_paused)
+            source_.enqueue_decode(r, /*kv_resident=*/true);
+    }
+}
+
 void
 MigrationManager::complete(workload::RequestId id)
 {
@@ -121,6 +171,23 @@ MigrationManager::complete(workload::RequestId id)
                          {obs::num_arg("req", std::uint64_t(id))});
         }
         active_.erase(it);
+        return;
+    }
+
+    if (target_.is_down()) {
+        // Target crashed mid-copy: the blocks we were filling are gone.
+        // Abort and resume decoding at the source, whose KV is intact.
+        pause(m);
+        ++aborted_;
+        if (trace_) {
+            trace_->span(obs::Category::Transfer, "interconnect",
+                         "migration", "migrate-abort", m.started,
+                         sim_.now() - m.started,
+                         {obs::num_arg("req", std::uint64_t(id))});
+        }
+        audit::transition(audit_, *r, RequestState::Decoding);
+        active_.erase(it);
+        source_.enqueue_decode(r, /*kv_resident=*/true);
         return;
     }
 
@@ -192,8 +259,19 @@ BackupManager::BackupManager(sim::Simulator &sim, KvTransferManager &xfer,
 {}
 
 void
+BackupManager::fault_tolerance_mode()
+{
+    cfg_.source_occupancy_trigger = 0.0;
+    cfg_.target_occupancy_limit = 0.60;
+    cfg_.max_inflight = 4;
+    cfg_.min_context_tokens = 256;
+}
+
+void
 BackupManager::maybe_backup()
 {
+    if (source_.is_down() || target_.is_down())
+        return;
     if (inflight_.size() >= cfg_.max_inflight)
         return;
     if (source_.blocks().occupancy() < cfg_.source_occupancy_trigger)
@@ -226,7 +304,9 @@ BackupManager::maybe_backup()
     double started = sim_.now();
     xfer_.reverse_channel().submit(
         xfer_.bytes_for_tokens(static_cast<double>(ctx)),
-        [this, r, ctx, started] {
+        [this, r, ctx, started, gen = generation_] {
+            if (gen != generation_)
+                return; // an endpoint crashed mid-copy; disowned
             inflight_.erase(r->id);
             if (trace_) {
                 trace_->span(obs::Category::Transfer, "interconnect",
@@ -242,6 +322,27 @@ BackupManager::maybe_backup()
             registry_.record(r->id, ctx);
             ++backups_taken_;
         });
+}
+
+void
+BackupManager::on_source_crash()
+{
+    ++generation_;
+    std::vector<workload::RequestId> ids;
+    ids.reserve(inflight_.size());
+    for (const auto &[id, ctx] : inflight_)
+        ids.push_back(id);
+    std::sort(ids.begin(), ids.end());
+    for (auto id : ids)
+        target_.blocks().release(id);
+    inflight_.clear();
+}
+
+void
+BackupManager::on_target_crash()
+{
+    ++generation_;
+    inflight_.clear();
 }
 
 void

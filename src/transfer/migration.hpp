@@ -20,6 +20,7 @@
 #include <cstdint>
 #include <functional>
 #include <unordered_map>
+#include <vector>
 
 #include "engine/instance.hpp"
 #include "kvcache/backup_registry.hpp"
@@ -77,6 +78,24 @@ class MigrationManager
 
     /** Notify that @p r finished at the source mid-migration. */
     void on_request_finished(workload::Request *r);
+
+    /**
+     * Abandon every in-flight migration (the source instance crashed:
+     * the KV being copied no longer exists). The copies' completions
+     * are disowned; they count as aborted when they drain. @return the
+     * affected requests, sorted by id — paused ones sit in no queue,
+     * so the crash victim sweep cannot see them.
+     */
+    std::vector<workload::Request *> cancel_active();
+
+    /**
+     * The target (prefill) instance crashed: every partial copy landed
+     * in HBM that no longer exists. Abort all in-flight migrations NOW
+     * — waiting for the wire to drain could race a repair and finalize
+     * phantom KV — and resume paused requests at the source, whose KV
+     * is intact. Requests still decoding stall-free just keep going.
+     */
+    void on_target_crash();
 
     bool is_migrating(const workload::Request *r) const;
     std::size_t active() const { return active_.size(); }
@@ -140,11 +159,38 @@ class BackupManager
     /** Policy tick — call from the coordinator's step hook. */
     void maybe_backup();
 
+    /**
+     * Switch to proactive checkpointing for a chaos-armed run: back up
+     * continuously instead of only under memory pressure, with more
+     * concurrent copies and a lower size floor. A deployment expecting
+     * crashes pays reverse-channel bandwidth up front so victims can
+     * resume from the prefill-side copy instead of recomputing. Only
+     * ever called from wire_faults(): fault-free runs keep the
+     * pressure-triggered policy bit for bit.
+     */
+    void fault_tolerance_mode();
+
     /** Record one span per backup copy. */
     void set_trace(obs::TraceRecorder *rec) { trace_ = rec; }
 
     /** Release target-side blocks when a request completes or migrates. */
     void on_request_done(workload::Request *r);
+
+    /**
+     * The decode (source) instance crashed: in-flight copies read from
+     * KV that no longer exists. Their completions are disowned and the
+     * target blocks reserved for them returned. Completed backups stay
+     * — they are exactly what makes the victims' recovery cheap.
+     */
+    void on_source_crash();
+
+    /**
+     * The prefill (target) instance crashed: its blocks — including
+     * every backup copy — were already freed by Instance::crash();
+     * disown in-flight completions so they do not re-touch them. The
+     * caller clears the BackupRegistry.
+     */
+    void on_target_crash();
 
     std::uint64_t backups_taken() const { return backups_taken_; }
     std::size_t inflight() const { return inflight_.size(); }
@@ -157,6 +203,9 @@ class BackupManager
     kvcache::BackupRegistry &registry_;
     Config cfg_;
     std::unordered_map<workload::RequestId, std::size_t> inflight_;
+    /** Bumped on either side's crash; stale copy completions compare
+     *  against it and drop out. */
+    std::uint64_t generation_ = 0;
     std::uint64_t backups_taken_ = 0;
     obs::TraceRecorder *trace_ = nullptr;
 };

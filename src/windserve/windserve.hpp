@@ -45,6 +45,10 @@
 // runtime invariant auditing
 #include "audit/sim_auditor.hpp"
 
+// fault injection & recovery (chaos engine)
+#include "fault/fault_injector.hpp"
+#include "fault/fault_plan.hpp"
+
 // workloads
 #include "workload/arrival.hpp"
 #include "workload/dataset.hpp"

@@ -24,6 +24,8 @@ to_string(RequestState s)
         return "swapped_out";
       case RequestState::Finished:
         return "finished";
+      case RequestState::Aborted:
+        return "aborted";
     }
     return "unknown";
 }

@@ -30,6 +30,7 @@ enum class RequestState {
     Migrating,       ///< stall-free rescheduling in progress
     SwappedOut,      ///< preempted to host memory
     Finished,
+    Aborted,         ///< gave up after the fault-recovery retry cap
 };
 
 const char *to_string(RequestState s);
@@ -76,6 +77,9 @@ struct Request {
     // --- event counters ---
     std::uint32_t swap_outs = 0;
     std::uint32_t migrations = 0;
+    /** Bumped when a crash invalidates this request's in-flight work;
+     *  stale completion callbacks compare against it and drop out. */
+    std::uint32_t incarnation = 0;
     bool prefill_dispatched = false; ///< prefill ran on the decode instance
     bool was_chunked = false;
 

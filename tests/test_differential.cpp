@@ -24,6 +24,7 @@ namespace {
 struct SystemRun {
     const char *name;
     std::vector<wl::Request> requests;
+    std::size_t num_aborted = 0;
 };
 
 /** Run the same fixed trace through one system under audit. */
@@ -35,7 +36,8 @@ run_one(hs::SystemKind k, const hs::ExperimentConfig &base)
     auto sys = hs::make_system(ec);
     sys->enable_audit(); // differential AND invariant-checked
     auto rr = sys->run(hs::make_trace(ec), ec.scenario.slo, ec.horizon);
-    return {hs::to_string(k), std::move(rr.requests)};
+    return {hs::to_string(k), std::move(rr.requests),
+            rr.metrics.num_aborted};
 }
 
 std::map<wl::RequestId, const wl::Request *>
@@ -66,6 +68,9 @@ TEST(Differential, ThreeSystemsCompleteTheSameRequestSet)
 
     for (const SystemRun *run : {&ws, &ds, &vl}) {
         ASSERT_EQ(run->requests.size(), 200u) << run->name;
+        // Fault-free runs never abort: the retry/abort machinery is
+        // inert without an attached FaultInjector.
+        EXPECT_EQ(run->num_aborted, 0u) << run->name;
         for (const auto &r : run->requests)
             ASSERT_TRUE(r.finished())
                 << run->name << " left request " << r.id << " in state "

@@ -4,6 +4,8 @@
  */
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "kvcache/backup_registry.hpp"
 #include "kvcache/swap_pool.hpp"
 
@@ -82,7 +84,11 @@ TEST(BackupRegistry, BackupsOnlyGrow)
     reg.record(1, 100);
     reg.record(1, 150);
     EXPECT_EQ(reg.backed_up_tokens(1), 150u);
-    EXPECT_THROW(reg.record(1, 50), std::logic_error);
+    // A shorter re-record keeps the larger prefix: the KV already on
+    // the prefill side does not evaporate because a later sync was
+    // shorter (recovery after a decode-side crash hits this path).
+    reg.record(1, 50);
+    EXPECT_EQ(reg.backed_up_tokens(1), 150u);
 }
 
 TEST(BackupRegistry, DropRemoves)
@@ -94,6 +100,15 @@ TEST(BackupRegistry, DropRemoves)
     reg.drop(1); // idempotent
 }
 
+TEST(BackupRegistry, DropUnknownIsNoop)
+{
+    kv::BackupRegistry reg;
+    reg.record(1, 100);
+    reg.drop(42); // never recorded
+    EXPECT_EQ(reg.num_backups(), 1u);
+    EXPECT_EQ(reg.total_tokens(), 100u);
+}
+
 TEST(BackupRegistry, AggregatesAcrossRequests)
 {
     kv::BackupRegistry reg;
@@ -103,4 +118,46 @@ TEST(BackupRegistry, AggregatesAcrossRequests)
     EXPECT_EQ(reg.num_backups(), 3u);
     EXPECT_EQ(reg.total_tokens(), 600u);
     EXPECT_EQ(reg.ids().size(), 3u);
+}
+
+TEST(BackupRegistry, TotalTokensTracksDrops)
+{
+    kv::BackupRegistry reg;
+    reg.record(1, 100);
+    reg.record(2, 200);
+    reg.record(3, 300);
+    reg.drop(2);
+    EXPECT_EQ(reg.num_backups(), 2u);
+    EXPECT_EQ(reg.total_tokens(), 400u);
+    reg.drop(1);
+    reg.drop(3);
+    EXPECT_EQ(reg.total_tokens(), 0u);
+    reg.record(3, 10); // re-record after drop starts fresh
+    EXPECT_EQ(reg.backed_up_tokens(3), 10u);
+}
+
+TEST(BackupRegistry, IdsSortedAscending)
+{
+    // Regression: ids() used to leak unordered_map iteration order into
+    // consumers, i.e. platform-dependent behaviour in otherwise
+    // deterministic runs.
+    kv::BackupRegistry reg;
+    for (kv::ReqId id : {19u, 3u, 1023u, 7u, 2u, 500u, 41u})
+        reg.record(id, 64);
+    auto ids = reg.ids();
+    ASSERT_EQ(ids.size(), 7u);
+    EXPECT_TRUE(std::is_sorted(ids.begin(), ids.end()));
+    EXPECT_EQ(ids.front(), 2u);
+    EXPECT_EQ(ids.back(), 1023u);
+}
+
+TEST(BackupRegistry, ClearDropsEverything)
+{
+    kv::BackupRegistry reg;
+    reg.record(1, 100);
+    reg.record(2, 200);
+    reg.clear();
+    EXPECT_EQ(reg.num_backups(), 0u);
+    EXPECT_EQ(reg.total_tokens(), 0u);
+    EXPECT_FALSE(reg.has_backup(1));
 }
