@@ -51,7 +51,10 @@ main(int argc, char **argv)
 
     core::WindServeConfig cfg;
     core::WindServeSystem sys(cfg);
-    sys.enable_tracing();
+
+    engine::RunOptions opts;
+    opts.tracing = true;
+    opts.slo = metrics::SloSpec::opt_13b_sharegpt();
 
     metrics::TimelineRecorder timeline(sys.simulator(), 1.0);
     timeline.add_probe("prefill_queue_tokens", [&] {
@@ -67,7 +70,7 @@ main(int argc, char **argv)
     });
     timeline.start(3600.0);
 
-    auto run = sys.run(trace, metrics::SloSpec::opt_13b_sharegpt());
+    auto run = sys.run(trace, opts);
     timeline.stop();
 
     std::cout << metrics::detailed_report(run.metrics) << "\n\n";

@@ -8,45 +8,51 @@ namespace windserve::engine {
 ServingSystem::ServingSystem() = default;
 ServingSystem::~ServingSystem() = default;
 
+void
+ServingSystem::link_attachments()
+{
+    if (!faults_)
+        return;
+    if (audit_) {
+        faults_->set_audit(audit_.get());
+        audit_->set_faults_enabled(true);
+    }
+    if (trace_)
+        faults_->set_trace(trace_.get());
+}
+
 obs::TraceRecorder *
-ServingSystem::enable_tracing()
+ServingSystem::attach_trace()
 {
     if (!trace_) {
         trace_ = std::make_unique<obs::TraceRecorder>(simulator());
         wire_trace(*trace_);
-        if (faults_)
-            faults_->set_trace(trace_.get());
+        link_attachments();
     }
     return trace_.get();
 }
 
 audit::SimAuditor *
-ServingSystem::enable_audit(audit::AuditConfig cfg)
+ServingSystem::attach_audit(audit::AuditConfig cfg)
 {
     if (!audit_) {
         audit_ = std::make_unique<audit::SimAuditor>(simulator(),
                                                      std::move(cfg));
         wire_audit(*audit_);
-        if (faults_) {
-            faults_->set_audit(audit_.get());
-            audit_->set_faults_enabled(true);
-        }
+        link_attachments();
     }
     return audit_.get();
 }
 
 fault::FaultInjector *
-ServingSystem::enable_faults(const fault::FaultConfig &cfg)
+ServingSystem::attach_faults(const fault::FaultConfig &cfg)
 {
     if (!faults_) {
         faults_ = std::make_unique<fault::FaultInjector>(
             simulator(), fault::FaultPlan::generate(cfg));
-        if (audit_) {
-            faults_->set_audit(audit_.get());
-            audit_->set_faults_enabled(true);
-        }
-        if (trace_)
-            faults_->set_trace(trace_.get());
+        // Cross-link before wire_faults(): recovery hooks registered by
+        // the system may fire audit/trace callbacks from day one.
+        link_attachments();
         wire_faults(*faults_);
         faults_->arm();
     }
@@ -55,13 +61,24 @@ ServingSystem::enable_faults(const fault::FaultConfig &cfg)
 
 RunResult
 ServingSystem::run(const std::vector<workload::Request> &trace,
-                   const metrics::SloSpec &slo, double horizon)
+                   const RunOptions &opts)
 {
-    replay(trace, horizon);
+    if (opts.tracing)
+        attach_trace();
+    if (opts.audit)
+        attach_audit(*opts.audit);
+    if (opts.faults) {
+        fault::FaultConfig fc = *opts.faults;
+        if (fc.horizon <= 0.0)
+            fc.horizon = opts.horizon;
+        attach_faults(fc);
+    }
+
+    replay(trace, opts.horizon);
 
     RunResult out;
     out.requests = take_requests();
-    out.metrics = metrics::Collector(slo).collect(out.requests);
+    out.metrics = metrics::Collector(opts.slo).collect(out.requests);
     fill_system_metrics(out.metrics);
     if (faults_) {
         out.metrics.instance_crashes = faults_->instance_crashes();
@@ -87,6 +104,16 @@ ServingSystem::run(const std::vector<workload::Request> &trace,
             trace_->record_request_lifecycle(r);
     }
     return out;
+}
+
+RunResult
+ServingSystem::run(const std::vector<workload::Request> &trace,
+                   const metrics::SloSpec &slo, double horizon)
+{
+    RunOptions opts;
+    opts.slo = slo;
+    opts.horizon = horizon;
+    return run(trace, opts);
 }
 
 } // namespace windserve::engine

@@ -13,10 +13,12 @@
 #pragma once
 
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "audit/sim_auditor.hpp"
+#include "fault/fault_plan.hpp"
 #include "metrics/collector.hpp"
 #include "workload/request.hpp"
 
@@ -28,7 +30,6 @@ class Simulator;
 }
 namespace windserve::fault {
 class FaultInjector;
-struct FaultConfig;
 }
 
 namespace windserve::engine {
@@ -43,6 +44,32 @@ struct RunResult {
     std::vector<workload::Request> requests;
     metrics::RunMetrics metrics;
     std::size_t num_gpus = 0;
+};
+
+/**
+ * Everything that shapes one run() call: the SLO the metrics are
+ * collected against, the horizon, and the optional per-run attachments
+ * (trace recorder, invariant auditor, chaos engine). One struct instead
+ * of three copy-pasted enable_*() opt-ins; each attachment is created,
+ * wired, and cross-linked by run() itself, in a fixed order, so a
+ * configured run is a pure function of (RunOptions, trace, seed).
+ *
+ * An attachment left disabled keeps the run byte-identical to a bare
+ * one — tracing, auditing, and an empty fault schedule are all free
+ * when off.
+ */
+struct RunOptions {
+    /** SLO targets the collected metrics are scored against. */
+    metrics::SloSpec slo{};
+    /** Simulated-seconds budget for the replay. */
+    double horizon = 7200.0;
+    /** Attach a per-run obs::TraceRecorder (reachable via trace()). */
+    bool tracing = false;
+    /** Attach a fail-fast audit::SimAuditor with this config. */
+    std::optional<audit::AuditConfig> audit{};
+    /** Attach a fault::FaultInjector with this chaos schedule. A config
+     *  with horizon <= 0 inherits the run's horizon. */
+    std::optional<fault::FaultConfig> faults{};
 };
 
 /** Abstract serving system driven by the experiment harness. */
@@ -60,55 +87,70 @@ class ServingSystem
     /** The simulation kernel this deployment runs on. */
     virtual sim::Simulator &simulator() = 0;
 
-    /**
-     * Attach a per-run TraceRecorder (before run()). The recorder is
-     * owned by this system — no global state — and every component is
-     * wired to it via wire_trace(). Idempotent; returns the recorder.
-     */
-    obs::TraceRecorder *enable_tracing();
-
     /** The attached recorder, or nullptr when tracing is off. */
     obs::TraceRecorder *trace() { return trace_.get(); }
     const obs::TraceRecorder *trace() const { return trace_.get(); }
 
-    /**
-     * Attach a per-run SimAuditor (before run()). Mirrors
-     * enable_tracing(): the auditor is owned by this system and every
-     * component is wired to it via wire_audit(). With auditing off the
-     * run is byte-identical to an unaudited one. Idempotent (@p cfg is
-     * ignored on repeat calls); returns the auditor.
-     */
-    audit::SimAuditor *enable_audit(audit::AuditConfig cfg = {});
-
     /** The attached auditor, or nullptr when auditing is off. */
     audit::SimAuditor *audit() { return audit_.get(); }
     const audit::SimAuditor *audit() const { return audit_.get(); }
-
-    /**
-     * Attach a per-run chaos engine (before run()). Mirrors
-     * enable_tracing()/enable_audit(): the injector is owned by this
-     * system, the fault schedule is derived deterministically from
-     * @p cfg, and every target is wired via wire_faults(), which also
-     * arms the schedule on the simulator. With faults off — or with an
-     * empty schedule — the run is byte-identical to a fault-free one.
-     * Idempotent (@p cfg is ignored on repeat calls); returns the
-     * injector.
-     */
-    fault::FaultInjector *enable_faults(const fault::FaultConfig &cfg);
 
     /** The attached injector, or nullptr when faults are off. */
     fault::FaultInjector *faults() { return faults_.get(); }
     const fault::FaultInjector *faults() const { return faults_.get(); }
 
     /**
+     * @deprecated Set RunOptions::tracing instead; scheduled for
+     * removal one release after the RunOptions redesign (see
+     * CHANGES.md). Attaches the per-run TraceRecorder immediately;
+     * idempotent; returns the recorder.
+     */
+    [[deprecated("set RunOptions::tracing and pass it to run()")]]
+    obs::TraceRecorder *enable_tracing()
+    {
+        return attach_trace();
+    }
+
+    /**
+     * @deprecated Set RunOptions::audit instead; scheduled for removal
+     * one release after the RunOptions redesign (see CHANGES.md).
+     * Attaches the fail-fast SimAuditor immediately; idempotent (@p cfg
+     * ignored on repeat calls); returns the auditor.
+     */
+    [[deprecated("set RunOptions::audit and pass it to run()")]]
+    audit::SimAuditor *enable_audit(audit::AuditConfig cfg = {})
+    {
+        return attach_audit(std::move(cfg));
+    }
+
+    /**
+     * @deprecated Set RunOptions::faults instead; scheduled for removal
+     * one release after the RunOptions redesign (see CHANGES.md).
+     * Attaches the chaos engine and arms its schedule immediately;
+     * idempotent (@p cfg ignored on repeat calls); returns the
+     * injector.
+     */
+    [[deprecated("set RunOptions::faults and pass it to run()")]]
+    fault::FaultInjector *enable_faults(const fault::FaultConfig &cfg)
+    {
+        return attach_faults(cfg);
+    }
+
+    /**
      * Replay @p trace (sorted by arrival) until every request finishes
-     * or @p horizon simulated seconds elapse, then collect metrics
-     * against @p slo. Unfinished requests remain in their last state
-     * and count against SLO attainment.
+     * or the horizon elapses, then collect metrics against the SLO.
+     * Attachments requested in @p opts are created and wired first —
+     * tracing, then audit, then faults, the fixed cross-linking order.
+     * Unfinished requests remain in their last state and count against
+     * SLO attainment.
      *
      * One-shot: a system instance models a single deployment lifetime;
      * the per-request results are moved into the returned value.
      */
+    RunResult run(const std::vector<workload::Request> &trace,
+                  const RunOptions &opts);
+
+    /** Convenience overload of run() for bare runs (no attachments). */
     RunResult run(const std::vector<workload::Request> &trace,
                   const metrics::SloSpec &slo = {},
                   double horizon = 7200.0);
@@ -141,6 +183,21 @@ class ServingSystem
     virtual void wire_faults(fault::FaultInjector &inj) { (void)inj; }
 
   private:
+    /**
+     * The attachment internals behind both the RunOptions path and the
+     * deprecated enable_*() shims. Each attaches its component once
+     * (idempotent), wires it into the system via the matching wire_*()
+     * hook, and refreshes the cross-links between attachments.
+     */
+    obs::TraceRecorder *attach_trace();
+    audit::SimAuditor *attach_audit(audit::AuditConfig cfg);
+    fault::FaultInjector *attach_faults(const fault::FaultConfig &cfg);
+
+    /** Point the attachments at each other (idempotent): the injector
+     *  reports into the recorder and the auditor, and the auditor
+     *  relaxes its fatal-crash checks once faults are expected. */
+    void link_attachments();
+
     std::unique_ptr<obs::TraceRecorder> trace_;
     std::unique_ptr<audit::SimAuditor> audit_;
     std::unique_ptr<fault::FaultInjector> faults_;

@@ -124,24 +124,21 @@ ExperimentResult
 run_experiment(const ExperimentConfig &cfg)
 {
     auto system = make_system(cfg);
-    if (cfg.record_trace)
-        system->enable_tracing();
+    engine::RunOptions opts;
+    opts.slo = cfg.scenario.slo;
+    opts.horizon = cfg.horizon;
+    opts.tracing = cfg.record_trace;
     if (cfg.audit) {
         audit::AuditConfig ac;
         ac.repro_seed = cfg.seed;
         ac.repro_config = to_string(cfg.system);
         if (cfg.faults)
             ac.repro_extra = " --chaos";
-        system->enable_audit(ac);
+        opts.audit = std::move(ac);
     }
-    if (cfg.faults) {
-        fault::FaultConfig fc = *cfg.faults;
-        if (fc.horizon <= 0.0)
-            fc.horizon = cfg.horizon;
-        system->enable_faults(fc);
-    }
+    opts.faults = cfg.faults; // horizon <= 0 inherits opts.horizon
     auto trace = make_trace(cfg);
-    auto run = system->run(trace, cfg.scenario.slo, cfg.horizon);
+    auto run = system->run(trace, opts);
 
     ExperimentResult result;
     result.system_name = to_string(cfg.system);

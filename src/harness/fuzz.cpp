@@ -132,20 +132,19 @@ FuzzResult
 run_fuzz_case(const ExperimentConfig &cfg)
 {
     auto system = make_system(cfg);
+    engine::RunOptions opts;
+    opts.slo = cfg.scenario.slo;
+    opts.horizon = cfg.horizon;
     audit::AuditConfig ac;
     ac.repro_seed = cfg.seed;
     ac.repro_config = to_string(cfg.system);
     if (cfg.faults)
         ac.repro_extra = " --chaos";
-    audit::SimAuditor *aud = system->enable_audit(ac);
-    if (cfg.faults) {
-        fault::FaultConfig fc = *cfg.faults;
-        if (fc.horizon <= 0.0)
-            fc.horizon = cfg.horizon;
-        system->enable_faults(fc);
-    }
+    opts.audit = std::move(ac);
+    opts.faults = cfg.faults; // horizon <= 0 inherits opts.horizon
     auto trace = make_trace(cfg);
-    auto run = system->run(trace, cfg.scenario.slo, cfg.horizon);
+    auto run = system->run(trace, opts);
+    const audit::SimAuditor *aud = system->audit();
 
     FuzzResult res;
     res.seed = cfg.seed;

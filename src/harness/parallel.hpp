@@ -13,7 +13,7 @@
  * bit-identical at any thread count.
  *
  * The same plumbing (index queue, result slots, cancellation on first
- * failure, in-order completion reporting) backs run_sweep,
+ * failure, in-order completion reporting) backs SweepBuilder::run(),
  * search_placements and the figure benchmark drivers.
  */
 #pragma once

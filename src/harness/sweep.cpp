@@ -141,17 +141,4 @@ SweepBuilder::run() const
     return out;
 }
 
-SweepResult
-run_sweep(const SweepConfig &cfg,
-          const std::function<void(const ExperimentResult &)> &progress)
-{
-    SweepBuilder builder(cfg);
-    if (progress)
-        builder.on_progress([&progress](std::size_t, std::size_t,
-                                        const ExperimentResult &r) {
-            progress(r);
-        });
-    return builder.run();
-}
-
 } // namespace windserve::harness

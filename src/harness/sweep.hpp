@@ -105,13 +105,7 @@ class SweepBuilder
     SweepProgress progress_;
 };
 
-/**
- * @deprecated Thin shim over SweepBuilder for the original sequential
- * API; the callback receives only the result, in cell order. New code
- * should use SweepBuilder, which adds jobs() and indexed progress.
- */
-[[deprecated("use SweepBuilder")]] SweepResult run_sweep(
-    const SweepConfig &cfg,
-    const std::function<void(const ExperimentResult &)> &progress = {});
+// The deprecated run_sweep() shim (pre-SweepBuilder API) has been
+// removed; construct a SweepBuilder(cfg) and call run() instead.
 
 } // namespace windserve::harness

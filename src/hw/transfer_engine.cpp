@@ -57,9 +57,9 @@ Channel::reschedule_active()
 {
     if (!active_)
         return;
-    if (active_event_valid_) {
+    if (active_event_) {
         sim_.cancel(active_event_);
-        active_event_valid_ = false;
+        active_event_.reset();
     }
     if (rate_factor_ <= 0.0)
         return; // stalled; set_rate_factor reschedules on restore
@@ -67,11 +67,10 @@ Channel::reschedule_active()
     double dur =
         active_latency_left_ + remaining / (link_.bandwidth * rate_factor_);
     active_event_ = sim_.schedule(dur, [this] {
-        active_event_valid_ = false;
+        active_event_.reset();
         settle_active_progress();
         finish_active();
     });
-    active_event_valid_ = true;
 }
 
 void

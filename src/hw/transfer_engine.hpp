@@ -133,8 +133,7 @@ class Channel
     sim::SimTime active_begun_ = 0.0;     ///< when the transfer left the queue
     double active_latency_left_ = 0.0;    ///< unpaid fixed latency
     double rate_factor_ = 1.0;            ///< fault-injected bandwidth scale
-    sim::EventId active_event_ = 0;
-    bool active_event_valid_ = false;
+    sim::EventHandle active_event_;
     std::unordered_map<TransferId, bool> done_;
     TransferId next_id_ = 1;
     double total_bytes_ = 0.0;

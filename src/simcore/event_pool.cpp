@@ -1,0 +1,46 @@
+#include "simcore/event_pool.hpp"
+
+#include <stdexcept>
+
+namespace windserve::sim {
+
+EventPool::~EventPool()
+{
+    // Destroy callables of events that never fired (queue torn down with
+    // work pending — the normal end of a horizon-bounded run). Freed
+    // slots have destroy == nullptr, so the freelist is skipped.
+    for (auto &chunk : chunks_) {
+        for (std::size_t i = 0; i < kChunkRecords; ++i) {
+            Record &r = chunk[i];
+            if (r.destroy)
+                r.destroy(r);
+        }
+    }
+}
+
+std::uint32_t
+EventPool::grow()
+{
+    const std::uint32_t base = capacity();
+    if (base + kChunkRecords > kMaxSlots)
+        throw std::length_error("EventPool: concurrent event limit "
+                                "(2^24 slots) exceeded");
+    chunks_.push_back(std::make_unique<Record[]>(kChunkRecords));
+    ++stats_.chunk_allocs;
+    Record *c = chunks_.back().get();
+    for (std::size_t i = 0; i < kChunkRecords; ++i) {
+        c[i].gen = 1;
+        c[i].invoke = nullptr;
+        c[i].destroy = nullptr;
+    }
+    // Slot `base` goes straight to the caller; the rest join the
+    // intrusive freelist (heap_pos doubles as the next-free link),
+    // lowest slots first so reuse order is deterministic.
+    for (std::size_t i = kChunkRecords - 1; i >= 1; --i) {
+        c[i].heap_pos = free_head_;
+        free_head_ = base + static_cast<std::uint32_t>(i);
+    }
+    return base;
+}
+
+} // namespace windserve::sim

@@ -1,0 +1,277 @@
+/**
+ * @file
+ * Slab/freelist storage for scheduled-event records.
+ *
+ * The discrete-event core fires tens of millions of closures per run;
+ * paying a heap allocation per event (the cost of a std::function with
+ * an out-of-line target) dominates the event pump. The pool stores each
+ * event record in a fixed-size slot with inline storage sized for every
+ * capture shape in the tree, so the common path never touches the
+ * allocator: acquire pops a slot off a freelist, the callable is
+ * placement-constructed into the slot, and release pushes it back.
+ *
+ * Records live in fixed-size slabs ("chunks") that are never moved or
+ * freed while the pool lives, so a slot reference stays valid across
+ * pushes made from inside a firing callback — the reentrancy the
+ * serving engine relies on everywhere.
+ *
+ * Slots are reused aggressively, so a raw index would let a stale
+ * cancellation kill an unrelated event. EventHandle therefore carries a
+ * generation counter that is bumped every time a slot's event fires or
+ * is cancelled: a handle only acts on the exact event it was minted for.
+ */
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace windserve::sim {
+
+class EventPool;
+class EventQueue;
+
+/**
+ * Type-safe, generation-checked reference to one scheduled event.
+ *
+ * A default-constructed handle is null (valid() == false). A handle
+ * goes stale the moment its event fires or is cancelled; using a stale
+ * handle is a guaranteed no-op even if the underlying slot has been
+ * reused for a different event.
+ */
+class EventHandle
+{
+  public:
+    constexpr EventHandle() = default;
+
+    /** True when this handle was minted for some event (it may still
+     *  be stale; staleness is detected at the point of use). */
+    constexpr bool valid() const { return gen_ != 0; }
+    constexpr explicit operator bool() const { return valid(); }
+
+    /** Return to the null state. */
+    void reset() { *this = EventHandle(); }
+
+    friend constexpr bool operator==(EventHandle a, EventHandle b)
+    {
+        return a.slot_ == b.slot_ && a.gen_ == b.gen_;
+    }
+    friend constexpr bool operator!=(EventHandle a, EventHandle b)
+    {
+        return !(a == b);
+    }
+
+  private:
+    friend class EventPool;
+    friend class EventQueue;
+    constexpr EventHandle(std::uint32_t slot, std::uint32_t gen)
+        : slot_(slot), gen_(gen)
+    {
+    }
+    std::uint32_t slot_ = 0;
+    std::uint32_t gen_ = 0; ///< 0 = null; live records are always >= 1
+};
+
+/**
+ * Slab allocator for event records with small-buffer callable storage.
+ *
+ * Lifecycle of a slot: acquire() -> (optionally fire via invoke()) ->
+ * retire(). retire() destroys the callable, bumps the generation and
+ * returns the slot to the freelist. The pool never shrinks; peak live
+ * events bound its footprint for the rest of the run.
+ */
+class EventPool
+{
+  public:
+    /** Inline callable capacity. Sized for the largest capture shape in
+     *  the tree (kv_transfer's retry closure: this + request pointer +
+     *  byte count + shared state + a std::function). */
+    static constexpr std::size_t kInlineBytes = 72;
+    /** Records per slab. */
+    static constexpr std::size_t kChunkRecords = 256;
+
+    /** Allocator-pressure counters (the "allocs/event" metric). */
+    struct Stats {
+        std::uint64_t acquired = 0;       ///< total events stored
+        std::uint64_t heap_fallbacks = 0; ///< callables too big for inline
+        std::uint64_t chunk_allocs = 0;   ///< slabs allocated
+    };
+
+    EventPool() = default;
+    EventPool(const EventPool &) = delete;
+    EventPool &operator=(const EventPool &) = delete;
+    ~EventPool();
+
+    /** Slot-index ceiling: keeps indices packable into 24 bits (see
+     *  EventQueue's 16-byte heap key). 16.7M concurrent events is ~1.6GB
+     *  of pool — far beyond any simulation in the tree. */
+    static constexpr std::uint32_t kMaxSlots = 1u << 24;
+
+    /** Store @p fn in a fresh slot, recording @p heap_pos as the slot's
+     *  position in the owning queue's heap (fused here so the record is
+     *  touched once). @return the handle for it. */
+    template <class F>
+    EventHandle acquire(F &&fn, std::uint32_t heap_pos)
+    {
+        using Fn = std::decay_t<F>;
+        std::uint32_t slot = free_head_;
+        Record *rp;
+        if (slot != kNoSlot) {
+            rp = &record(slot);
+            free_head_ = rp->heap_pos; // next-free link (see retire())
+        } else {
+            slot = grow();
+            rp = &record(slot);
+        }
+        Record &r = *rp;
+        r.heap_pos = heap_pos;
+        if constexpr (sizeof(Fn) <= kInlineBytes &&
+                      alignof(Fn) <= alignof(std::max_align_t)) {
+            ::new (static_cast<void *>(r.storage)) Fn(std::forward<F>(fn));
+            r.invoke = [](Record &rec) {
+                (*std::launder(reinterpret_cast<Fn *>(rec.storage)))();
+            };
+            if constexpr (std::is_trivially_destructible_v<Fn>) {
+                r.destroy = nullptr;
+            } else {
+                r.destroy = [](Record &rec) {
+                    std::launder(reinterpret_cast<Fn *>(rec.storage))->~Fn();
+                };
+            }
+        } else {
+            Fn *p = new Fn(std::forward<F>(fn));
+            std::memcpy(r.storage, &p, sizeof p);
+            r.invoke = [](Record &rec) {
+                Fn *q;
+                std::memcpy(&q, rec.storage, sizeof q);
+                (*q)();
+            };
+            r.destroy = [](Record &rec) {
+                Fn *q;
+                std::memcpy(&q, rec.storage, sizeof q);
+                delete q;
+            };
+            ++stats_.heap_fallbacks;
+        }
+        ++stats_.acquired;
+        return EventHandle(slot, r.gen);
+    }
+
+    /** True while @p h refers to the live event it was minted for. */
+    bool is_live(EventHandle h) const
+    {
+        return h.valid() && h.slot_ < capacity() &&
+               record(h.slot_).gen == h.gen_;
+    }
+
+    /**
+     * Cancel the event @p h refers to, in one record pass: bump the
+     * generation (staling every outstanding handle), destroy the
+     * callable, return the slot to the freelist, and report where the
+     * slot's key sits in the owning queue's heap so the caller can
+     * extract it.
+     * @return false (no-op) for null or stale handles.
+     */
+    bool cancel(EventHandle h, std::uint32_t &heap_pos_out)
+    {
+        if (!h.valid() || h.slot_ >= capacity())
+            return false;
+        Record &r = record(h.slot_);
+        if (r.gen != h.gen_)
+            return false;
+        if (++r.gen == 0)
+            r.gen = 1; // 0 stays reserved for the null handle
+        heap_pos_out = r.heap_pos;
+        if (r.destroy) {
+            r.destroy(r);
+            r.destroy = nullptr;
+        }
+        r.heap_pos = free_head_;
+        free_head_ = h.slot_;
+        return true;
+    }
+
+    /**
+     * Invalidate, run, and retire @p slot in one pass — the firing hot
+     * path, with a single record lookup. The record reference stays
+     * valid across reentrant pushes (slabs never move), and the guard
+     * retires the slot even when the callback throws. The generation is
+     * bumped BEFORE the callback runs so a self-cancel from inside it is
+     * a no-op, and the slot only rejoins the freelist after the callback
+     * returns, so reentrant pushes can never recycle it while the
+     * closure's captures are still alive.
+     */
+    void fire(std::uint32_t slot)
+    {
+        Record &r = record(slot);
+        if (++r.gen == 0)
+            r.gen = 1; // 0 stays reserved for the null handle
+        struct Retire {
+            EventPool &pool;
+            Record &r;
+            std::uint32_t slot;
+            ~Retire()
+            {
+                if (r.destroy) {
+                    r.destroy(r);
+                    r.destroy = nullptr;
+                }
+                r.heap_pos = pool.free_head_;
+                pool.free_head_ = slot;
+            }
+        } guard{*this, r, slot};
+        r.invoke(r);
+    }
+
+    /** Heap-index bookkeeping for EventQueue (position of this slot's
+     *  key in the queue's heap array). While a slot is on the freelist
+     *  the same field holds the next-free link — the uses never overlap. */
+    void set_heap_pos(std::uint32_t slot, std::uint32_t pos)
+    {
+        record(slot).heap_pos = pos;
+    }
+
+    const Stats &stats() const { return stats_; }
+
+    /** Total slots across all slabs. */
+    std::uint32_t capacity() const
+    {
+        return static_cast<std::uint32_t>(chunks_.size() * kChunkRecords);
+    }
+
+  private:
+    struct Record {
+        alignas(std::max_align_t) unsigned char storage[kInlineBytes];
+        void (*invoke)(Record &);
+        void (*destroy)(Record &); ///< nullptr = trivially destructible
+        std::uint32_t gen;
+        std::uint32_t heap_pos;
+    };
+
+    Record &record(std::uint32_t slot)
+    {
+        return chunks_[slot / kChunkRecords][slot % kChunkRecords];
+    }
+    const Record &record(std::uint32_t slot) const
+    {
+        return chunks_[slot / kChunkRecords][slot % kChunkRecords];
+    }
+
+    /** Allocate one slab; @return the first slot of it (the rest go to
+     *  the freelist). Throws std::length_error past kMaxSlots. */
+    std::uint32_t grow();
+
+    /** Freelist terminator for the intrusive next-free links. */
+    static constexpr std::uint32_t kNoSlot = 0xffffffffu;
+
+    std::vector<std::unique_ptr<Record[]>> chunks_;
+    std::uint32_t free_head_ = kNoSlot;
+    Stats stats_;
+};
+
+} // namespace windserve::sim

@@ -1,69 +1,13 @@
 #include "simcore/event_queue.hpp"
 
-#include <cassert>
 #include <stdexcept>
-#include <utility>
 
 namespace windserve::sim {
 
-EventId
-EventQueue::push(SimTime when, std::function<void()> fn)
-{
-    EventId id = next_id_++;
-    cancelled_.push_back(false);
-    heap_.push(Entry{when, id, std::move(fn)});
-    ++live_;
-    return id;
-}
-
 void
-EventQueue::cancel(EventId id)
+EventQueue::throw_empty(const char *what)
 {
-    if (id < cancelled_.size() && !cancelled_[id]) {
-        cancelled_[id] = true;
-        if (live_ > 0)
-            --live_;
-    }
-}
-
-void
-EventQueue::skip_dead() const
-{
-    while (!heap_.empty() && cancelled_[heap_.top().id])
-        heap_.pop();
-}
-
-bool
-EventQueue::empty() const
-{
-    skip_dead();
-    return heap_.empty();
-}
-
-SimTime
-EventQueue::next_time() const
-{
-    skip_dead();
-    if (heap_.empty())
-        throw std::logic_error("EventQueue::next_time on empty queue");
-    return heap_.top().when;
-}
-
-SimTime
-EventQueue::pop_and_run()
-{
-    skip_dead();
-    if (heap_.empty())
-        throw std::logic_error("EventQueue::pop_and_run on empty queue");
-    // priority_queue::top() is const-ref; the entry must be moved out before
-    // pop so the closure (and any captured state) survives its own firing.
-    Entry e = std::move(const_cast<Entry &>(heap_.top()));
-    heap_.pop();
-    cancelled_[e.id] = true; // fired events count as dead for cancel()
-    assert(live_ > 0);
-    --live_;
-    e.fn();
-    return e.when;
+    throw std::logic_error(what);
 }
 
 } // namespace windserve::sim

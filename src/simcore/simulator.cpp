@@ -1,31 +1,16 @@
 #include "simcore/simulator.hpp"
 
-#include <algorithm>
-#include <utility>
-
 namespace windserve::sim {
-
-EventId
-Simulator::schedule(SimTime delay, std::function<void()> fn)
-{
-    return schedule_at(now_ + std::max(0.0, delay), std::move(fn));
-}
-
-EventId
-Simulator::schedule_at(SimTime when, std::function<void()> fn)
-{
-    return queue_.push(std::max(when, now_), std::move(fn));
-}
 
 SimTime
 Simulator::run()
 {
     while (!queue_.empty()) {
-        // The clock must advance BEFORE the event fires so callbacks see
-        // their own timestamp via now() and schedule relative to it.
-        now_ = queue_.next_time();
-        queue_.pop_and_run();
-        ++fired_;
+        // The clock must advance BEFORE the events fire so callbacks see
+        // their own timestamp via now() and schedule relative to it. All
+        // events at the same instant drain in one batch, in insertion
+        // order — including ones the batch itself schedules for now().
+        fired_ += queue_.run_next_batch(now_);
     }
     return now_;
 }
@@ -35,8 +20,7 @@ Simulator::run_until(SimTime horizon)
 {
     while (!queue_.empty() && queue_.next_time() <= horizon) {
         now_ = queue_.next_time();
-        queue_.pop_and_run();
-        ++fired_;
+        fired_ += queue_.run_batch(now_);
     }
     return now_;
 }

@@ -8,9 +8,9 @@
  */
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
-#include <functional>
-#include <limits>
+#include <utility>
 
 #include "simcore/event_queue.hpp"
 
@@ -22,6 +22,12 @@ namespace windserve::sim {
  * Usage: schedule initial events (e.g. request arrivals), then run() or
  * run_until(). Event handlers schedule follow-up events; the simulation
  * terminates when the queue drains or the horizon is reached.
+ *
+ * schedule()/schedule_at() accept any callable and store it inline in
+ * the event pool when it fits (the common case allocates nothing); they
+ * return a generation-checked EventHandle, so cancelling a handle whose
+ * event already fired — even if its pool slot has been reused — is a
+ * guaranteed no-op.
  */
 class Simulator
 {
@@ -34,13 +40,20 @@ class Simulator
     SimTime now() const { return now_; }
 
     /** Schedule @p fn to fire @p delay seconds from now (delay clamped >= 0). */
-    EventId schedule(SimTime delay, std::function<void()> fn);
+    template <class F> EventHandle schedule(SimTime delay, F &&fn)
+    {
+        return queue_.push(now_ + std::max(0.0, delay),
+                           std::forward<F>(fn));
+    }
 
     /** Schedule @p fn at absolute time @p when (clamped to >= now). */
-    EventId schedule_at(SimTime when, std::function<void()> fn);
+    template <class F> EventHandle schedule_at(SimTime when, F &&fn)
+    {
+        return queue_.push(std::max(when, now_), std::forward<F>(fn));
+    }
 
-    /** Cancel a previously scheduled event. */
-    void cancel(EventId id) { queue_.cancel(id); }
+    /** Cancel a previously scheduled event (no-op on stale handles). */
+    void cancel(EventHandle h) { queue_.cancel(h); }
 
     /** Run until the event queue is empty. @return final time. */
     SimTime run();
@@ -59,6 +72,12 @@ class Simulator
 
     /** Live events still pending. */
     std::size_t pending() const { return queue_.size(); }
+
+    /** Allocator-pressure counters of the event core. */
+    const EventPool::Stats &alloc_stats() const
+    {
+        return queue_.alloc_stats();
+    }
 
   private:
     EventQueue queue_;

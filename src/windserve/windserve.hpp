@@ -15,6 +15,7 @@
 #pragma once
 
 // simulation kernel
+#include "simcore/event_pool.hpp"
 #include "simcore/event_queue.hpp"
 #include "simcore/log.hpp"
 #include "simcore/rng.hpp"

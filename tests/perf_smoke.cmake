@@ -1,0 +1,33 @@
+# Run bench_micro's --json mode at a small event count and validate the
+# emitted BENCH_simcore.json (ctest `perf_smoke`, label `perf-smoke`).
+# This is a schema check, not a perf gate: it proves the tracked-baseline
+# pipeline works end to end (workloads run, counters populate, JSON
+# parses, required fields present). Absolute numbers are left to the
+# release-bench preset runs documented in the README.
+execute_process(COMMAND ${BENCH} --json=${OUT} --iters 20000
+                RESULT_VARIABLE rc OUTPUT_QUIET ERROR_QUIET)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "bench_micro --json failed (rc=${rc})")
+endif()
+execute_process(
+    COMMAND ${PYTHON} -c "
+import json, sys
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+assert doc['bench'] == 'simcore', doc
+assert doc['schema_version'] == 1, doc
+names = [w['name'] for w in doc['workloads']]
+assert names == ['event_chain', 'cancel_heavy', 'mixed_horizon'], names
+for w in doc['workloads']:
+    for field in ('events', 'wall_s', 'events_per_sec', 'allocs_per_event',
+                  'seedref_events_per_sec', 'speedup_vs_seed'):
+        assert field in w, (w['name'], field)
+    assert w['events'] > 0 and w['wall_s'] > 0, w
+    assert w['events_per_sec'] > 0 and w['seedref_events_per_sec'] > 0, w
+    assert w['allocs_per_event'] >= 0, w
+print('BENCH_simcore.json schema OK:', ', '.join(names))
+" ${OUT}
+    RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "emitted benchmark JSON failed validation: ${OUT}")
+endif()

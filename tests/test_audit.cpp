@@ -430,9 +430,11 @@ TEST(AuditEndToEnd, AuditDoesNotPerturbResults)
             plain->run(hs::make_trace(ec), ec.scenario.slo, ec.horizon);
 
         auto audited = hs::make_system(ec);
-        audited->enable_audit();
-        auto audited_run =
-            audited->run(hs::make_trace(ec), ec.scenario.slo, ec.horizon);
+        windserve::engine::RunOptions audit_opts;
+        audit_opts.slo = ec.scenario.slo;
+        audit_opts.horizon = ec.horizon;
+        audit_opts.audit = au::AuditConfig{};
+        auto audited_run = audited->run(hs::make_trace(ec), audit_opts);
 
         EXPECT_EQ(hs::result_checksum(plain_run.requests),
                   hs::result_checksum(audited_run.requests))

@@ -34,8 +34,11 @@ run_one(hs::SystemKind k, const hs::ExperimentConfig &base)
     hs::ExperimentConfig ec = base;
     ec.system = k;
     auto sys = hs::make_system(ec);
-    sys->enable_audit(); // differential AND invariant-checked
-    auto rr = sys->run(hs::make_trace(ec), ec.scenario.slo, ec.horizon);
+    windserve::engine::RunOptions opts;
+    opts.slo = ec.scenario.slo;
+    opts.horizon = ec.horizon;
+    opts.audit = windserve::audit::AuditConfig{}; // differential AND invariant-checked
+    auto rr = sys->run(hs::make_trace(ec), opts);
     return {hs::to_string(k), std::move(rr.requests),
             rr.metrics.num_aborted};
 }

@@ -22,6 +22,7 @@
 #include "harness/experiment.hpp"
 #include "harness/fuzz.hpp"
 
+namespace eng = windserve::engine;
 namespace flt = windserve::fault;
 namespace hs = windserve::harness;
 
@@ -143,10 +144,12 @@ TEST(FaultInjector, EmptyScheduleIsByteIdentical)
     fc.straggler_mtbf = 0.0;
     fc.recovery.transfer_timeout = 0.0; // watchdog off: pure no-op arm
     auto armed_sys = hs::make_system(ec);
-    armed_sys->enable_faults(fc);
+    eng::RunOptions armed_opts;
+    armed_opts.slo = ec.scenario.slo;
+    armed_opts.horizon = ec.horizon;
+    armed_opts.faults = fc;
+    auto armed = armed_sys->run(hs::make_trace(ec), armed_opts);
     ASSERT_TRUE(armed_sys->faults()->plan().events().empty());
-    auto armed =
-        armed_sys->run(hs::make_trace(ec), ec.scenario.slo, ec.horizon);
 
     EXPECT_EQ(hs::result_checksum(baseline.requests),
               hs::result_checksum(armed.requests));

@@ -240,25 +240,34 @@ TEST(ParallelSweep, ParallelForCoversEveryIndexExactlyOnce)
         ASSERT_EQ(hits[i].load(), 1) << i;
 }
 
-TEST(ParallelSweep, DeprecatedShimMatchesBuilder)
+// The RunOptions path (trace + audit attachments created inside
+// run()) must preserve the engine's determinism contract: cells of a
+// fully-instrumented grid are bit-identical — down to the exported
+// trace bytes — at jobs 1 and jobs 4.
+TEST(ParallelSweep, RunOptionsPathBitIdenticalAtJobs1And4)
 {
-    hs::SweepConfig sc;
-    sc.systems = {hs::SystemKind::DistServe};
-    sc.per_gpu_rates = {0.5, 1.0};
-    sc.num_requests = 80;
+    std::vector<hs::ExperimentConfig> cells;
+    for (auto kind : {hs::SystemKind::WindServe, hs::SystemKind::DistServe,
+                      hs::SystemKind::Vllm}) {
+        hs::ExperimentConfig ec;
+        ec.system = kind;
+        ec.per_gpu_rate = 2.0;
+        ec.num_requests = 100;
+        ec.seed = hs::derive_cell_seed(7, kind, ec.per_gpu_rate);
+        ec.record_trace = true; // RunOptions::tracing
+        ec.audit = true;        // RunOptions::audit
+        cells.push_back(std::move(ec));
+    }
 
-    std::size_t calls = 0;
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-    auto old_api = hs::run_sweep(sc, [&](const hs::ExperimentResult &) {
-        ++calls;
-    });
-#pragma GCC diagnostic pop
-    EXPECT_EQ(calls, 2u);
-
-    auto new_api = hs::SweepBuilder(sc).run();
-    ASSERT_EQ(old_api.results.size(), 1u);
-    ASSERT_EQ(old_api.results[0].size(), 2u);
-    expect_result_identical(old_api.results[0][0], new_api.results[0][0]);
-    expect_result_identical(old_api.results[0][1], new_api.results[0][1]);
+    auto seq = hs::run_experiments(cells, 1);
+    auto par = hs::run_experiments(cells, 4);
+    ASSERT_EQ(seq.size(), par.size());
+    for (std::size_t i = 0; i < seq.size(); ++i) {
+        expect_result_identical(seq[i], par[i]);
+        ASSERT_EQ(seq[i].trace_json, par[i].trace_json) << i;
+        ASSERT_EQ(seq[i].trace_request_csv, par[i].trace_request_csv) << i;
+        ASSERT_EQ(seq[i].trace_events, par[i].trace_events) << i;
+        ASSERT_EQ(seq[i].audit_events, par[i].audit_events) << i;
+        ASSERT_EQ(seq[i].audit_violations, 0u) << i;
+    }
 }

@@ -145,6 +145,19 @@ TEST(Simulator, CancelInsideCallback)
     EXPECT_FALSE(fired);
 }
 
+TEST(Simulator, ExposesPoolAllocStats)
+{
+    ws::Simulator sim;
+    int fired = 0;
+    for (int i = 0; i < 100; ++i)
+        sim.schedule(static_cast<double>(i), [&fired] { ++fired; });
+    sim.run();
+    EXPECT_EQ(fired, 100);
+    EXPECT_EQ(sim.alloc_stats().acquired, 100u);
+    // Reference-capturing lambdas this small live inline in the pool.
+    EXPECT_EQ(sim.alloc_stats().heap_fallbacks, 0u);
+}
+
 TEST(Simulator, DeterministicReplay)
 {
     auto run_once = [] {

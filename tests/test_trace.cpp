@@ -241,8 +241,11 @@ small_cell(harness::SystemKind kind = harness::SystemKind::WindServe)
 engine::RunResult
 traced_run(engine::ServingSystem &sys, const harness::ExperimentConfig &cfg)
 {
-    sys.enable_tracing();
-    return sys.run(harness::make_trace(cfg), cfg.scenario.slo, cfg.horizon);
+    engine::RunOptions opts;
+    opts.tracing = true;
+    opts.slo = cfg.scenario.slo;
+    opts.horizon = cfg.horizon;
+    return sys.run(harness::make_trace(cfg), opts);
 }
 
 } // namespace
@@ -388,12 +391,26 @@ TEST(Trace, DisabledTracingIsFreeAndChangesNothing)
     EXPECT_DOUBLE_EQ(a.makespan, b.makespan);
 }
 
-TEST(Trace, EnableTracingIsIdempotent)
+// The deprecated enable_tracing() shim stays a thin, idempotent alias
+// of the RunOptions attachment until its scheduled removal.
+TEST(Trace, DeprecatedEnableTracingShimIsIdempotent)
 {
     auto cfg = small_cell();
     auto sys = harness::make_system(cfg);
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
     auto *first = sys->enable_tracing();
     EXPECT_EQ(sys->enable_tracing(), first);
+#pragma GCC diagnostic pop
+    EXPECT_EQ(sys->trace(), first);
+
+    // A RunOptions-tracing run on the same system reuses the shim's
+    // recorder instead of attaching a second one.
+    engine::RunOptions opts;
+    opts.tracing = true;
+    opts.slo = cfg.scenario.slo;
+    opts.horizon = cfg.horizon;
+    sys->run(harness::make_trace(cfg), opts);
     EXPECT_EQ(sys->trace(), first);
 }
 
