@@ -114,6 +114,6 @@ main(int argc, char **argv)
     }
 
     // Trace the migration-heavy variant (ablation 2's default row).
-    benchcommon::maybe_trace(args, cells[2]);
+    benchcommon::maybe_export(args, cells[2]);
     return 0;
 }

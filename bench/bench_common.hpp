@@ -4,7 +4,8 @@
  *
  * Every driver accepts:
  *   bench_figXX [num_requests] [--jobs N | -j N | --jobs=N]
- *               [--trace-out FILE]
+ *               [--trace-out FILE] [--metrics-out FILE]
+ *               [--sample-every SEC]
  * with --jobs defaulting to the machine's hardware concurrency.
  * Results are bit-identical at every jobs value (the parallel engine's
  * determinism contract); only wall-clock changes.
@@ -13,6 +14,16 @@
  * obs::TraceRecorder and writes Chrome trace-event JSON (open in
  * chrome://tracing or https://ui.perfetto.dev) plus a per-request
  * lifecycle CSV next to it. The sweep's stdout is unaffected.
+ *
+ * --metrics-out attaches obs::Telemetry to the same re-run and writes
+ * the Prometheus exposition to FILE plus, next to it, the sampled
+ * time-series CSV (`FILE.csv`), the scheduler decision journal
+ * (`FILE.journal.csv` / `FILE.journal.json`) and the event-pump
+ * self-profiler table (`FILE.profile.txt`). --sample-every sets the
+ * sim-time sampling interval in seconds (default 1.0). When both
+ * --trace-out and --metrics-out are given the single re-run carries
+ * both attachments, so the sampled metrics also appear as Perfetto
+ * counter tracks inside the Chrome trace.
  */
 #pragma once
 
@@ -30,13 +41,15 @@ namespace windserve::benchcommon {
 struct BenchArgs {
     std::size_t num_requests;
     std::size_t jobs;
-    std::string trace_out; ///< empty = tracing disabled
+    std::string trace_out;     ///< empty = tracing disabled
+    std::string metrics_out;   ///< empty = telemetry disabled
+    double sample_every = 1.0; ///< telemetry sampling interval (sim s)
 };
 
 inline BenchArgs
 parse_args(int argc, char **argv, std::size_t default_n)
 {
-    BenchArgs args{default_n, harness::default_jobs(), {}};
+    BenchArgs args{default_n, harness::default_jobs(), {}, {}, 1.0};
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
         if ((arg == "--jobs" || arg == "-j") && i + 1 < argc) {
@@ -49,43 +62,91 @@ parse_args(int argc, char **argv, std::size_t default_n)
             args.trace_out = argv[++i];
         } else if (arg.rfind("--trace-out=", 0) == 0) {
             args.trace_out = arg.substr(12);
+        } else if (arg == "--metrics-out" && i + 1 < argc) {
+            args.metrics_out = argv[++i];
+        } else if (arg.rfind("--metrics-out=", 0) == 0) {
+            args.metrics_out = arg.substr(14);
+        } else if (arg == "--sample-every" && i + 1 < argc) {
+            args.sample_every = std::atof(argv[++i]);
+        } else if (arg.rfind("--sample-every=", 0) == 0) {
+            args.sample_every = std::atof(arg.c_str() + 15);
         } else if (!arg.empty() && arg[0] != '-') {
             args.num_requests = static_cast<std::size_t>(
                 std::max(1L, std::atol(arg.c_str())));
         } else {
             std::cerr << "usage: " << argv[0]
-                      << " [num_requests] [--jobs N] [--trace-out FILE]\n";
+                      << " [num_requests] [--jobs N] [--trace-out FILE]"
+                         " [--metrics-out FILE] [--sample-every SEC]\n";
             std::exit(2);
         }
     }
     return args;
 }
 
-/**
- * If the user passed --trace-out, re-run @p cell with tracing enabled
- * and write the Chrome-trace JSON to that path (and the per-request
- * lifecycle CSV to `<path>.requests.csv`). Traced scheduling is
- * identical to the untraced run, so this does not perturb the sweep;
- * status goes to stderr only, keeping driver stdout byte-stable.
- */
+/** Write @p text to @p path or die with a message on stderr. */
 inline void
-maybe_trace(const BenchArgs &args, harness::ExperimentConfig cell)
+write_file_or_die(const std::string &path, const std::string &text,
+                  const char *what)
 {
-    if (args.trace_out.empty())
-        return;
-    cell.record_trace = true;
-    auto traced = harness::run_experiment(cell);
-    std::ofstream json(args.trace_out);
-    if (!json) {
-        std::cerr << "trace: cannot open " << args.trace_out << "\n";
+    std::ofstream out(path);
+    if (!out) {
+        std::cerr << what << ": cannot open " << path << "\n";
         std::exit(1);
     }
-    json << traced.trace_json;
-    std::ofstream csv(args.trace_out + ".requests.csv");
-    csv << traced.trace_request_csv;
-    std::cerr << "trace: " << traced.trace_events << " events ("
-              << traced.system_name << " @ " << cell.per_gpu_rate
-              << " req/s/GPU) -> " << args.trace_out << "\n";
+    out << text;
+}
+
+/**
+ * If the user passed --trace-out and/or --metrics-out, re-run @p cell
+ * once with the corresponding attachments and write the exports.
+ * Attached scheduling is identical to the plain run, so this does not
+ * perturb the sweep; status goes to stderr only, keeping driver stdout
+ * byte-stable.
+ *
+ * --trace-out FILE writes Chrome-trace JSON to FILE and the lifecycle
+ * CSV to FILE.requests.csv. --metrics-out FILE writes the Prometheus
+ * exposition to FILE, the time-series CSV to FILE.csv, the decision
+ * journal to FILE.journal.csv / FILE.journal.json, and the
+ * self-profiler table to FILE.profile.txt. With both flags the metrics
+ * are also merged into the trace as Perfetto counter tracks.
+ */
+inline void
+maybe_export(const BenchArgs &args, harness::ExperimentConfig cell)
+{
+    if (args.trace_out.empty() && args.metrics_out.empty())
+        return;
+    cell.record_trace = !args.trace_out.empty();
+    if (!args.metrics_out.empty()) {
+        obs::TelemetryConfig tc;
+        tc.sample_every = args.sample_every;
+        cell.telemetry = tc;
+    }
+    auto r = harness::run_experiment(cell);
+    if (!args.trace_out.empty()) {
+        write_file_or_die(args.trace_out, r.trace_json, "trace");
+        write_file_or_die(args.trace_out + ".requests.csv",
+                          r.trace_request_csv, "trace");
+        std::cerr << "trace: " << r.trace_events << " events ("
+                  << r.system_name << " @ " << cell.per_gpu_rate
+                  << " req/s/GPU) -> " << args.trace_out << "\n";
+    }
+    if (!args.metrics_out.empty()) {
+        write_file_or_die(args.metrics_out, r.metrics_prometheus,
+                          "metrics");
+        write_file_or_die(args.metrics_out + ".csv", r.metrics_csv,
+                          "metrics");
+        write_file_or_die(args.metrics_out + ".journal.csv",
+                          r.journal_csv, "metrics");
+        write_file_or_die(args.metrics_out + ".journal.json",
+                          r.journal_json, "metrics");
+        write_file_or_die(args.metrics_out + ".profile.txt",
+                          r.profile_table, "metrics");
+        std::cerr << "metrics: " << r.metric_families << " families, "
+                  << r.metric_samples << " samples, "
+                  << r.journal_decisions << " journal decisions ("
+                  << r.system_name << " @ " << cell.per_gpu_rate
+                  << " req/s/GPU) -> " << args.metrics_out << "\n";
+    }
 }
 
 /** Ordered progress line on stderr: `[ 3/15] DistServe @ 2.50 done`.

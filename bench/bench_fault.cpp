@@ -107,6 +107,6 @@ main(int argc, char **argv)
               << fmt_sample(ws, -1.0) << " vs DistServe "
               << fmt_sample(ds, -1.0) << "\n";
 
-    benchcommon::maybe_trace(args, cells[0]);
+    benchcommon::maybe_export(args, cells[0]);
     return 0;
 }

@@ -69,6 +69,6 @@ main(int argc, char **argv)
 
     // --trace-out: record the most-loaded DistServe cell, where the
     // swap/queueing pathology this figure motivates is visible.
-    benchcommon::maybe_trace(args, cells[rates.size() - 1]);
+    benchcommon::maybe_export(args, cells[rates.size() - 1]);
     return 0;
 }

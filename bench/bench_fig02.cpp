@@ -70,6 +70,6 @@ main(int argc, char **argv)
     rep.system = harness::SystemKind::DistServe;
     rep.per_gpu_rate = 4.0;
     rep.num_requests = args.num_requests;
-    benchcommon::maybe_trace(args, rep);
+    benchcommon::maybe_export(args, rep);
     return 0;
 }

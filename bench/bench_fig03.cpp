@@ -54,6 +54,6 @@ main(int argc, char **argv)
                  "[TP-2,TP-2] on prefill queuing)\n";
 
     // Trace the decode-starved placement, where the queueing shows up.
-    benchcommon::maybe_trace(args, cells[0]);
+    benchcommon::maybe_export(args, cells[0]);
     return 0;
 }

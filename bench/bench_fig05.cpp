@@ -79,6 +79,6 @@ main(int argc, char **argv)
     rep.per_gpu_rate = 4.0;
     rep.num_requests = args.num_requests;
     rep.thrd = 0.8 * opt.slo.ttft;
-    benchcommon::maybe_trace(args, rep);
+    benchcommon::maybe_export(args, rep);
     return 0;
 }

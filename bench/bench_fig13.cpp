@@ -81,6 +81,6 @@ main(int argc, char **argv)
     rep.system = harness::SystemKind::WindServe;
     rep.per_gpu_rate = 1.5;
     rep.num_requests = args.num_requests;
-    benchcommon::maybe_trace(args, rep);
+    benchcommon::maybe_export(args, rep);
     return 0;
 }

@@ -70,10 +70,14 @@ DistServeSystem::replay(const std::vector<workload::Request> &trace,
                         double horizon)
 {
     requests_ = trace;
-    for (auto &r : requests_) {
-        Request *ptr = &r;
-        sim_.schedule_at(r.arrival_time,
-                         [this, ptr] { prefill_->enqueue_prefill(ptr); });
+    {
+        sim::SourceScope src(sim_, "arrival");
+        for (auto &r : requests_) {
+            Request *ptr = &r;
+            sim_.schedule_at(r.arrival_time, [this, ptr] {
+                prefill_->enqueue_prefill(ptr);
+            });
+        }
     }
     sim_.run_until(horizon);
     prefill_->finalize_stats();
@@ -138,6 +142,31 @@ DistServeSystem::wire_trace(obs::TraceRecorder &rec)
     prefill_->set_trace(&rec);
     decode_->set_trace(&rec);
     xfer_->set_trace(&rec);
+}
+
+void
+DistServeSystem::wire_telemetry(obs::Telemetry &t)
+{
+    obs::MetricRegistry &reg = t.registry();
+    prefill_->register_metrics(reg);
+    decode_->register_metrics(reg);
+    hw::Channel *channels[] = {&xfer_->forward_channel(),
+                               &xfer_->reverse_channel(),
+                               &xfer_->staged_channel()};
+    for (hw::Channel *ch : channels) {
+        const std::string lbl = "link=\"" + ch->name() + "\"";
+        reg.gauge("ws_link_inflight_bytes", lbl,
+                  [ch] { return ch->inflight_bytes(); },
+                  "Bytes submitted but not yet delivered per link");
+        reg.counter("ws_link_bytes_total", lbl,
+                    [ch] { return ch->total_bytes(); },
+                    "Lifetime bytes submitted per link");
+        reg.counter("ws_link_transfers_total", lbl,
+                    [ch] {
+                        return static_cast<double>(ch->completed());
+                    },
+                    "Transfers completed per link");
+    }
 }
 
 void

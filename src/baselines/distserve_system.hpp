@@ -68,6 +68,7 @@ class DistServeSystem : public engine::ServingSystem
     void wire_trace(obs::TraceRecorder &rec) override;
     void wire_audit(audit::SimAuditor &a) override;
     void wire_faults(fault::FaultInjector &inj) override;
+    void wire_telemetry(obs::Telemetry &t) override;
     std::vector<workload::Request> take_requests() override
     {
         return std::move(requests_);

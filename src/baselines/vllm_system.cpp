@@ -67,12 +67,15 @@ VllmColocatedSystem::replay(const std::vector<workload::Request> &trace,
 {
     requests_ = trace;
     std::size_t next_engine = 0;
-    for (auto &r : requests_) {
-        Request *ptr = &r;
-        engine::Instance *eng = engines_[next_engine].get();
-        next_engine = (next_engine + 1) % engines_.size();
-        sim_.schedule_at(r.arrival_time,
-                         [eng, ptr] { eng->enqueue_prefill(ptr); });
+    {
+        sim::SourceScope src(sim_, "arrival");
+        for (auto &r : requests_) {
+            Request *ptr = &r;
+            engine::Instance *eng = engines_[next_engine].get();
+            next_engine = (next_engine + 1) % engines_.size();
+            sim_.schedule_at(r.arrival_time,
+                             [eng, ptr] { eng->enqueue_prefill(ptr); });
+        }
     }
     sim_.run_until(horizon);
     for (auto &e : engines_)
@@ -109,6 +112,13 @@ VllmColocatedSystem::wire_trace(obs::TraceRecorder &rec)
 {
     for (auto &e : engines_)
         e->set_trace(&rec);
+}
+
+void
+VllmColocatedSystem::wire_telemetry(obs::Telemetry &t)
+{
+    for (auto &e : engines_)
+        e->register_metrics(t.registry());
 }
 
 void

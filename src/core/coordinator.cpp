@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "audit/sim_auditor.hpp"
+#include "obs/decision_journal.hpp"
 #include "obs/trace_recorder.hpp"
 #include "simcore/log.hpp"
 
@@ -82,8 +83,42 @@ Coordinator::decide_dispatch(const workload::Request &r,
     double ttft_pred = prefill_profiler_.predict_ttft(
         queued, static_cast<double>(r.prompt_tokens),
         prefill.inflight_prefill_remaining());
-    if (ttft_pred <= cfg_.thrd)
+
+    // Journal the full Algorithm-1 deliberation: both candidates with
+    // the loads that scored them. available_slots() is a pure read, so
+    // evaluating it for the journal never perturbs the decision.
+    auto note = [&](const char *chosen, const char *reason,
+                    std::size_t slots) {
+        if (journal_ == nullptr)
+            return;
+        obs::Decision d;
+        d.time = log_now();
+        d.kind = obs::DecisionKind::Dispatch;
+        d.request = r.id;
+        d.chosen = chosen;
+        d.reason = reason;
+        d.candidates.push_back(obs::DecisionOption{
+            "prefill",
+            true,
+            {{"predicted_ttft", ttft_pred},
+             {"thrd", cfg_.thrd},
+             {"queued_tokens", queued},
+             {"inflight_remaining",
+              prefill.inflight_prefill_remaining()}}});
+        d.candidates.push_back(obs::DecisionOption{
+            "decode",
+            slots >= r.prompt_tokens,
+            {{"available_slots", static_cast<double>(slots)},
+             {"prompt_tokens",
+              static_cast<double>(r.prompt_tokens)}}});
+        journal_->record(std::move(d));
+    };
+
+    if (ttft_pred <= cfg_.thrd) {
+        note("prefill", "ttft_under_thrd",
+             journal_ ? available_slots(decode) : 0);
         return DispatchDecision::PrefillInstance;
+    }
     std::size_t slots = available_slots(decode);
     if (slots >= r.prompt_tokens) {
         ++dispatches_;
@@ -97,8 +132,10 @@ Coordinator::decide_dispatch(const workload::Request &r,
                  obs::num_arg("tokens", std::uint64_t(r.prompt_tokens)),
                  obs::num_arg("predicted_ttft", ttft_pred)});
         }
+        note("decode", "ttft_over_thrd", slots);
         return DispatchDecision::DecodeInstance;
     }
+    note("prefill", "no_decode_slots", slots);
     return DispatchDecision::PrefillInstance;
 }
 
@@ -109,21 +146,62 @@ Coordinator::maybe_reschedule(engine::Instance &decode,
 {
     if (!cfg_.enable_rescheduling)
         return false;
-    if (migration.active() >= cfg_.max_concurrent_migrations)
+    // Every gate below is a pure read, so their order cannot change the
+    // outcome; occupancy goes first so the journal records exactly the
+    // pressure-triggered deliberations (the no-pressure common case is
+    // not a decision worth remembering).
+    const double occupancy = decode.blocks().occupancy();
+    if (occupancy < cfg_.resched_occupancy_trigger)
         return false;
+
+    const std::size_t resident = prefill.running_decode_requests() +
+                                 prefill.waiting_decode_requests();
+    auto note = [&](std::uint64_t req, bool feasible, const char *chosen,
+                    const char *reason, double victim_ctx) {
+        if (journal_ == nullptr)
+            return;
+        obs::Decision d;
+        d.time = log_now();
+        d.kind = obs::DecisionKind::Reschedule;
+        d.request = req;
+        d.chosen = chosen;
+        d.reason = reason;
+        d.candidates.push_back(obs::DecisionOption{
+            "migrate-to-prefill",
+            feasible,
+            {{"decode_occupancy", occupancy},
+             {"trigger", cfg_.resched_occupancy_trigger},
+             {"active_migrations",
+              static_cast<double>(migration.active())},
+             {"migrated_resident", static_cast<double>(resident)},
+             {"victim_ctx", victim_ctx}}});
+        journal_->record(std::move(d));
+    };
+
+    if (migration.active() >= cfg_.max_concurrent_migrations) {
+        note(0, false, "", "migration_cap", 0.0);
+        return false;
+    }
     // Hosting too many migrated decodes keeps the prefill instance in
     // chunked mode and starves TTFT; stop rescheduling until they drain.
-    if (prefill.running_decode_requests() + prefill.waiting_decode_requests() >=
-        cfg_.max_migrated_resident)
+    if (resident >= cfg_.max_migrated_resident) {
+        note(0, false, "", "resident_cap", 0.0);
         return false;
-    if (decode.blocks().occupancy() < cfg_.resched_occupancy_trigger)
-        return false;
+    }
     engine::Request *victim =
         engine::select_migration_victim(decode.groups());
-    if (victim == nullptr)
+    if (victim == nullptr) {
+        note(0, false, "", "no_victim", 0.0);
         return false;
-    if (!migration.start(victim))
+    }
+    if (!migration.start(victim)) {
+        note(victim->id, false, "", "migration_start_failed",
+             static_cast<double>(victim->context_length()));
         return false;
+    }
+    note(victim->id, true, "migrate-to-prefill",
+         "occupancy_over_trigger",
+         static_cast<double>(victim->context_length()));
     ++reschedules_;
     if (audit_) {
         audit_->on_reschedule(victim->id, decode.blocks().occupancy(),

@@ -24,6 +24,7 @@
 
 namespace windserve::obs {
 class TraceRecorder;
+class DecisionJournal;
 }
 
 namespace windserve::core {
@@ -124,6 +125,12 @@ class Coordinator
      *  evidence backing them) to @p a. */
     void set_audit(audit::SimAuditor *a) { audit_ = a; }
 
+    /** Journal every dispatch deliberation and every pressure-triggered
+     *  rescheduling deliberation (candidate sets, scores, outcome) into
+     *  @p j. nullptr (the default) disables journaling; the decisions
+     *  themselves are identical either way. */
+    void set_journal(obs::DecisionJournal *j) { journal_ = j; }
+
     /** Timebase for timestamped logs and decision instants. The
      *  coordinator owns no simulator; the serving system binds its own. */
     void bind_clock(const sim::Simulator *clock) { clock_ = clock; }
@@ -138,6 +145,7 @@ class Coordinator
     std::uint64_t reschedules_ = 0;
     obs::TraceRecorder *trace_ = nullptr;
     audit::SimAuditor *audit_ = nullptr;
+    obs::DecisionJournal *journal_ = nullptr;
     const sim::Simulator *clock_ = nullptr;
 };
 

@@ -153,6 +153,61 @@ WindServeSystem::wire_audit(audit::SimAuditor &a)
 }
 
 void
+WindServeSystem::wire_telemetry(obs::Telemetry &t)
+{
+    obs::MetricRegistry &reg = t.registry();
+    prefill_->register_metrics(reg);
+    decode_->register_metrics(reg);
+
+    hw::Channel *channels[] = {&xfer_->forward_channel(),
+                               &xfer_->reverse_channel(),
+                               &xfer_->staged_channel()};
+    for (hw::Channel *ch : channels) {
+        const std::string lbl = "link=\"" + ch->name() + "\"";
+        reg.gauge("ws_link_inflight_bytes", lbl,
+                  [ch] { return ch->inflight_bytes(); },
+                  "Bytes submitted but not yet delivered per link");
+        reg.counter("ws_link_bytes_total", lbl,
+                    [ch] { return ch->total_bytes(); },
+                    "Lifetime bytes submitted per link");
+        reg.counter("ws_link_transfers_total", lbl,
+                    [ch] {
+                        return static_cast<double>(ch->completed());
+                    },
+                    "Transfers completed per link");
+    }
+
+    const Coordinator *coord = &scheduler_->coordinator();
+    reg.counter("ws_sched_dispatches_total", "",
+                [coord] {
+                    return static_cast<double>(coord->dispatches());
+                },
+                "Dynamic prefill dispatches to the decode instance");
+    reg.counter("ws_sched_reschedules_total", "",
+                [coord] {
+                    return static_cast<double>(coord->reschedules());
+                },
+                "Dynamic rescheduling migrations started");
+    reg.gauge("ws_migrations_active", "",
+              [this] {
+                  return static_cast<double>(migration_->active());
+              },
+              "Stall-free migrations currently in flight");
+    reg.counter("ws_migrations_completed_total", "",
+                [this] {
+                    return static_cast<double>(migration_->completed());
+                },
+                "Stall-free migrations completed");
+    reg.counter("ws_backups_taken_total", "",
+                [this] {
+                    return static_cast<double>(backup_->backups_taken());
+                },
+                "Proactive KV backups taken");
+
+    scheduler_->coordinator().set_journal(t.journal());
+}
+
+void
 WindServeSystem::wire_faults(fault::FaultInjector &inj)
 {
     inj.add_instance(prefill_.get());
@@ -178,9 +233,13 @@ WindServeSystem::replay(const std::vector<workload::Request> &trace,
 {
     requests_ = trace;
     outstanding_ = requests_.size();
-    for (auto &r : requests_) {
-        Request *ptr = &r;
-        sim_.schedule_at(r.arrival_time, [this, ptr] { on_arrival(ptr); });
+    {
+        sim::SourceScope src(sim_, "arrival");
+        for (auto &r : requests_) {
+            Request *ptr = &r;
+            sim_.schedule_at(r.arrival_time,
+                             [this, ptr] { on_arrival(ptr); });
+        }
     }
     sim_.run_until(horizon);
     prefill_->finalize_stats();
@@ -277,8 +336,31 @@ WindServeSystem::redispatch_after_fault(Request *r)
     // generated since the backup are recomputed. Otherwise fall back to
     // a full prefill recompute through the normal dispatch path.
     std::size_t backed = backup_registry_.backed_up_tokens(r->id);
-    if (backed >= r->prompt_tokens && backed > 0 && !prefill_->is_down() &&
-        prefill_->blocks().holds(r->id)) {
+    const bool resumable = backed >= r->prompt_tokens && backed > 0 &&
+                           !prefill_->is_down() &&
+                           prefill_->blocks().holds(r->id);
+    if (obs::Telemetry *t = telemetry(); t && t->journal()) {
+        obs::Decision d;
+        d.time = sim_.now();
+        d.kind = obs::DecisionKind::Redispatch;
+        d.request = r->id;
+        d.chosen = resumable ? "resume-backup" : "recompute";
+        d.reason = resumable ? "backup_covers_prompt"
+                             : "no_usable_backup";
+        d.candidates.push_back(obs::DecisionOption{
+            "resume-backup",
+            resumable,
+            {{"backed_up_tokens", static_cast<double>(backed)},
+             {"prompt_tokens", static_cast<double>(r->prompt_tokens)},
+             {"prefill_up", prefill_->is_down() ? 0.0 : 1.0}}});
+        d.candidates.push_back(obs::DecisionOption{
+            "recompute",
+            true,
+            {{"prompt_tokens",
+              static_cast<double>(r->prompt_tokens)}}});
+        t->journal()->record(std::move(d));
+    }
+    if (resumable) {
         backup_registry_.drop(r->id);
         r->prefilled = r->prompt_tokens;
         r->generated = backed - r->prompt_tokens;

@@ -4,6 +4,7 @@
 #include <cassert>
 
 #include "audit/sim_auditor.hpp"
+#include "obs/metric_registry.hpp"
 #include "obs/trace_recorder.hpp"
 #include "simcore/log.hpp"
 
@@ -36,7 +37,9 @@ Instance::Instance(sim::Simulator &sim, InstanceConfig cfg,
               cfg_.block_size),
       swap_(cfg_.host_memory_bytes, cost.model().kv_bytes_per_token()),
       host_channel_(sim, host_link, cfg_.name + "/host"),
-      compute_util_(sim.now()), bw_util_(sim.now())
+      compute_util_(sim.now()), bw_util_(sim.now()),
+      src_pump_(cfg_.name + "/pump"), src_prefill_(cfg_.name + "/prefill"),
+      src_sbd_(cfg_.name + "/sbd"), src_decode_(cfg_.name + "/decode")
 {
     std::size_t pp = cost.parallelism().pp;
     slots_.resize(pp);
@@ -69,6 +72,67 @@ Instance::set_audit(audit::SimAuditor *a)
     host_channel_.set_audit(a);
 }
 
+void
+Instance::register_metrics(obs::MetricRegistry &reg)
+{
+    const std::string inst = "instance=\"" + cfg_.name + "\"";
+    reg.gauge("ws_queue_requests", inst + ",queue=\"prefill\"",
+              [this] {
+                  return static_cast<double>(waiting_prefill_requests());
+              },
+              "Requests waiting or running per instance queue");
+    reg.gauge("ws_queue_requests", inst + ",queue=\"decode_waiting\"",
+              [this] {
+                  return static_cast<double>(waiting_decode_requests());
+              });
+    reg.gauge("ws_queue_requests", inst + ",queue=\"decode_running\"",
+              [this] {
+                  return static_cast<double>(running_decode_requests());
+              });
+    reg.gauge("ws_queue_tokens", inst + ",queue=\"prefill\"",
+              [this] {
+                  return static_cast<double>(waiting_prefill_tokens());
+              },
+              "Tokens pending per instance queue");
+    reg.gauge("ws_queue_tokens", inst + ",queue=\"assist\"",
+              [this] {
+                  return static_cast<double>(assist_tokens_pending());
+              });
+    reg.gauge("ws_gpu_busy", inst + ",resource=\"compute\"",
+              [this] { return compute_util_.level(); },
+              "Instantaneous busy fraction per GPU resource");
+    reg.gauge("ws_gpu_busy", inst + ",resource=\"membw\"",
+              [this] { return bw_util_.level(); });
+    reg.gauge("ws_kv_block_util", inst,
+              [this] { return blocks_.occupancy(); },
+              "KV block-manager occupancy fraction");
+    reg.gauge("ws_swap_pool_bytes", inst,
+              [this] { return swap_.used_bytes(); },
+              "Host swap-pool bytes in use");
+    reg.gauge("ws_instance_up", inst,
+              [this] { return down_ ? 0.0 : 1.0; },
+              "1 while the instance is up, 0 while crashed");
+    reg.counter("ws_decode_iterations_total", inst,
+                [this] { return static_cast<double>(decode_iters_); },
+                "Decode iterations executed");
+    reg.counter("ws_prefill_passes_total", inst,
+                [this] { return static_cast<double>(prefill_passes_); },
+                "Pure prefill (and SBD stream) passes executed");
+    reg.counter("ws_swap_out_events_total", inst,
+                [this] {
+                    return static_cast<double>(swap_.swap_out_events());
+                },
+                "Lifetime swap-out preemptions");
+    decode_batch_hist_ =
+        reg.histogram("ws_decode_batch_size", inst,
+                      obs::Histogram::Options{1.0, 2.0, 10},
+                      "Decode batch size at pass start");
+    prefill_tokens_hist_ =
+        reg.histogram("ws_prefill_pass_tokens", inst,
+                      obs::Histogram::Options{64.0, 2.0, 10},
+                      "Prompt tokens per prefill pass");
+}
+
 // ---------------------------------------------------------------------
 // entry points
 // ---------------------------------------------------------------------
@@ -82,6 +146,7 @@ Instance::schedule_pump()
     if (pump_scheduled_)
         return;
     pump_scheduled_ = true;
+    sim::SourceScope src(sim_, src_pump_);
     sim_.schedule(0.0, [this] {
         pump_scheduled_ = false;
         pump();
@@ -166,6 +231,7 @@ Instance::pump()
 void
 Instance::try_start_prefill_slots()
 {
+    sim::SourceScope src(sim_, src_prefill_);
     for (std::size_t s = 0; s < slots_.size(); ++s) {
         if (slot_busy_[s] || prefill_q_.empty())
             continue;
@@ -198,6 +264,9 @@ Instance::try_start_prefill_slots()
                  obs::num_arg("requests",
                               std::uint64_t(batch.requests.size()))});
         }
+        if (prefill_tokens_hist_)
+            prefill_tokens_hist_->observe(
+                static_cast<double>(batch.total_tokens));
         slots_[s] = std::move(batch);
         slot_busy_[s] = true;
         sim_.schedule(dur, [this, s, e = epoch_] {
@@ -234,6 +303,7 @@ Instance::try_start_sbd_stream()
 {
     if (sbd_active_ || assist_q_.empty())
         return;
+    sim::SourceScope src(sim_, src_sbd_);
     std::vector<Request *> batch;
     std::size_t tokens = 0;
     while (!assist_q_.empty() &&
@@ -269,6 +339,8 @@ Instance::try_start_sbd_stream()
                      "sbd-prefill", sim_.now(), dur,
                      {obs::num_arg("tokens", std::uint64_t(tokens))});
     }
+    if (prefill_tokens_hist_)
+        prefill_tokens_hist_->observe(static_cast<double>(tokens));
     sbd_batch_ = std::move(batch);
     sbd_tokens_ = tokens;
     sbd_active_ = true;
@@ -304,6 +376,7 @@ Instance::try_start_group(std::size_t g)
     DecodeGroup &grp = groups_[g];
     if (grp.busy)
         return;
+    sim::SourceScope src(sim_, src_decode_);
 
     std::size_t batch = grp.size();
     std::size_t sum_l = grp.sum_context();
@@ -419,6 +492,8 @@ Instance::try_start_group(std::size_t g)
                       obs::num_arg("assist_tokens",
                                    std::uint64_t(hybrid_tokens))});
     }
+    if (decode_batch_hist_ && batch > 0)
+        decode_batch_hist_->observe(static_cast<double>(batch));
     grp.busy = true;
     grp.iteration_end = sim_.now() + dur;
     grp.iteration_members = grp.members;

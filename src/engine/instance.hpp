@@ -39,6 +39,8 @@
 
 namespace windserve::obs {
 class TraceRecorder;
+class MetricRegistry;
+class Histogram;
 }
 
 namespace windserve::engine {
@@ -219,6 +221,16 @@ class Instance
      */
     void set_audit(audit::SimAuditor *a);
 
+    /**
+     * Register this instance's telemetry instruments on @p reg: queue
+     * depths, batch-occupancy histograms, per-resource busy fractions,
+     * KV-block and swap-pool utilization, crash state and lifetime
+     * counters. Labels carry `instance="<name>"`. Pull callbacks read
+     * live introspection state; the registered histograms become this
+     * instance's push endpoints for batch sizes / prefill pass tokens.
+     */
+    void register_metrics(obs::MetricRegistry &reg);
+
     // ------------------------------------------------------------------
     // fault injection (fault::FaultInjector)
     // ------------------------------------------------------------------
@@ -317,6 +329,15 @@ class Instance
     std::uint64_t epoch_ = 0;
     obs::TraceRecorder *trace_ = nullptr;
     audit::SimAuditor *audit_ = nullptr;
+
+    // telemetry: push histograms (null = off) and precomputed
+    // self-profiler source tags for the schedule sites
+    obs::Histogram *decode_batch_hist_ = nullptr;
+    obs::Histogram *prefill_tokens_hist_ = nullptr;
+    std::string src_pump_;
+    std::string src_prefill_;
+    std::string src_sbd_;
+    std::string src_decode_;
 };
 
 } // namespace windserve::engine

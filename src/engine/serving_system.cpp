@@ -2,6 +2,7 @@
 
 #include "fault/fault_injector.hpp"
 #include "obs/trace_recorder.hpp"
+#include "simcore/simulator.hpp"
 
 namespace windserve::engine {
 
@@ -11,6 +12,58 @@ ServingSystem::~ServingSystem() = default;
 void
 ServingSystem::link_attachments()
 {
+    if (telemetry_ && faults_ && !fault_counters_registered_) {
+        // The chaos-engine counters only exist once BOTH attachments do,
+        // whichever attached first.
+        fault_counters_registered_ = true;
+        obs::MetricRegistry &reg = telemetry_->registry();
+        const fault::FaultInjector *inj = faults_.get();
+        const std::string help =
+            "Cumulative fault-engine events by kind";
+        reg.counter("ws_fault_events_total", "kind=\"instance_crash\"",
+                    [inj] {
+                        return static_cast<double>(
+                            inj->instance_crashes());
+                    },
+                    help);
+        reg.counter("ws_fault_events_total", "kind=\"link_outage\"",
+                    [inj] {
+                        return static_cast<double>(inj->link_outages());
+                    },
+                    help);
+        reg.counter("ws_fault_events_total", "kind=\"straggler_window\"",
+                    [inj] {
+                        return static_cast<double>(
+                            inj->straggler_windows());
+                    },
+                    help);
+        reg.counter("ws_fault_events_total", "kind=\"redispatch\"",
+                    [inj] {
+                        return static_cast<double>(inj->redispatches());
+                    },
+                    help);
+        reg.counter("ws_fault_events_total", "kind=\"retry\"",
+                    [inj] {
+                        return static_cast<double>(inj->retries());
+                    },
+                    help);
+        reg.counter("ws_fault_events_total", "kind=\"abort\"",
+                    [inj] {
+                        return static_cast<double>(inj->aborts());
+                    },
+                    help);
+        reg.counter("ws_fault_events_total", "kind=\"transfer_timeout\"",
+                    [inj] {
+                        return static_cast<double>(
+                            inj->transfer_timeouts());
+                    },
+                    help);
+        reg.counter("ws_fault_events_total", "kind=\"recovery\"",
+                    [inj] {
+                        return static_cast<double>(inj->recoveries());
+                    },
+                    help);
+    }
     if (!faults_)
         return;
     if (audit_) {
@@ -19,6 +72,20 @@ ServingSystem::link_attachments()
     }
     if (trace_)
         faults_->set_trace(trace_.get());
+}
+
+obs::Telemetry *
+ServingSystem::attach_telemetry(const obs::TelemetryConfig &cfg)
+{
+    if (!telemetry_) {
+        telemetry_ = std::make_unique<obs::Telemetry>(cfg);
+        wire_telemetry(*telemetry_);
+        link_attachments();
+        // Arm BEFORE the other attachments so the self-profiler wraps
+        // every event they schedule (notably the fault-plan arming).
+        telemetry_->arm(simulator());
+    }
+    return telemetry_.get();
 }
 
 obs::TraceRecorder *
@@ -63,6 +130,8 @@ RunResult
 ServingSystem::run(const std::vector<workload::Request> &trace,
                    const RunOptions &opts)
 {
+    if (opts.telemetry)
+        attach_telemetry(*opts.telemetry);
     if (opts.tracing)
         attach_trace();
     if (opts.audit)
@@ -75,6 +144,9 @@ ServingSystem::run(const std::vector<workload::Request> &trace,
     }
 
     replay(trace, opts.horizon);
+
+    if (telemetry_)
+        telemetry_->finish(simulator().now());
 
     RunResult out;
     out.requests = take_requests();
@@ -102,6 +174,10 @@ ServingSystem::run(const std::vector<workload::Request> &trace,
         // function of (config, workload) regardless of thread count.
         for (const auto &r : out.requests)
             trace_->record_request_lifecycle(r);
+        // Sampled metric series render as Perfetto counter tracks
+        // alongside the spans.
+        if (telemetry_)
+            telemetry_->registry().merge_counter_tracks(*trace_);
     }
     return out;
 }

@@ -20,6 +20,7 @@
 #include "audit/sim_auditor.hpp"
 #include "fault/fault_plan.hpp"
 #include "metrics/collector.hpp"
+#include "obs/telemetry.hpp"
 #include "workload/request.hpp"
 
 namespace windserve::obs {
@@ -70,6 +71,9 @@ struct RunOptions {
     /** Attach a fault::FaultInjector with this chaos schedule. A config
      *  with horizon <= 0 inherits the run's horizon. */
     std::optional<fault::FaultConfig> faults{};
+    /** Attach per-run obs::Telemetry (metric sampling, scheduler
+     *  decision journal, event-pump self-profiler). */
+    std::optional<obs::TelemetryConfig> telemetry{};
 };
 
 /** Abstract serving system driven by the experiment harness. */
@@ -99,50 +103,18 @@ class ServingSystem
     fault::FaultInjector *faults() { return faults_.get(); }
     const fault::FaultInjector *faults() const { return faults_.get(); }
 
-    /**
-     * @deprecated Set RunOptions::tracing instead; scheduled for
-     * removal one release after the RunOptions redesign (see
-     * CHANGES.md). Attaches the per-run TraceRecorder immediately;
-     * idempotent; returns the recorder.
-     */
-    [[deprecated("set RunOptions::tracing and pass it to run()")]]
-    obs::TraceRecorder *enable_tracing()
-    {
-        return attach_trace();
-    }
-
-    /**
-     * @deprecated Set RunOptions::audit instead; scheduled for removal
-     * one release after the RunOptions redesign (see CHANGES.md).
-     * Attaches the fail-fast SimAuditor immediately; idempotent (@p cfg
-     * ignored on repeat calls); returns the auditor.
-     */
-    [[deprecated("set RunOptions::audit and pass it to run()")]]
-    audit::SimAuditor *enable_audit(audit::AuditConfig cfg = {})
-    {
-        return attach_audit(std::move(cfg));
-    }
-
-    /**
-     * @deprecated Set RunOptions::faults instead; scheduled for removal
-     * one release after the RunOptions redesign (see CHANGES.md).
-     * Attaches the chaos engine and arms its schedule immediately;
-     * idempotent (@p cfg ignored on repeat calls); returns the
-     * injector.
-     */
-    [[deprecated("set RunOptions::faults and pass it to run()")]]
-    fault::FaultInjector *enable_faults(const fault::FaultConfig &cfg)
-    {
-        return attach_faults(cfg);
-    }
+    /** The attached telemetry, or nullptr when telemetry is off. */
+    obs::Telemetry *telemetry() { return telemetry_.get(); }
+    const obs::Telemetry *telemetry() const { return telemetry_.get(); }
 
     /**
      * Replay @p trace (sorted by arrival) until every request finishes
      * or the horizon elapses, then collect metrics against the SLO.
      * Attachments requested in @p opts are created and wired first —
-     * tracing, then audit, then faults, the fixed cross-linking order.
-     * Unfinished requests remain in their last state and count against
-     * SLO attainment.
+     * telemetry, then tracing, then audit, then faults, the fixed
+     * cross-linking order (telemetry leads so the self-profiler wraps
+     * every event the later attachments schedule). Unfinished requests
+     * remain in their last state and count against SLO attainment.
      *
      * One-shot: a system instance models a single deployment lifetime;
      * the per-request results are moved into the returned value.
@@ -182,25 +154,36 @@ class ServingSystem
      */
     virtual void wire_faults(fault::FaultInjector &inj) { (void)inj; }
 
+    /**
+     * Register the system's instruments on @p t's MetricRegistry and
+     * hand the decision journal to the scheduler (system-specific).
+     * Called before the sampler is armed and before replay.
+     */
+    virtual void wire_telemetry(obs::Telemetry &t) { (void)t; }
+
   private:
     /**
-     * The attachment internals behind both the RunOptions path and the
-     * deprecated enable_*() shims. Each attaches its component once
-     * (idempotent), wires it into the system via the matching wire_*()
-     * hook, and refreshes the cross-links between attachments.
+     * The attachment internals behind the RunOptions path. Each
+     * attaches its component once (idempotent), wires it into the
+     * system via the matching wire_*() hook, and refreshes the
+     * cross-links between attachments.
      */
+    obs::Telemetry *attach_telemetry(const obs::TelemetryConfig &cfg);
     obs::TraceRecorder *attach_trace();
     audit::SimAuditor *attach_audit(audit::AuditConfig cfg);
     fault::FaultInjector *attach_faults(const fault::FaultConfig &cfg);
 
     /** Point the attachments at each other (idempotent): the injector
-     *  reports into the recorder and the auditor, and the auditor
-     *  relaxes its fatal-crash checks once faults are expected. */
+     *  reports into the recorder, the auditor, and the telemetry's
+     *  fault-counter instruments; the auditor relaxes its fatal-crash
+     *  checks once faults are expected. */
     void link_attachments();
 
+    std::unique_ptr<obs::Telemetry> telemetry_;
     std::unique_ptr<obs::TraceRecorder> trace_;
     std::unique_ptr<audit::SimAuditor> audit_;
     std::unique_ptr<fault::FaultInjector> faults_;
+    bool fault_counters_registered_ = false;
 };
 
 } // namespace windserve::engine

@@ -45,6 +45,7 @@ FaultInjector::set_crash_hook(
 void
 FaultInjector::arm()
 {
+    sim::SourceScope src(sim_, "fault");
     for (const auto &ev : plan_.events())
         sim_.schedule_at(ev.time, [this, ev] { fire(ev); });
 }
@@ -117,6 +118,7 @@ FaultInjector::do_crash(const FaultEvent &ev)
     for (workload::Request *r : victims)
         redispatch_request(r, now);
 
+    sim::SourceScope src(sim_, "fault");
     sim_.schedule(ev.param, [this, inst] {
         down_until_.erase(inst);
         inst->repair();
@@ -192,6 +194,7 @@ FaultInjector::redispatch_request(workload::Request *r, double not_before)
                    std::pow(policy().backoff_multiplier,
                             static_cast<double>(rec.attempts - 1));
     double fire_at = std::max(now + delay, not_before + delay);
+    sim::SourceScope src(sim_, "fault");
     sim_.schedule_at(fire_at, [this, r] {
         // Aborted (or already recovered) while the backoff ran.
         if (recovering_.find(r->id) == recovering_.end())

@@ -137,6 +137,7 @@ run_experiment(const ExperimentConfig &cfg)
         opts.audit = std::move(ac);
     }
     opts.faults = cfg.faults; // horizon <= 0 inherits opts.horizon
+    opts.telemetry = cfg.telemetry;
     auto trace = make_trace(cfg);
     auto run = system->run(trace, opts);
 
@@ -153,6 +154,18 @@ run_experiment(const ExperimentConfig &cfg)
     if (const audit::SimAuditor *aud = system->audit()) {
         result.audit_events = aud->events_audited();
         result.audit_violations = aud->total_violations();
+    }
+    if (const obs::Telemetry *tel = system->telemetry()) {
+        result.metrics_prometheus = tel->registry().prometheus_text();
+        result.metrics_csv = tel->registry().csv();
+        result.journal_csv = tel->journal_data().csv();
+        result.journal_json = tel->journal_data().json();
+        // Counts-only table: wall-clock columns are non-deterministic.
+        result.profile_table = tel->profile_table(false);
+        result.metric_samples = tel->registry().num_samples();
+        result.metric_families = tel->registry().num_families();
+        result.journal_decisions = tel->journal_data().size();
+        result.profiled_attribution = tel->attributed_fraction();
     }
 
     if (auto *ws = dynamic_cast<core::WindServeSystem *>(system.get())) {

@@ -72,6 +72,13 @@ struct ExperimentConfig {
      * faults.
      */
     std::optional<fault::FaultConfig> faults;
+    /**
+     * Attach per-run obs::Telemetry and export its Prometheus text,
+     * metrics CSV, decision-journal CSV/JSON and self-profiler table
+     * into the result. Empty (the default) runs untelemetered; an
+     * instrumented run's scheduling and results are identical.
+     */
+    std::optional<obs::TelemetryConfig> telemetry;
     /** KV capacity override for every instance (tokens; 0 = derived).
      *  Lets tests and the fuzzer force memory pressure. */
     std::size_t kv_capacity_tokens_override = 0;
@@ -99,6 +106,18 @@ struct ExperimentResult {
     // audit outcome (audit only; zero otherwise)
     std::uint64_t audit_events = 0;     ///< invariant checks performed
     std::uint64_t audit_violations = 0; ///< violations recorded
+    // telemetry exports (telemetry only; empty otherwise). All are
+    // deterministic byte-for-byte at any --jobs N.
+    std::string metrics_prometheus; ///< Prometheus exposition text
+    std::string metrics_csv;        ///< sampled time series, long form
+    std::string journal_csv;        ///< scheduler decision journal
+    std::string journal_json;       ///< same journal as JSON
+    std::string profile_table;      ///< self-profiler (counts only)
+    std::size_t metric_samples = 0; ///< sample ticks taken
+    std::size_t metric_families = 0;
+    std::size_t journal_decisions = 0;
+    double profiled_attribution = 0.0; ///< fraction of events with a
+                                       ///< named source
 };
 
 /** Build the serving system an ExperimentConfig describes. */

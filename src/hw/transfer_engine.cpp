@@ -10,7 +10,8 @@
 namespace windserve::hw {
 
 Channel::Channel(sim::Simulator &sim, Link link, std::string name)
-    : sim_(sim), link_(link), name_(std::move(name)), util_(sim.now())
+    : sim_(sim), link_(link), name_(std::move(name)),
+      src_tag_("link/" + name_), util_(sim.now())
 {
     if (link_.bandwidth <= 0.0)
         throw std::invalid_argument("Channel: bandwidth must be positive");
@@ -66,6 +67,7 @@ Channel::reschedule_active()
     double remaining = active_->bytes - active_->sent;
     double dur =
         active_latency_left_ + remaining / (link_.bandwidth * rate_factor_);
+    sim::SourceScope src(sim_, src_tag_);
     active_event_ = sim_.schedule(dur, [this] {
         active_event_.reset();
         settle_active_progress();

@@ -73,6 +73,15 @@ class Channel
     /** Transfers queued or active. */
     std::size_t inflight() const { return queue_.size() + (active_ ? 1 : 0); }
 
+    /** Bytes submitted but not yet on the wire (queued + active rest). */
+    double inflight_bytes() const
+    {
+        double sum = active_ ? active_->bytes - active_->sent : 0.0;
+        for (const Transfer &t : queue_)
+            sum += t.bytes;
+        return sum;
+    }
+
     /** True while any transfer is active or queued. */
     bool busy() const { return inflight() > 0; }
 
@@ -127,6 +136,7 @@ class Channel
     sim::Simulator &sim_;
     Link link_;
     std::string name_;
+    std::string src_tag_; ///< self-profiler source for link events
     std::deque<Transfer> queue_;
     std::unique_ptr<Transfer> active_;
     sim::SimTime active_started_ = 0.0;   ///< when current segment began

@@ -10,6 +10,8 @@ Simulator::run()
         // their own timestamp via now() and schedule relative to it. All
         // events at the same instant drain in one batch, in insertion
         // order — including ones the batch itself schedules for now().
+        if (batch_hook_)
+            batch_hook_(queue_.next_time());
         fired_ += queue_.run_next_batch(now_);
     }
     return now_;
@@ -20,6 +22,8 @@ Simulator::run_until(SimTime horizon)
 {
     while (!queue_.empty() && queue_.next_time() <= horizon) {
         now_ = queue_.next_time();
+        if (batch_hook_)
+            batch_hook_(now_);
         fired_ += queue_.run_batch(now_);
     }
     return now_;
@@ -31,6 +35,8 @@ Simulator::step()
     if (queue_.empty())
         return false;
     now_ = queue_.next_time();
+    if (batch_hook_)
+        batch_hook_(now_);
     queue_.pop_and_run();
     ++fired_;
     return true;

@@ -83,6 +83,7 @@ KvTransferManager::transfer_prefill_kv(workload::Request *r,
         r->transfer_done_time = sim_.now();
         (*finish)();
     });
+    sim::SourceScope src(sim_, "transfer/watchdog");
     sim_.schedule(timeout, [this, r, bytes, settled, finish] {
         if (*settled)
             return; // direct copy landed in time

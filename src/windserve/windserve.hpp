@@ -18,6 +18,7 @@
 #include "simcore/event_pool.hpp"
 #include "simcore/event_queue.hpp"
 #include "simcore/log.hpp"
+#include "simcore/pump_profiler.hpp"
 #include "simcore/rng.hpp"
 #include "simcore/simulator.hpp"
 #include "simcore/stats.hpp"
@@ -39,7 +40,10 @@
 #include "kvcache/block_manager.hpp"
 #include "kvcache/swap_pool.hpp"
 
-// observability (structured trace recording)
+// observability (structured trace recording + telemetry layer)
+#include "obs/decision_journal.hpp"
+#include "obs/metric_registry.hpp"
+#include "obs/telemetry.hpp"
 #include "obs/trace_event.hpp"
 #include "obs/trace_recorder.hpp"
 

@@ -1,9 +1,16 @@
-# Run bench_micro's --json mode at a small event count and validate the
-# emitted BENCH_simcore.json (ctest `perf_smoke`, label `perf-smoke`).
-# This is a schema check, not a perf gate: it proves the tracked-baseline
-# pipeline works end to end (workloads run, counters populate, JSON
-# parses, required fields present). Absolute numbers are left to the
-# release-bench preset runs documented in the README.
+# Run bench_micro's --json mode at a small event count, validate the
+# emitted BENCH_simcore.json schema (ctest `perf_smoke`, label
+# `perf-smoke`), and compare the fresh events/sec against the committed
+# baseline in the repo root.
+#
+# The schema check always runs. The baseline comparison is a regression
+# band, not an exact match: each workload's fresh events_per_sec must be
+# at least TOLERANCE x the committed figure (default 0.40, override via
+# the WS_PERF_TOLERANCE env var; 0 disables the gate). It is enforced
+# only when this build's flavor matches the baseline's recorded
+# "build" field ("optimized") — a debug build is incomparably slower
+# and gets the schema check only. Absolute numbers for the committed
+# baseline come from the release-bench preset runs in the README.
 execute_process(COMMAND ${BENCH} --json=${OUT} --iters 20000
                 RESULT_VARIABLE rc OUTPUT_QUIET ERROR_QUIET)
 if(NOT rc EQUAL 0)
@@ -11,7 +18,7 @@ if(NOT rc EQUAL 0)
 endif()
 execute_process(
     COMMAND ${PYTHON} -c "
-import json, sys
+import json, os, sys
 with open(sys.argv[1]) as f:
     doc = json.load(f)
 assert doc['bench'] == 'simcore', doc
@@ -26,7 +33,35 @@ for w in doc['workloads']:
     assert w['events_per_sec'] > 0 and w['seedref_events_per_sec'] > 0, w
     assert w['allocs_per_event'] >= 0, w
 print('BENCH_simcore.json schema OK:', ', '.join(names))
-" ${OUT}
+
+tolerance = float(os.environ.get('WS_PERF_TOLERANCE', '0.40'))
+baseline_path = sys.argv[2] if len(sys.argv) > 2 else ''
+if tolerance <= 0 or not baseline_path or not os.path.exists(baseline_path):
+    print('baseline comparison skipped (no baseline or tolerance 0)')
+    sys.exit(0)
+with open(baseline_path) as f:
+    base = json.load(f)
+if doc.get('build') != base.get('build'):
+    print('baseline comparison skipped: build flavor %r vs baseline %r'
+          % (doc.get('build'), base.get('build')))
+    sys.exit(0)
+base_by_name = {w['name']: w for w in base['workloads']}
+failures = []
+for w in doc['workloads']:
+    ref = base_by_name.get(w['name'])
+    if ref is None:
+        continue
+    floor = tolerance * ref['events_per_sec']
+    verdict = 'ok' if w['events_per_sec'] >= floor else 'REGRESSION'
+    print('%-14s %8.2f M ev/s vs baseline %8.2f (floor %.2f) %s'
+          % (w['name'], w['events_per_sec'] / 1e6,
+             ref['events_per_sec'] / 1e6, floor / 1e6, verdict))
+    if w['events_per_sec'] < floor:
+        failures.append(w['name'])
+if failures:
+    sys.exit('events/sec regression beyond %.0f%% tolerance band: %s'
+             % (100 * (1 - tolerance), ', '.join(failures)))
+" ${OUT} ${BASELINE}
     RESULT_VARIABLE rc)
 if(NOT rc EQUAL 0)
     message(FATAL_ERROR "emitted benchmark JSON failed validation: ${OUT}")

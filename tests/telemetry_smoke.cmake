@@ -1,0 +1,76 @@
+# Run one bench driver with --metrics-out (and --trace-out, so counter
+# tracks merge into the Chrome trace) and lint every emitted telemetry
+# artifact with stock parsers (ctest `telemetry_export_smoke`):
+#   * both JSON documents through `python3 -m json.tool`
+#   * the Prometheus exposition through a format checker
+#   * both CSVs through Python's csv module
+execute_process(COMMAND ${BENCH} 60 --jobs 2
+                        --trace-out ${OUT}.trace.json
+                        --metrics-out ${OUT}.prom
+                        --sample-every 0.5
+                RESULT_VARIABLE rc OUTPUT_QUIET ERROR_QUIET)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "bench driver failed (rc=${rc})")
+endif()
+
+foreach(doc ${OUT}.trace.json ${OUT}.prom.journal.json)
+    execute_process(COMMAND ${PYTHON} -m json.tool ${doc}
+                    RESULT_VARIABLE rc OUTPUT_QUIET)
+    if(NOT rc EQUAL 0)
+        message(FATAL_ERROR "emitted export is not valid JSON: ${doc}")
+    endif()
+endforeach()
+
+execute_process(
+    COMMAND ${PYTHON} -c "
+import csv, re, sys
+
+# --- Prometheus exposition lint -------------------------------------
+prom = sys.argv[1]
+families, helped, typed = set(), set(), {}
+sample_re = re.compile(
+    r'^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})? (\S+)$')
+with open(prom) as f:
+    for ln, line in enumerate(f, 1):
+        line = line.rstrip('\n')
+        if not line:
+            continue
+        if line.startswith('# HELP '):
+            helped.add(line.split()[2]); continue
+        if line.startswith('# TYPE '):
+            _, _, fam, kind = line.split()
+            assert kind in ('counter', 'gauge', 'histogram'), line
+            typed[fam] = kind; continue
+        assert not line.startswith('#'), 'bad comment line %d' % ln
+        m = sample_re.match(line)
+        assert m, 'unparseable sample line %d: %r' % (ln, line)
+        name = m.group(1)
+        float(m.group(3))  # value must parse (inf allowed)
+        base = re.sub(r'_(bucket|sum|count)$', '', name)
+        families.add(base if base in typed else name)
+for fam in families:
+    assert fam in typed, 'family %s has no TYPE' % fam
+    assert fam in helped, 'family %s has no HELP' % fam
+assert len(families) >= 6, \
+    'expected >= 6 metric families, got %d' % len(families)
+print('prometheus lint OK: %d families' % len(families))
+
+# --- CSV exports parse and carry the expected headers ---------------
+with open(sys.argv[2]) as f:
+    rows = list(csv.reader(f))
+assert rows[0] == ['time', 'family', 'labels', 'value'], rows[0]
+assert len(rows) > 1, 'metrics CSV has no samples'
+for r in rows[1:]:
+    float(r[0]); float(r[3])
+print('metrics CSV OK: %d samples' % (len(rows) - 1))
+
+with open(sys.argv[3]) as f:
+    jrows = list(csv.reader(f))
+assert jrows[0] == ['time', 'kind', 'request', 'chosen', 'reason',
+                    'candidate', 'feasible', 'scores'], jrows[0]
+print('journal CSV OK: %d rows' % (len(jrows) - 1))
+" ${OUT}.prom ${OUT}.prom.csv ${OUT}.prom.journal.csv
+    RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "telemetry export lint failed: ${OUT}.prom")
+endif()

@@ -391,25 +391,25 @@ TEST(Trace, DisabledTracingIsFreeAndChangesNothing)
     EXPECT_DOUBLE_EQ(a.makespan, b.makespan);
 }
 
-// The deprecated enable_tracing() shim stays a thin, idempotent alias
-// of the RunOptions attachment until its scheduled removal.
-TEST(Trace, DeprecatedEnableTracingShimIsIdempotent)
+// RunOptions::tracing is the only attachment path (the deprecated
+// enable_*() shims are gone): the recorder appears during run() and a
+// second tracing run on the same system reuses it.
+TEST(Trace, RunOptionsTracingAttachesOnce)
 {
     auto cfg = small_cell();
     auto sys = harness::make_system(cfg);
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-    auto *first = sys->enable_tracing();
-    EXPECT_EQ(sys->enable_tracing(), first);
-#pragma GCC diagnostic pop
-    EXPECT_EQ(sys->trace(), first);
+    EXPECT_EQ(sys->trace(), nullptr);
 
-    // A RunOptions-tracing run on the same system reuses the shim's
-    // recorder instead of attaching a second one.
     engine::RunOptions opts;
     opts.tracing = true;
     opts.slo = cfg.scenario.slo;
     opts.horizon = cfg.horizon;
+    sys->run(harness::make_trace(cfg), opts);
+    auto *first = sys->trace();
+    ASSERT_NE(first, nullptr);
+
+    // A second tracing run on the same system reuses the recorder
+    // instead of attaching a second one.
     sys->run(harness::make_trace(cfg), opts);
     EXPECT_EQ(sys->trace(), first);
 }
