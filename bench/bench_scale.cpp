@@ -1,0 +1,216 @@
+/**
+ * @file
+ * Cluster-scale sweep: the same per-pod WindServe deployment replayed
+ * at 8, 64 and 512 GPUs (1/8/64 nodes x 2 pods x 4 GPUs), measuring
+ * simulator throughput (events/sec, wall-clock) and the cluster's
+ * serving metrics at each size.
+ *
+ *   bench_scale [--json[=PATH]] [--jobs=J] [--requests=N] [--rate=R]
+ *               [--audit]
+ *
+ * --json emits BENCH_scale.json (schema checked by scale_smoke.cmake;
+ * the committed copy at the repo root is the release-bench baseline —
+ * no tolerance gate yet, it is the first recorded figure). --requests
+ * is the trace size PER POD, so every cluster size serves the same
+ * per-pod load (the paper's linear scaling rule). --audit attaches the
+ * fail-fast invariant auditor to every run.
+ *
+ * All serving metrics in the output are deterministic: the same seed
+ * produces byte-identical figures at any --jobs. Only wall_s and
+ * events_per_sec vary run to run.
+ */
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "windserve/windserve.hpp"
+
+using namespace windserve;
+
+namespace {
+
+struct ScalePoint {
+    std::size_t num_nodes = 1;
+    std::size_t pods_per_node = 2;
+    // measured
+    std::size_t gpus = 0;
+    std::size_t pods = 0;
+    std::size_t requests = 0;
+    std::uint64_t events = 0;
+    double wall_s = 0.0;
+    metrics::RunMetrics metrics;
+    std::uint64_t dispatches = 0;
+    std::uint64_t cross_offloads = 0;
+    std::uint64_t cross_redispatches = 0;
+    std::uint64_t audit_events = 0;
+};
+
+ScalePoint
+run_point(std::size_t num_nodes, std::size_t requests_per_pod, double rate,
+          bool audit)
+{
+    harness::ExperimentConfig cfg;
+    cfg.scenario = harness::Scenario::opt13b_sharegpt();
+    cfg.system = harness::SystemKind::WindServe;
+    cfg.num_nodes = num_nodes;
+    cfg.pods_per_node = 2;
+    cfg.per_gpu_rate = rate;
+    cfg.seed = 42;
+    cfg.audit = audit;
+    std::size_t pods = cfg.num_nodes * cfg.pods_per_node;
+    cfg.num_requests = requests_per_pod * pods;
+
+    ScalePoint pt;
+    pt.num_nodes = num_nodes;
+    pt.pods_per_node = cfg.pods_per_node;
+    pt.pods = pods;
+    pt.requests = cfg.num_requests;
+
+    auto system = harness::make_system(cfg);
+    pt.gpus = system->num_gpus();
+    engine::RunOptions opts;
+    opts.slo = cfg.scenario.slo;
+    opts.horizon = cfg.horizon;
+    if (audit) {
+        audit::AuditConfig ac;
+        ac.repro_seed = cfg.seed;
+        ac.repro_config = "bench_scale";
+        opts.audit = std::move(ac);
+    }
+    auto trace = harness::make_trace(cfg);
+
+    auto t0 = std::chrono::steady_clock::now();
+    auto run = system->run(trace, opts);
+    auto t1 = std::chrono::steady_clock::now();
+
+    pt.wall_s = std::chrono::duration<double>(t1 - t0).count();
+    pt.events = system->simulator().events_fired();
+    pt.metrics = std::move(run.metrics);
+    if (auto *cs = dynamic_cast<core::ClusterServeSystem *>(system.get())) {
+        pt.dispatches = cs->total_dispatches();
+        pt.cross_offloads = cs->cross_offloads();
+        pt.cross_redispatches = cs->cross_redispatches();
+    }
+    if (const audit::SimAuditor *aud = system->audit())
+        pt.audit_events = aud->events_audited();
+    return pt;
+}
+
+std::string
+scale_json(const std::vector<ScalePoint> &points)
+{
+    std::ostringstream out;
+    out.precision(10);
+    out << "{\n";
+    out << "  \"bench\": \"scale\",\n";
+    out << "  \"schema_version\": 1,\n";
+    out << "  \"build\": \""
+#ifdef NDEBUG
+        << "optimized"
+#else
+        << "debug"
+#endif
+        << "\",\n";
+    out << "  \"sweep\": [\n";
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        const ScalePoint &p = points[i];
+        const metrics::RunMetrics &m = p.metrics;
+        out << "    {\n";
+        out << "      \"gpus\": " << p.gpus << ",\n";
+        out << "      \"num_nodes\": " << p.num_nodes << ",\n";
+        out << "      \"pods_per_node\": " << p.pods_per_node << ",\n";
+        out << "      \"pods\": " << p.pods << ",\n";
+        out << "      \"requests\": " << p.requests << ",\n";
+        out << "      \"events\": " << p.events << ",\n";
+        out << "      \"wall_s\": " << p.wall_s << ",\n";
+        out << "      \"events_per_sec\": "
+            << (p.wall_s > 0.0 ? static_cast<double>(p.events) / p.wall_s
+                               : 0.0)
+            << ",\n";
+        out << "      \"finished\": " << m.num_finished << ",\n";
+        out << "      \"unfinished\": " << m.num_unfinished << ",\n";
+        out << "      \"mean_ttft_s\": " << m.ttft.mean() << ",\n";
+        out << "      \"p99_ttft_s\": " << m.ttft.percentile(99.0) << ",\n";
+        out << "      \"mean_tpot_s\": " << m.tpot.mean() << ",\n";
+        out << "      \"slo_attainment\": " << m.slo_attainment << ",\n";
+        out << "      \"makespan_s\": " << m.makespan << ",\n";
+        out << "      \"dispatches\": " << p.dispatches << ",\n";
+        out << "      \"cross_offloads\": " << p.cross_offloads << ",\n";
+        out << "      \"cross_redispatches\": " << p.cross_redispatches
+            << ",\n";
+        out << "      \"audit_events\": " << p.audit_events << "\n";
+        out << "    }" << (i + 1 < points.size() ? "," : "") << "\n";
+    }
+    out << "  ]\n";
+    out << "}\n";
+    return out.str();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool json = false;
+    bool audit = false;
+    std::string json_path = "BENCH_scale.json";
+    std::size_t jobs = harness::default_jobs();
+    std::size_t requests_per_pod = 400;
+    double rate = 1.2;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--json") {
+            json = true;
+        } else if (arg.rfind("--json=", 0) == 0) {
+            json = true;
+            json_path = arg.substr(7);
+        } else if (arg.rfind("--jobs=", 0) == 0) {
+            jobs = std::stoul(arg.substr(7));
+        } else if (arg.rfind("--requests=", 0) == 0) {
+            requests_per_pod = std::stoul(arg.substr(11));
+        } else if (arg.rfind("--rate=", 0) == 0) {
+            rate = std::stod(arg.substr(7));
+        } else if (arg == "--audit") {
+            audit = true;
+        } else {
+            std::cerr << "unknown argument: " << arg << "\n";
+            return 2;
+        }
+    }
+
+    const std::size_t node_counts[] = {1, 8, 64};
+    std::vector<ScalePoint> points(std::size(node_counts));
+    // Points are independent single-threaded runs; slot-ordered results
+    // keep the output identical at any job count.
+    harness::parallel_for(points.size(), jobs, [&](std::size_t i) {
+        points[i] = run_point(node_counts[i], requests_per_pod, rate, audit);
+    });
+
+    std::cout << "  gpus  nodes  pods   requests   finished      events"
+                 "    wall_s    Mev/s  offloads\n";
+    for (const ScalePoint &p : points) {
+        std::printf("%6zu %6zu %5zu %10zu %10zu %11llu %9.3f %8.2f %9llu\n",
+                    p.gpus, p.num_nodes, p.pods, p.requests,
+                    p.metrics.num_finished,
+                    static_cast<unsigned long long>(p.events), p.wall_s,
+                    p.wall_s > 0.0
+                        ? static_cast<double>(p.events) / p.wall_s / 1e6
+                        : 0.0,
+                    static_cast<unsigned long long>(p.cross_offloads));
+    }
+
+    if (json) {
+        std::ofstream out(json_path);
+        if (!out) {
+            std::cerr << "cannot write " << json_path << "\n";
+            return 1;
+        }
+        out << scale_json(points);
+        std::cout << "wrote " << json_path << "\n";
+    }
+    return 0;
+}

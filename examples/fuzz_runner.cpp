@@ -9,15 +9,18 @@
  *
  * Usage:
  *   fuzz_runner [--iters=N] [--seed=S] [--jobs=J] [--system=NAME|all]
- *               [--chaos]
- *   fuzz_runner --repro-seed=S --repro-config=NAME [--chaos] [--log=debug]
+ *               [--chaos] [--nodes=N]
+ *   fuzz_runner --repro-seed=S --repro-config=NAME [--chaos] [--nodes=N]
+ *               [--log=debug]
  *
  * The repro form runs exactly one case — the one a failure printed —
  * optionally with leveled event logging for post-mortem inspection.
  * --chaos derives a fault schedule (instance crashes, link outages,
  * stragglers) from each case seed and replays it under full audit; a
  * chaos case's repro line carries the flag, so pasting it back
- * reproduces the faults too.
+ * reproduces the faults too. --nodes=N replays every case on an
+ * N-node cluster (sharded WindServe pods, replicated baselines) and,
+ * under chaos, adds node-crash and NIC-outage classes.
  */
 #include <cstdlib>
 #include <iostream>
@@ -40,14 +43,17 @@ arg_value(const std::string &arg, const char *key, std::string &out)
 }
 
 int
-repro(std::uint64_t seed, const std::string &config_name, bool chaos)
+repro(std::uint64_t seed, const std::string &config_name, bool chaos,
+      std::size_t nodes)
 {
     harness::SystemKind kind = harness::parse_system_kind(config_name);
     std::cout << "replaying seed " << seed << " on "
               << harness::to_string(kind)
-              << (chaos ? " (chaos)" : "") << "\n";
+              << (chaos ? " (chaos)" : "")
+              << (nodes > 1 ? " (" + std::to_string(nodes) + " nodes)" : "")
+              << "\n";
     harness::FuzzResult r = harness::run_fuzz_case(
-        harness::make_fuzz_config(seed, kind, chaos));
+        harness::make_fuzz_config(seed, kind, chaos, nodes));
     std::cout << "ok: " << r.audit_events << " events audited, "
               << r.finished << "/" << r.num_requests << " finished";
     if (chaos)
@@ -86,6 +92,8 @@ main(int argc, char **argv)
             repro_config = v;
         } else if (arg == "--chaos") {
             opt.chaos = true;
+        } else if (arg_value(arg, "--nodes", v)) {
+            opt.nodes = std::stoul(v);
         } else if (arg_value(arg, "--log", v)) {
             sim::Log::set_level(v == "trace"   ? sim::LogLevel::Trace
                                 : v == "debug" ? sim::LogLevel::Debug
@@ -98,12 +106,16 @@ main(int argc, char **argv)
 
     try {
         if (have_repro_seed)
-            return repro(repro_seed, repro_config, opt.chaos);
+            return repro(repro_seed, repro_config, opt.chaos, opt.nodes);
 
         std::cout << "fuzzing " << opt.iterations << " cases x "
                   << opt.systems.size() << " systems (base seed "
                   << opt.base_seed << ", " << opt.jobs << " jobs"
-                  << (opt.chaos ? ", chaos" : "") << ")\n";
+                  << (opt.chaos ? ", chaos" : "")
+                  << (opt.nodes > 1
+                          ? ", " + std::to_string(opt.nodes) + " nodes"
+                          : "")
+                  << ")\n";
         harness::FuzzSummary sum = harness::run_fuzz(opt);
         std::cout << sum.results.size() << " cases, "
                   << sum.total_events << " events audited, "

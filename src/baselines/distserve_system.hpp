@@ -12,6 +12,13 @@
  *  - the KV transfer starts only after prefill completes and sits on
  *    the request's critical path (~65 ms for a 2048-token OPT-13B
  *    context over PCIe).
+ *
+ * Multi-node mode is a pass-through replication: `num_replicas`
+ * independent prefill/decode pairs (one per node/pod of a cluster
+ * experiment) with round-robin request routing and no cross-pair
+ * traffic — DistServe has no cross-instance scheduler to shard. A
+ * single replica is byte-identical to the historical single-pair
+ * system.
  */
 #pragma once
 
@@ -33,10 +40,12 @@ struct DistServeConfig {
     model::ParallelismConfig decode_parallelism{2, 1};
     model::CostModelParams cost_params;
     transfer::KvTransferConfig transfer{
-        transfer::TransferPolicy::Synchronous, 0.05};
+        transfer::TransferPolicy::Synchronous, 0.05, 0.25, ""};
     std::size_t block_size = 16;
     std::size_t max_batch_size = 256;
     std::size_t max_prefill_tokens = 4096;
+    /** Independent prefill/decode pairs (multi-node pass-through). */
+    std::size_t num_replicas = 1;
     /** Preempt to host memory on KV exhaustion (park when disabled). */
     bool swap_enabled = true;
     /** Host DRAM budget per instance's swap pool. */
@@ -57,8 +66,17 @@ class DistServeSystem : public engine::ServingSystem
     std::string name() const override { return "DistServe"; }
     std::size_t num_gpus() const override;
 
-    engine::Instance &prefill_instance() { return *prefill_; }
-    engine::Instance &decode_instance() { return *decode_; }
+    engine::Instance &prefill_instance() { return *pairs_[0].prefill; }
+    engine::Instance &decode_instance() { return *pairs_[0].decode; }
+    std::size_t num_replicas() const { return pairs_.size(); }
+    engine::Instance &replica_prefill(std::size_t i)
+    {
+        return *pairs_.at(i).prefill;
+    }
+    engine::Instance &replica_decode(std::size_t i)
+    {
+        return *pairs_.at(i).decode;
+    }
     sim::Simulator &simulator() override { return sim_; }
 
   protected:
@@ -75,18 +93,23 @@ class DistServeSystem : public engine::ServingSystem
     }
 
   private:
-    void on_prefill_complete(workload::Request *r);
+    /** One prefill/decode pair with its private transfer path. */
+    struct Pair {
+        std::unique_ptr<engine::Instance> prefill;
+        std::unique_ptr<engine::Instance> decode;
+        std::unique_ptr<transfer::KvTransferManager> xfer;
+        /** In-flight post-prefill KV copies (a prefill crash sweeps
+         *  these; they sit in no instance queue). */
+        std::map<workload::RequestId, workload::Request *> transferring;
+    };
+
+    void on_prefill_complete(std::size_t pair, workload::Request *r);
 
     DistServeConfig cfg_;
     sim::Simulator sim_;
     hw::Topology topo_;
-    std::unique_ptr<engine::Instance> prefill_;
-    std::unique_ptr<engine::Instance> decode_;
-    std::unique_ptr<transfer::KvTransferManager> xfer_;
+    std::vector<Pair> pairs_;
     std::vector<workload::Request> requests_;
-    /** In-flight post-prefill KV copies (a prefill crash sweeps these;
-     *  they sit in no instance queue). */
-    std::map<workload::RequestId, workload::Request *> transferring_;
 };
 
 } // namespace windserve::baselines

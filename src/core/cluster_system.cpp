@@ -1,0 +1,399 @@
+#include "core/cluster_system.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+#include "audit/sim_auditor.hpp"
+#include "fault/fault_injector.hpp"
+#include "hw/transfer_engine.hpp"
+#include "obs/telemetry.hpp"
+#include "simcore/log.hpp"
+
+namespace windserve::core {
+
+using workload::Request;
+using workload::RequestState;
+
+namespace {
+
+hw::Topology
+make_cluster_topology(const ClusterConfig &cfg)
+{
+    hw::TopologyConfig tc = cfg.pod.topology;
+    tc.num_nodes = cfg.num_nodes;
+    tc.inter_node_links = cfg.inter_node_links;
+    return hw::Topology(tc);
+}
+
+/** Pod k's RNG stream; k = 0 keeps the base seed so a 1-pod cluster
+ *  reproduces WindServeSystem byte-for-byte. */
+std::uint64_t
+pod_seed(std::uint64_t base, std::size_t k)
+{
+    return base ^ (static_cast<std::uint64_t>(k) * 0x9e3779b97f4a7c15ULL);
+}
+
+} // namespace
+
+ClusterServeSystem::ClusterServeSystem(ClusterConfig cfg)
+    : cfg_(std::move(cfg)), topo_(make_cluster_topology(cfg_)),
+      balancer_(cfg_.num_nodes * std::max<std::size_t>(cfg_.pods_per_node, 1))
+{
+    if (cfg_.pods_per_node == 0)
+        throw std::invalid_argument(
+            "ClusterServeSystem: need at least one pod per node");
+    const std::size_t total = cfg_.num_nodes * cfg_.pods_per_node;
+    const bool multi = total > 1;
+
+    for (std::size_t k = 0; k < total; ++k) {
+        WindServeConfig pc = cfg_.pod;
+        // Each pod owns one island; the cluster fabric lives up here.
+        pc.topology.num_nodes = 1;
+        pc.topology.inter_node_links.clear();
+        pc.seed = pod_seed(cfg_.pod.seed, k);
+        std::string prefix = multi ? "pod" + std::to_string(k) + "/" : "";
+
+        PodHooks hooks;
+        hooks.on_finished = [this](Request *r) {
+            auto it = home_pod_.find(r->id);
+            if (it != home_pod_.end()) {
+                balancer_.release(it->second, tokens_of(r));
+                home_pod_.erase(it);
+            }
+            if (outstanding_ > 0)
+                --outstanding_;
+        };
+        hooks.offload_decode = [this](Pod &p, Request *r) {
+            return maybe_offload(p, r);
+        };
+        hooks.redispatch_remote = [this](Pod &p, Request *r) {
+            return maybe_redispatch_remote(p, r);
+        };
+        hooks.on_prefill_crash = [this](Pod &p,
+                                        std::vector<Request *> &victims) {
+            sweep_cross_transfers(p, victims);
+        };
+        pods_.push_back(std::make_unique<Pod>(sim_, pc, std::move(hooks),
+                                              std::move(prefix), k));
+    }
+    for (auto &p : pods_) {
+        pod_of_instance_[&p->prefill_instance()] = p.get();
+        pod_of_instance_[&p->decode_instance()] = p.get();
+    }
+
+    // One processor-sharing egress link per node carries cross-pod KV.
+    // Multi-node clusters use the NIC/IB fabric; pods sharing a single
+    // node cross the PCIe root complex instead. A 1-pod cluster has no
+    // cross-pod traffic and gets no extra channels at all.
+    if (multi) {
+        const hw::TopologyConfig &tc = topo_.config();
+        hw::Link egress =
+            cfg_.num_nodes > 1
+                ? hw::Link{hw::LinkType::InterNode, tc.nic_bw,
+                           tc.nic_latency}
+                : hw::Link{hw::LinkType::PCIeRC, tc.pcie_rc_bw,
+                           2 * tc.link_latency};
+        for (std::size_t n = 0; n < cfg_.num_nodes; ++n) {
+            nics_.push_back(std::make_unique<hw::SharedChannel>(
+                sim_, egress, "nic/" + std::to_string(n)));
+        }
+    }
+}
+
+std::size_t
+ClusterServeSystem::num_gpus() const
+{
+    return pods_.size() * (cfg_.pod.prefill_parallelism.num_gpus() +
+                           cfg_.pod.decode_parallelism.num_gpus());
+}
+
+double
+ClusterServeSystem::tokens_of(const Request *r)
+{
+    return static_cast<double>(r->prompt_tokens + r->output_tokens);
+}
+
+std::size_t
+ClusterServeSystem::home_of(const Request *r) const
+{
+    auto it = home_pod_.find(r->id);
+    return it == home_pod_.end() ? 0 : it->second;
+}
+
+std::vector<bool>
+ClusterServeSystem::live_pods() const
+{
+    std::vector<bool> live(pods_.size());
+    for (std::size_t k = 0; k < pods_.size(); ++k) {
+        live[k] = !(pods_[k]->prefill_instance().is_down() &&
+                    pods_[k]->decode_instance().is_down());
+    }
+    return live;
+}
+
+void
+ClusterServeSystem::on_arrival(Request *r)
+{
+    std::vector<bool> live = live_pods();
+    std::size_t k = balancer_.route(tokens_of(r), &live);
+    home_pod_[r->id] = k;
+    pods_[k]->on_arrival(r);
+}
+
+bool
+ClusterServeSystem::maybe_offload(Pod &src, Request *r)
+{
+    if (!cfg_.allow_cross_pod || pods_.size() < 2)
+        return false;
+    const std::size_t k = src.index();
+    const bool forced = src.decode_instance().is_down();
+    if (!forced && src.decode_instance().kv_used_fraction() <
+                       cfg_.offload_highwater)
+        return false;
+    // Least-pressured remote decode instance that is up; unless the
+    // local decode is dead, the target must also be genuinely cooler
+    // (below the low-water mark) or the copy just moves the problem.
+    std::size_t best = CrossPodBalancer::npos;
+    double best_frac = 0.0;
+    for (std::size_t j = 0; j < pods_.size(); ++j) {
+        if (j == k)
+            continue;
+        engine::Instance &d = pods_[j]->decode_instance();
+        if (d.is_down())
+            continue;
+        double f = d.kv_used_fraction();
+        if (!forced && f >= cfg_.offload_lowwater)
+            continue;
+        if (best == CrossPodBalancer::npos || f < best_frac) {
+            best = j;
+            best_frac = f;
+        }
+    }
+    if (best == CrossPodBalancer::npos)
+        return false;
+
+    ++cross_offloads_;
+    audit::transition(audit(), *r, RequestState::Transferring);
+    cross_transferring_[r->id] = CrossXfer{r, k, best};
+    // Cross-node copies cannot overlap the (finished) prefill pass, so
+    // the full prompt KV crosses the fabric.
+    double bytes = src.transfer().bytes_for_tokens(
+        static_cast<double>(r->prompt_tokens));
+    hw::SharedChannel &nic = *nics_[node_of_pod(k)];
+    nic.submit(bytes, [this, r, inc = r->incarnation] {
+        auto it = cross_transferring_.find(r->id);
+        if (it == cross_transferring_.end() || r->incarnation != inc)
+            return; // source prefill crashed mid-copy; already re-routed
+        CrossXfer x = it->second;
+        cross_transferring_.erase(it);
+        pods_[x.src]->prefill_instance().release_kv(r);
+        balancer_.release(x.src, tokens_of(r));
+        balancer_.assign(x.dst, tokens_of(r));
+        home_pod_[r->id] = x.dst;
+        pods_[x.dst]->admit_remote_decode(r);
+    });
+    return true;
+}
+
+bool
+ClusterServeSystem::maybe_redispatch_remote(Pod &src, Request *r)
+{
+    if (!cfg_.allow_cross_pod || pods_.size() < 2)
+        return false;
+    // The pod handles its own recovery while either instance lives.
+    if (!src.prefill_instance().is_down() ||
+        !src.decode_instance().is_down())
+        return false;
+    std::vector<bool> live = live_pods();
+    std::size_t dst = balancer_.least_loaded_except(src.index(), &live);
+    if (dst == CrossPodBalancer::npos)
+        return false;
+    ++cross_redispatches_;
+    balancer_.release(src.index(), tokens_of(r));
+    balancer_.assign(dst, tokens_of(r));
+    home_pod_[r->id] = dst;
+    pods_[dst]->on_arrival(r);
+    return true;
+}
+
+void
+ClusterServeSystem::sweep_cross_transfers(Pod &src,
+                                          std::vector<Request *> &victims)
+{
+    for (auto it = cross_transferring_.begin();
+         it != cross_transferring_.end();) {
+        if (it->second.src == src.index()) {
+            victims.push_back(it->second.r);
+            it = cross_transferring_.erase(it);
+        } else {
+            ++it;
+        }
+    }
+}
+
+void
+ClusterServeSystem::wire_trace(obs::TraceRecorder &rec)
+{
+    for (auto &p : pods_)
+        p->wire_trace(rec);
+    for (auto &nic : nics_)
+        nic->set_trace(&rec, "interconnect", nic->name());
+}
+
+void
+ClusterServeSystem::wire_audit(audit::SimAuditor &a)
+{
+    for (auto &p : pods_)
+        p->wire_audit(a);
+    for (auto &nic : nics_)
+        nic->set_audit(&a);
+}
+
+void
+ClusterServeSystem::wire_faults(fault::FaultInjector &inj)
+{
+    for (auto &p : pods_)
+        p->wire_faults(inj);
+    for (auto &nic : nics_)
+        inj.add_shared_channel(nic.get());
+    // Node fault domains: every instance of every pod on the node goes
+    // down together under a NodeCrash.
+    for (std::size_t n = 0; n < cfg_.num_nodes; ++n) {
+        std::vector<engine::Instance *> group;
+        for (std::size_t k = n * cfg_.pods_per_node;
+             k < (n + 1) * cfg_.pods_per_node; ++k) {
+            group.push_back(&pods_[k]->prefill_instance());
+            group.push_back(&pods_[k]->decode_instance());
+        }
+        inj.add_node_group(std::move(group));
+    }
+    inj.set_redispatch([this](Request *r) {
+        pods_[home_of(r)]->redispatch_after_fault(r);
+    });
+    inj.set_crash_hook(
+        [this](engine::Instance &inst, std::vector<Request *> &victims) {
+            auto it = pod_of_instance_.find(&inst);
+            if (it != pod_of_instance_.end())
+                it->second->on_instance_crashed(inst, victims);
+        });
+}
+
+void
+ClusterServeSystem::wire_telemetry(obs::Telemetry &t)
+{
+    for (std::size_t k = 0; k < pods_.size(); ++k) {
+        pods_[k]->wire_telemetry(t, "pod=\"" + std::to_string(k) + "\"");
+    }
+    obs::MetricRegistry &reg = t.registry();
+    for (auto &nic_ptr : nics_) {
+        hw::SharedChannel *nic = nic_ptr.get();
+        const std::string lbl = "link=\"" + nic->name() + "\"";
+        reg.gauge("ws_link_inflight_bytes", lbl,
+                  [nic] { return nic->inflight_bytes(); },
+                  "Bytes submitted but not yet delivered per link");
+        reg.counter("ws_link_bytes_total", lbl,
+                    [nic] { return nic->total_bytes(); },
+                    "Lifetime bytes submitted per link");
+        reg.counter("ws_link_transfers_total", lbl,
+                    [nic] {
+                        return static_cast<double>(nic->completed());
+                    },
+                    "Transfers completed per link");
+    }
+    reg.counter("ws_cluster_requests_routed_total", "",
+                [this] {
+                    return static_cast<double>(balancer_.routed());
+                },
+                "Requests admitted through the cross-pod balancer");
+    reg.counter("ws_cluster_cross_offloads_total", "",
+                [this] {
+                    return static_cast<double>(cross_offloads_);
+                },
+                "Decode offloads shipped to another pod");
+    reg.counter("ws_cluster_cross_redispatches_total", "",
+                [this] {
+                    return static_cast<double>(cross_redispatches_);
+                },
+                "Crash victims re-homed to another pod");
+    for (std::size_t k = 0; k < pods_.size(); ++k) {
+        reg.gauge("ws_cluster_pod_load",
+                  "pod=\"" + std::to_string(k) + "\"",
+                  [this, k] { return balancer_.load(k); },
+                  "Outstanding tokens charged to each pod");
+    }
+}
+
+void
+ClusterServeSystem::replay(const std::vector<workload::Request> &trace,
+                           double horizon)
+{
+    requests_ = trace;
+    outstanding_ = requests_.size();
+    {
+        sim::SourceScope src(sim_, "arrival");
+        for (auto &r : requests_) {
+            Request *ptr = &r;
+            sim_.schedule_at(r.arrival_time,
+                             [this, ptr] { on_arrival(ptr); });
+        }
+    }
+    sim_.run_until(horizon);
+    for (auto &p : pods_)
+        p->finalize_stats();
+}
+
+void
+ClusterServeSystem::fill_system_metrics(metrics::RunMetrics &m)
+{
+    double pc = 0.0, pb = 0.0, dc = 0.0, db = 0.0;
+    for (auto &p : pods_) {
+        pc += p->prefill_instance().mean_compute_utilization();
+        pb += p->prefill_instance().mean_bandwidth_utilization();
+        dc += p->decode_instance().mean_compute_utilization();
+        db += p->decode_instance().mean_bandwidth_utilization();
+    }
+    double n = static_cast<double>(pods_.size());
+    m.prefill_compute_util = pc / n;
+    m.prefill_bandwidth_util = pb / n;
+    m.decode_compute_util = dc / n;
+    m.decode_bandwidth_util = db / n;
+}
+
+std::uint64_t
+ClusterServeSystem::total_dispatches() const
+{
+    std::uint64_t sum = 0;
+    for (const auto &p : pods_)
+        sum += p->scheduler().coordinator().dispatches();
+    return sum;
+}
+
+std::uint64_t
+ClusterServeSystem::total_reschedules() const
+{
+    std::uint64_t sum = 0;
+    for (const auto &p : pods_)
+        sum += p->scheduler().coordinator().reschedules();
+    return sum;
+}
+
+std::uint64_t
+ClusterServeSystem::total_migrations() const
+{
+    std::uint64_t sum = 0;
+    for (const auto &p : pods_)
+        sum += p->migration().completed();
+    return sum;
+}
+
+std::uint64_t
+ClusterServeSystem::total_backups() const
+{
+    std::uint64_t sum = 0;
+    for (const auto &p : pods_)
+        sum += p->backup().backups_taken();
+    return sum;
+}
+
+} // namespace windserve::core

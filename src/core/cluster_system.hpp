@@ -1,0 +1,150 @@
+/**
+ * @file
+ * ClusterServeSystem: WindServe sharded across a multi-node cluster.
+ *
+ * The cluster is `num_nodes` NVLink islands, each hosting
+ * `pods_per_node` pods (a pod = one prefill/decode pair with its own
+ * Global Scheduler — see core/pod.hpp). A CrossPodBalancer routes each
+ * new request to the least-loaded pod; everything after admission
+ * (dispatch, SBD, stall-free rescheduling, backups) stays pod-local.
+ * Two explicit cross-pod paths exist:
+ *
+ *  - decode offload: when a pod's decode KV pressure crosses the
+ *    high-water mark (or its decode instance is down) at prefill
+ *    completion, the prompt KV ships over the source node's NIC — a
+ *    processor-sharing hw::SharedChannel, so concurrent cross-node
+ *    copies contend — to the least-pressured remote pod;
+ *  - crash re-dispatch: a victim whose home pod is fully down is
+ *    recomputed at the least-loaded pod with a live instance.
+ *
+ * Determinism: pod k runs on seed `base ^ (k * golden)` (pod 0 keeps
+ * the base seed), the balancer is RNG-free, and all cross-pod traffic
+ * flows through the shared simulator — a cluster run stays a pure
+ * function of (config, workload, seed), bit-identical at any --jobs.
+ * A 1-node/1-pod cluster reproduces WindServeSystem byte-for-byte:
+ * same construction order, same RNG forks, same instance and channel
+ * names, no NIC channels.
+ */
+#pragma once
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "core/pod.hpp"
+#include "core/pod_balancer.hpp"
+#include "core/windserve_system.hpp"
+#include "engine/serving_system.hpp"
+#include "hw/topology.hpp"
+
+namespace windserve::core {
+
+/** Shape and policy of a sharded WindServe deployment. */
+struct ClusterConfig {
+    /** Per-pod template. `pod.topology` describes ONE node (its
+     *  num_nodes / inter_node_links are overridden per pod); `pod.seed`
+     *  is the cluster base seed. */
+    WindServeConfig pod;
+    /** NVLink islands in the cluster. */
+    std::size_t num_nodes = 2;
+    /** Pods carved out of each node. */
+    std::size_t pods_per_node = 1;
+    /** Per-node-pair NIC overrides for the cluster fabric (validated
+     *  against num_nodes). */
+    std::vector<hw::InterNodeLink> inter_node_links;
+
+    /** Allow cross-pod decode offload / crash re-dispatch at all. */
+    bool allow_cross_pod = true;
+    /** Local decode KV fraction above which prefill completions are
+     *  offered to other pods. */
+    double offload_highwater = 0.85;
+    /** Remote decode KV fraction below which a pod accepts offloads. */
+    double offload_lowwater = 0.60;
+};
+
+/** See file comment. */
+class ClusterServeSystem : public engine::ServingSystem
+{
+  public:
+    explicit ClusterServeSystem(ClusterConfig cfg);
+
+    std::string name() const override { return "WindServe-Cluster"; }
+    std::size_t num_gpus() const override;
+    sim::Simulator &simulator() override { return sim_; }
+
+    // introspection
+    std::size_t num_pods() const { return pods_.size(); }
+    Pod &pod(std::size_t k) { return *pods_.at(k); }
+    const CrossPodBalancer &balancer() const { return balancer_; }
+    const hw::Topology &topology() const { return topo_; }
+    const ClusterConfig &config() const { return cfg_; }
+    std::uint64_t cross_offloads() const { return cross_offloads_; }
+    std::uint64_t cross_redispatches() const { return cross_redispatches_; }
+
+    /** Sum of per-pod scheduler dispatches (harness reporting). */
+    std::uint64_t total_dispatches() const;
+    /** Sum of per-pod scheduler reschedules. */
+    std::uint64_t total_reschedules() const;
+    /** Sum of per-pod completed migrations. */
+    std::uint64_t total_migrations() const;
+    /** Sum of per-pod backups taken. */
+    std::uint64_t total_backups() const;
+
+  protected:
+    void replay(const std::vector<workload::Request> &trace,
+                double horizon) override;
+    void fill_system_metrics(metrics::RunMetrics &m) override;
+    void wire_trace(obs::TraceRecorder &rec) override;
+    void wire_audit(audit::SimAuditor &a) override;
+    void wire_faults(fault::FaultInjector &inj) override;
+    void wire_telemetry(obs::Telemetry &t) override;
+    std::vector<workload::Request> take_requests() override
+    {
+        return std::move(requests_);
+    }
+
+  private:
+    /** Balancer admission: pick a pod, record the home, hand over. */
+    void on_arrival(workload::Request *r);
+
+    /** Pod hook: maybe claim a prefill completion for remote decode. */
+    bool maybe_offload(Pod &src, workload::Request *r);
+    /** Pod hook: re-home a victim whose pod is fully down. */
+    bool maybe_redispatch_remote(Pod &src, workload::Request *r);
+    /** Pod hook: sweep cross-pod copies out of a crashed prefill. */
+    void sweep_cross_transfers(Pod &src,
+                               std::vector<workload::Request *> &victims);
+
+    std::size_t node_of_pod(std::size_t k) const
+    {
+        return k / cfg_.pods_per_node;
+    }
+    std::size_t home_of(const workload::Request *r) const;
+    static double tokens_of(const workload::Request *r);
+    /** Pods whose instances are not both down. */
+    std::vector<bool> live_pods() const;
+
+    ClusterConfig cfg_;
+    sim::Simulator sim_;
+    hw::Topology topo_; ///< cluster-wide (NIC links); pods own islands
+    std::vector<std::unique_ptr<Pod>> pods_;
+    /** Egress NIC per node (absent for a single-node cluster). */
+    std::vector<std::unique_ptr<hw::SharedChannel>> nics_;
+    CrossPodBalancer balancer_;
+    std::map<const engine::Instance *, Pod *> pod_of_instance_;
+    /** Current owning pod per in-flight request. */
+    std::map<workload::RequestId, std::size_t> home_pod_;
+    /** Cross-pod KV copies in flight: request id -> (src, dst) pod. */
+    struct CrossXfer {
+        workload::Request *r;
+        std::size_t src;
+        std::size_t dst;
+    };
+    std::map<workload::RequestId, CrossXfer> cross_transferring_;
+    std::vector<workload::Request> requests_;
+    std::size_t outstanding_ = 0;
+    std::uint64_t cross_offloads_ = 0;
+    std::uint64_t cross_redispatches_ = 0;
+};
+
+} // namespace windserve::core

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * One WindServe pod: a prefill/decode instance pair with its own
+ * global scheduler, KV transfer path, migration and backup managers.
+ *
+ * A pod is the unit of sharding in a multi-node cluster: it owns one
+ * NVLink island's worth of GPUs and runs the paper's full Fig. 4
+ * pipeline locally (dispatch, SBD, stall-free rescheduling, proactive
+ * backups). WindServeSystem wraps exactly one Pod (the original
+ * single-testbed deployment, bit-identical to the pre-pod code);
+ * ClusterServeSystem owns many and routes between them through the
+ * PodHooks seams below.
+ *
+ * The hooks are the only cross-pod surface:
+ *  - on_finished     (required) request retired — the owner decrements
+ *                    its outstanding count / balancer load;
+ *  - offload_decode  (optional) called when a local prefill completes;
+ *                    return true to take ownership of the KV hand-off
+ *                    (ship it over the NIC to another pod) instead of
+ *                    the local prefill->decode copy;
+ *  - redispatch_remote (optional) called when a crash victim cannot be
+ *                    re-dispatched locally; return true to re-route it
+ *                    to another pod;
+ *  - on_prefill_crash (optional) lets the owner sweep requests whose
+ *                    cross-pod KV copy out of this pod is in flight.
+ *
+ * All hooks default to "not installed", which makes a hook-free Pod
+ * behave exactly like the historical WindServeSystem internals — the
+ * construction order (and hence every RNG fork) is unchanged.
+ */
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "core/global_scheduler.hpp"
+#include "engine/instance.hpp"
+#include "hw/topology.hpp"
+#include "transfer/kv_transfer.hpp"
+#include "transfer/migration.hpp"
+
+namespace windserve::fault {
+class FaultInjector;
+}
+namespace windserve::obs {
+class Telemetry;
+}
+
+namespace windserve::core {
+
+struct WindServeConfig;
+class Pod;
+
+/** Cross-pod seams; see file comment. */
+struct PodHooks {
+    /** Request retired (finished or failed-forward). Required. */
+    std::function<void(workload::Request *)> on_finished;
+    /** Offer a freshly prefilled request for cross-pod decode. */
+    std::function<bool(Pod &, workload::Request *)> offload_decode;
+    /** Offer a crash victim whose pod cannot serve it locally. */
+    std::function<bool(Pod &, workload::Request *)> redispatch_remote;
+    /** The pod's prefill instance crashed: sweep cross-pod transfers. */
+    std::function<void(Pod &, std::vector<workload::Request *> &)>
+        on_prefill_crash;
+};
+
+/** See file comment. */
+class Pod
+{
+  public:
+    /**
+     * Build a pod on @p sim. @p name_prefix (e.g. "pod3/") prefixes the
+     * instance and channel names so the auditor's per-name ledgers stay
+     * distinct across pods; the empty default keeps the historical
+     * names. @p index is the pod's id within its cluster (0 for the
+     * single-pod system).
+     */
+    Pod(sim::Simulator &sim, const WindServeConfig &cfg, PodHooks hooks,
+        std::string name_prefix = "", std::size_t index = 0);
+    ~Pod();
+
+    // ---- request lifecycle (entry points for the owner) ----
+
+    /** Route a new request through Dynamic Prefill Dispatch. */
+    void on_arrival(workload::Request *r);
+
+    /** Backup-aware re-dispatch of a crash victim (may bounce to the
+     *  owner via redispatch_remote when the pod is fully down). */
+    void redispatch_after_fault(workload::Request *r);
+
+    /** Crash sweep for one of this pod's instances. */
+    void on_instance_crashed(engine::Instance &inst,
+                             std::vector<workload::Request *> &victims);
+
+    /** Admit a request whose prompt KV just arrived from another pod
+     *  (cross-pod decode offload): enqueue on the decode instance and
+     *  close any fault-recovery window. */
+    void admit_remote_decode(workload::Request *r);
+
+    /** Flush per-instance utilization stats at end of run. */
+    void finalize_stats();
+
+    // ---- wiring (mirrors ServingSystem's attachment order) ----
+
+    void wire_trace(obs::TraceRecorder &rec);
+    void wire_audit(audit::SimAuditor &a);
+    /** Register instances/channels with @p inj (in the pod's canonical
+     *  order) and arm fault-tolerance mode. Does NOT install the
+     *  injector's redispatch/crash hooks — the owner routes those. */
+    void wire_faults(fault::FaultInjector &inj);
+    /** Register metric families. @p pod_label ("" or "pod=\"k\"") tags
+     *  the per-pod scheduler/migration/backup series; channel and
+     *  instance series are already unique via name_prefix. */
+    void wire_telemetry(obs::Telemetry &t, const std::string &pod_label);
+
+    // ---- introspection ----
+
+    engine::Instance &prefill_instance() { return *prefill_; }
+    engine::Instance &decode_instance() { return *decode_; }
+    GlobalScheduler &scheduler() { return *scheduler_; }
+    transfer::MigrationManager &migration() { return *migration_; }
+    transfer::BackupManager &backup() { return *backup_; }
+    transfer::KvTransferManager &transfer() { return *xfer_; }
+    std::size_t index() const { return index_; }
+    const std::string &name_prefix() const { return name_prefix_; }
+
+  private:
+    void on_prefill_complete_at_prefill(workload::Request *r);
+    void on_prefill_complete_at_decode(workload::Request *r);
+    void on_finished(workload::Request *r);
+    void finish_prefill_only(engine::Instance &inst, workload::Request *r);
+
+    sim::Simulator &sim_;
+    PodHooks hooks_;
+    std::string name_prefix_;
+    std::size_t index_;
+    bool enable_backup_;
+    hw::Topology topo_;
+    std::unique_ptr<engine::Instance> prefill_;
+    std::unique_ptr<engine::Instance> decode_;
+    std::unique_ptr<transfer::KvTransferManager> xfer_;
+    kvcache::BackupRegistry backup_registry_;
+    std::unique_ptr<transfer::MigrationManager> migration_;
+    std::unique_ptr<transfer::BackupManager> backup_;
+    std::unique_ptr<GlobalScheduler> scheduler_;
+    audit::SimAuditor *audit_ = nullptr;
+    fault::FaultInjector *faults_ = nullptr;
+    obs::Telemetry *telemetry_ = nullptr;
+    /** Requests whose prefill KV copy is in flight — invisible to both
+     *  instances' queues, so a prefill crash must sweep them here.
+     *  Ordered map: the crash hook iterates it. */
+    std::map<workload::RequestId, workload::Request *> transferring_;
+};
+
+} // namespace windserve::core

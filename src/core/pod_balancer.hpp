@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Cross-pod load balancer: the thin routing layer above sharded
+ * WindServe pods.
+ *
+ * The balancer is deliberately dumb — least-outstanding-tokens with
+ * lowest-pod-id tie-break — because the interesting scheduling
+ * (dispatch, SBD, rescheduling) happens inside each pod. All state is
+ * plain arithmetic on locally tracked load, so routing is a pure
+ * function of the request sequence: no RNG, no wall-clock, which keeps
+ * cluster runs bit-identical at any --jobs.
+ *
+ * Load accounting protocol (ClusterServeSystem drives it):
+ *  - assign(pod, tokens) when a request is routed or re-homed to a pod
+ *  - release(pod, tokens) when it finishes, aborts, or moves away
+ */
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+namespace windserve::core {
+
+/** See file comment. */
+class CrossPodBalancer
+{
+  public:
+    explicit CrossPodBalancer(std::size_t num_pods) : load_(num_pods, 0.0)
+    {
+        if (num_pods == 0)
+            throw std::invalid_argument(
+                "CrossPodBalancer: need at least one pod");
+    }
+
+    std::size_t num_pods() const { return load_.size(); }
+
+    /** Outstanding-token load currently charged to @p pod. */
+    double load(std::size_t pod) const { return load_.at(pod); }
+
+    /**
+     * Pick the least-loaded pod among those @p eligible (nullptr = all
+     * pods), charge it @p tokens, and return its id. Ties break toward
+     * the lowest pod id. Falls back to a plain argmin over every pod
+     * when no eligible pod exists (the caller routed around a fully
+     * dark cluster; the request queues until repair).
+     */
+    std::size_t route(double tokens,
+                      const std::vector<bool> *eligible = nullptr)
+    {
+        std::size_t best = pick(eligible);
+        if (best == npos)
+            best = pick(nullptr);
+        load_[best] += tokens;
+        ++routed_;
+        return best;
+    }
+
+    /** Charge @p tokens to @p pod (re-homing a request). */
+    void assign(std::size_t pod, double tokens) { load_.at(pod) += tokens; }
+
+    /** Return @p tokens of @p pod 's load (clamped at zero). */
+    void release(std::size_t pod, double tokens)
+    {
+        double &l = load_.at(pod);
+        l -= tokens;
+        if (l < 0.0)
+            l = 0.0;
+    }
+
+    /**
+     * Least-loaded pod among @p eligible excluding @p exclude, or
+     * npos when none qualifies.
+     */
+    std::size_t least_loaded_except(std::size_t exclude,
+                                    const std::vector<bool> *eligible =
+                                        nullptr) const
+    {
+        std::size_t best = npos;
+        for (std::size_t k = 0; k < load_.size(); ++k) {
+            if (k == exclude)
+                continue;
+            if (eligible && !(*eligible)[k])
+                continue;
+            if (best == npos || load_[k] < load_[best])
+                best = k;
+        }
+        return best;
+    }
+
+    /** Requests routed through route(). */
+    std::uint64_t routed() const { return routed_; }
+
+    static constexpr std::size_t npos =
+        std::numeric_limits<std::size_t>::max();
+
+  private:
+    std::size_t pick(const std::vector<bool> *eligible) const
+    {
+        std::size_t best = npos;
+        for (std::size_t k = 0; k < load_.size(); ++k) {
+            if (eligible && !(*eligible)[k])
+                continue;
+            if (best == npos || load_[k] < load_[best])
+                best = k;
+        }
+        return best;
+    }
+
+    std::vector<double> load_;
+    std::uint64_t routed_ = 0;
+};
+
+} // namespace windserve::core

@@ -8,120 +8,15 @@
 namespace windserve::core {
 
 using workload::Request;
-using workload::RequestState;
 
-WindServeSystem::WindServeSystem(WindServeConfig cfg)
-    : cfg_(std::move(cfg)), topo_(cfg_.topology)
+WindServeSystem::WindServeSystem(WindServeConfig cfg) : cfg_(std::move(cfg))
 {
-    sim::Rng seed_rng(cfg_.seed);
-
-    hw::PdPlacement placement = hw::default_pd_placement(
-        topo_, cfg_.prefill_parallelism.num_gpus(),
-        cfg_.decode_parallelism.num_gpus());
-
-    model::CostModel prefill_cost(cfg_.model, topo_.gpu(0),
-                                  cfg_.prefill_parallelism,
-                                  cfg_.cost_params);
-    model::CostModel decode_cost(cfg_.model, topo_.gpu(0),
-                                 cfg_.decode_parallelism, cfg_.cost_params);
-
-    engine::InstanceConfig pcfg;
-    pcfg.name = "prefill";
-    pcfg.role = engine::InstanceRole::Prefill;
-    pcfg.block_size = cfg_.block_size;
-    pcfg.max_batch_size = cfg_.max_batch_size;
-    pcfg.max_prefill_tokens = cfg_.max_prefill_tokens;
-    // Migrated decodes trigger chunked prefill here (§3.3). Large
-    // chunks keep prefill throughput high; the few migrated decodes are
-    // long-context requests with TPOT slack.
-    pcfg.chunk_size = cfg_.prefill_chunk_size;
-    pcfg.chunked_prefill = true;
-    pcfg.exec_noise_sigma = cfg_.exec_noise_sigma;
-    pcfg.swap_enabled = cfg_.swap_enabled;
-    pcfg.host_memory_bytes = cfg_.host_memory_bytes;
-    pcfg.kv_capacity_tokens_override = cfg_.kv_capacity_tokens_override;
-    prefill_ = std::make_unique<engine::Instance>(
-        sim_, pcfg, prefill_cost, seed_rng.fork(),
-        topo_.host_link(placement.prefill.front()));
-
-    engine::InstanceConfig dcfg;
-    dcfg.name = "decode";
-    dcfg.role = engine::InstanceRole::Decode;
-    dcfg.block_size = cfg_.block_size;
-    dcfg.max_batch_size = cfg_.max_batch_size;
-    dcfg.max_prefill_tokens = cfg_.max_prefill_tokens;
-    dcfg.chunk_size = cfg_.chunk_size;
-    dcfg.stream_based_disaggregation = cfg_.enable_sbd;
-    dcfg.exec_noise_sigma = cfg_.exec_noise_sigma;
-    dcfg.swap_enabled = cfg_.swap_enabled;
-    dcfg.host_memory_bytes = cfg_.host_memory_bytes;
-    dcfg.kv_capacity_tokens_override = cfg_.kv_capacity_tokens_override;
-    decode_ = std::make_unique<engine::Instance>(
-        sim_, dcfg, decode_cost, seed_rng.fork(),
-        topo_.host_link(placement.decode.front()));
-
-    hw::Link pd_link = topo_.best_link(placement.prefill, placement.decode);
-    xfer_ = std::make_unique<transfer::KvTransferManager>(
-        sim_, pd_link, cfg_.model, cfg_.transfer);
-
-    migration_ = std::make_unique<transfer::MigrationManager>(
-        sim_, *xfer_, *decode_, *prefill_, backup_registry_,
-        cfg_.migration);
-    backup_ = std::make_unique<transfer::BackupManager>(
-        sim_, *xfer_, *decode_, *prefill_, backup_registry_, cfg_.backup);
-
-    // Dispatch must back off before the decode instance is memory-tight;
-    // scale the KV reserve with the actual capacity.
-    CoordinatorConfig coord_cfg = cfg_.coordinator;
-    coord_cfg.dispatch_kv_reserve_tokens = std::max(
-        coord_cfg.dispatch_kv_reserve_tokens,
-        static_cast<std::size_t>(cfg_.dispatch_reserve_fraction *
-                                 decode_cost.kv_capacity_tokens()));
-    scheduler_ = std::make_unique<GlobalScheduler>(coord_cfg);
-    scheduler_->bind_clock(&sim_);
-    sim::Rng calib_rng = seed_rng.fork();
-    scheduler_->calibrate(prefill_cost, decode_cost, cfg_.ttft_slo,
-                          cfg_.tpot_slo, calib_rng, cfg_.exec_noise_sigma);
-
-    // ------------------------------------------------------------------
-    // callback wiring
-    // ------------------------------------------------------------------
-    prefill_->callbacks.on_prefill_complete = [this](Request *r) {
-        on_prefill_complete_at_prefill(r);
+    PodHooks hooks;
+    hooks.on_finished = [this](Request *) {
+        if (outstanding_ > 0)
+            --outstanding_;
     };
-    prefill_->callbacks.on_finished = [this](Request *r) {
-        on_finished(r);
-    };
-    prefill_->callbacks.on_prefill_observation = [this](double n, double t) {
-        scheduler_->prefill_profiler().observe_prefill(n, t);
-    };
-
-    decode_->callbacks.on_prefill_complete = [this](Request *r) {
-        on_prefill_complete_at_decode(r);
-    };
-    decode_->callbacks.on_finished = [this](Request *r) { on_finished(r); };
-    decode_->callbacks.on_assist_bounce = [this](Request *r) {
-        // The coordinator's slot check raced with decode KV growth:
-        // fall back to the prefill instance.
-        prefill_->enqueue_prefill(r);
-    };
-    decode_->callbacks.on_decode_observation =
-        [this](double b, double l, double t) {
-            scheduler_->decode_profiler().observe_decode(b, l, t);
-        };
-    decode_->callbacks.on_step = [this] {
-        migration_->on_source_step();
-        scheduler_->coordinator().maybe_reschedule(*decode_, *prefill_,
-                                                   *migration_);
-        if (cfg_.coordinator.enable_backup)
-            backup_->maybe_backup();
-    };
-
-    migration_->on_migrated = [this](Request *r) {
-        // enqueue_decode performs the Migrating -> WaitingDecode
-        // transition itself.
-        prefill_->enqueue_decode(r, /*kv_resident=*/true);
-    };
+    pod_ = std::make_unique<Pod>(sim_, cfg_, std::move(hooks));
 }
 
 std::size_t
@@ -134,96 +29,30 @@ WindServeSystem::num_gpus() const
 void
 WindServeSystem::wire_trace(obs::TraceRecorder &rec)
 {
-    prefill_->set_trace(&rec);
-    decode_->set_trace(&rec);
-    xfer_->set_trace(&rec);
-    migration_->set_trace(&rec);
-    backup_->set_trace(&rec);
-    scheduler_->set_trace(&rec);
+    pod_->wire_trace(rec);
 }
 
 void
 WindServeSystem::wire_audit(audit::SimAuditor &a)
 {
-    prefill_->set_audit(&a);
-    decode_->set_audit(&a);
-    xfer_->set_audit(&a);
-    migration_->set_audit(&a);
-    scheduler_->set_audit(&a);
+    pod_->wire_audit(a);
 }
 
 void
 WindServeSystem::wire_telemetry(obs::Telemetry &t)
 {
-    obs::MetricRegistry &reg = t.registry();
-    prefill_->register_metrics(reg);
-    decode_->register_metrics(reg);
-
-    hw::Channel *channels[] = {&xfer_->forward_channel(),
-                               &xfer_->reverse_channel(),
-                               &xfer_->staged_channel()};
-    for (hw::Channel *ch : channels) {
-        const std::string lbl = "link=\"" + ch->name() + "\"";
-        reg.gauge("ws_link_inflight_bytes", lbl,
-                  [ch] { return ch->inflight_bytes(); },
-                  "Bytes submitted but not yet delivered per link");
-        reg.counter("ws_link_bytes_total", lbl,
-                    [ch] { return ch->total_bytes(); },
-                    "Lifetime bytes submitted per link");
-        reg.counter("ws_link_transfers_total", lbl,
-                    [ch] {
-                        return static_cast<double>(ch->completed());
-                    },
-                    "Transfers completed per link");
-    }
-
-    const Coordinator *coord = &scheduler_->coordinator();
-    reg.counter("ws_sched_dispatches_total", "",
-                [coord] {
-                    return static_cast<double>(coord->dispatches());
-                },
-                "Dynamic prefill dispatches to the decode instance");
-    reg.counter("ws_sched_reschedules_total", "",
-                [coord] {
-                    return static_cast<double>(coord->reschedules());
-                },
-                "Dynamic rescheduling migrations started");
-    reg.gauge("ws_migrations_active", "",
-              [this] {
-                  return static_cast<double>(migration_->active());
-              },
-              "Stall-free migrations currently in flight");
-    reg.counter("ws_migrations_completed_total", "",
-                [this] {
-                    return static_cast<double>(migration_->completed());
-                },
-                "Stall-free migrations completed");
-    reg.counter("ws_backups_taken_total", "",
-                [this] {
-                    return static_cast<double>(backup_->backups_taken());
-                },
-                "Proactive KV backups taken");
-
-    scheduler_->coordinator().set_journal(t.journal());
+    pod_->wire_telemetry(t, "");
 }
 
 void
 WindServeSystem::wire_faults(fault::FaultInjector &inj)
 {
-    inj.add_instance(prefill_.get());
-    inj.add_instance(decode_.get());
-    inj.add_channel(&xfer_->forward_channel());
-    inj.add_channel(&xfer_->reverse_channel());
-    xfer_->set_faults(&inj);
-    // Chaos armed: checkpoint proactively so crash victims have a
-    // prefill-side KV copy to resume from (the backup-aware half of
-    // backup-aware re-dispatch).
-    backup_->fault_tolerance_mode();
+    pod_->wire_faults(inj);
     inj.set_redispatch(
-        [this](Request *r) { redispatch_after_fault(r); });
+        [this](Request *r) { pod_->redispatch_after_fault(r); });
     inj.set_crash_hook(
         [this](engine::Instance &inst, std::vector<Request *> &victims) {
-            on_instance_crashed(inst, victims);
+            pod_->on_instance_crashed(inst, victims);
         });
 }
 
@@ -238,167 +67,24 @@ WindServeSystem::replay(const std::vector<workload::Request> &trace,
         for (auto &r : requests_) {
             Request *ptr = &r;
             sim_.schedule_at(r.arrival_time,
-                             [this, ptr] { on_arrival(ptr); });
+                             [this, ptr] { pod_->on_arrival(ptr); });
         }
     }
     sim_.run_until(horizon);
-    prefill_->finalize_stats();
-    decode_->finalize_stats();
-}
-
-void
-WindServeSystem::on_arrival(Request *r)
-{
-    DispatchDecision d = scheduler_->coordinator().decide_dispatch(
-        *r, *prefill_, *decode_);
-    // A down instance starts nothing until repaired: route around it
-    // while the peer is up — phase-disaggregation's both-roles-capable
-    // instances make this a free availability win.
-    if (d == DispatchDecision::DecodeInstance && decode_->is_down() &&
-        !prefill_->is_down()) {
-        d = DispatchDecision::PrefillInstance;
-    } else if (d == DispatchDecision::PrefillInstance &&
-               prefill_->is_down() && !decode_->is_down()) {
-        d = DispatchDecision::DecodeInstance;
-    }
-    if (d == DispatchDecision::DecodeInstance)
-        decode_->enqueue_assist_prefill(r);
-    else
-        prefill_->enqueue_prefill(r);
-}
-
-void
-WindServeSystem::finish_prefill_only(engine::Instance &inst, Request *r)
-{
-    // Single-output-token request: the prefill's first token is also the
-    // EOS; no decode phase exists.
-    r->finish_time = sim_.now();
-    audit::transition(audit(), *r, RequestState::Finished);
-    inst.release_kv(r);
-    on_finished(r);
-}
-
-void
-WindServeSystem::on_prefill_complete_at_prefill(Request *r)
-{
-    if (r->output_tokens <= 1) {
-        finish_prefill_only(*prefill_, r);
-        return;
-    }
-    // WindServe overlaps the KV copy with the prefill pass; only the
-    // tail is left on the critical path here (transfer config).
-    transferring_[r->id] = r;
-    xfer_->transfer_prefill_kv(r, [this, r, inc = r->incarnation] {
-        if (r->incarnation != inc)
-            return; // the prefill crashed mid-copy; r was re-dispatched
-        transferring_.erase(r->id);
-        prefill_->release_kv(r);
-        decode_->enqueue_decode(r, /*kv_resident=*/false);
-        if (faults())
-            faults()->note_decode_ready(r);
-    });
-}
-
-void
-WindServeSystem::on_prefill_complete_at_decode(Request *r)
-{
-    if (r->output_tokens <= 1) {
-        finish_prefill_only(*decode_, r);
-        return;
-    }
-    // Assist prefill: KV is already resident in the decode instance —
-    // no transfer at all (a structural benefit of Dynamic Prefill
-    // Dispatch).
-    r->transfer_done_time = sim_.now();
-    decode_->enqueue_decode(r, /*kv_resident=*/true);
-    if (faults())
-        faults()->note_decode_ready(r);
-}
-
-void
-WindServeSystem::on_finished(Request *r)
-{
-    migration_->on_request_finished(r);
-    backup_->on_request_done(r);
-    if (faults())
-        faults()->note_decode_ready(r); // single-token recoveries finish
-                                        // without re-entering a decode queue
-    if (outstanding_ > 0)
-        --outstanding_;
-}
-
-void
-WindServeSystem::redispatch_after_fault(Request *r)
-{
-    // Backup-aware re-dispatch (the recovery counterpart of §3.3's
-    // proactive backups): when a KV prefix backup survives at the
-    // prefill instance, resume decoding from it there — only the tokens
-    // generated since the backup are recomputed. Otherwise fall back to
-    // a full prefill recompute through the normal dispatch path.
-    std::size_t backed = backup_registry_.backed_up_tokens(r->id);
-    const bool resumable = backed >= r->prompt_tokens && backed > 0 &&
-                           !prefill_->is_down() &&
-                           prefill_->blocks().holds(r->id);
-    if (obs::Telemetry *t = telemetry(); t && t->journal()) {
-        obs::Decision d;
-        d.time = sim_.now();
-        d.kind = obs::DecisionKind::Redispatch;
-        d.request = r->id;
-        d.chosen = resumable ? "resume-backup" : "recompute";
-        d.reason = resumable ? "backup_covers_prompt"
-                             : "no_usable_backup";
-        d.candidates.push_back(obs::DecisionOption{
-            "resume-backup",
-            resumable,
-            {{"backed_up_tokens", static_cast<double>(backed)},
-             {"prompt_tokens", static_cast<double>(r->prompt_tokens)},
-             {"prefill_up", prefill_->is_down() ? 0.0 : 1.0}}});
-        d.candidates.push_back(obs::DecisionOption{
-            "recompute",
-            true,
-            {{"prompt_tokens",
-              static_cast<double>(r->prompt_tokens)}}});
-        t->journal()->record(std::move(d));
-    }
-    if (resumable) {
-        backup_registry_.drop(r->id);
-        r->prefilled = r->prompt_tokens;
-        r->generated = backed - r->prompt_tokens;
-        prefill_->enqueue_decode(r, /*kv_resident=*/true);
-        faults()->note_decode_ready(r);
-        return;
-    }
-    r->prefilled = 0;
-    r->generated = 0;
-    on_arrival(r);
-}
-
-void
-WindServeSystem::on_instance_crashed(engine::Instance &inst,
-                                     std::vector<Request *> &victims)
-{
-    if (&inst == prefill_.get()) {
-        // Every backup copy lived in the crashed HBM.
-        migration_->on_target_crash();
-        backup_->on_target_crash();
-        backup_registry_.clear();
-        for (auto &[id, r] : transferring_)
-            victims.push_back(r);
-        transferring_.clear();
-    } else {
-        backup_->on_source_crash();
-        for (Request *r : migration_->cancel_active())
-            victims.push_back(r);
-    }
+    pod_->finalize_stats();
 }
 
 void
 WindServeSystem::fill_system_metrics(metrics::RunMetrics &m)
 {
-    m.prefill_compute_util = prefill_->mean_compute_utilization();
-    m.prefill_bandwidth_util = prefill_->mean_bandwidth_utilization();
-    m.decode_compute_util = decode_->mean_compute_utilization();
-    m.decode_bandwidth_util = decode_->mean_bandwidth_utilization();
+    m.prefill_compute_util =
+        pod_->prefill_instance().mean_compute_utilization();
+    m.prefill_bandwidth_util =
+        pod_->prefill_instance().mean_bandwidth_utilization();
+    m.decode_compute_util =
+        pod_->decode_instance().mean_compute_utilization();
+    m.decode_bandwidth_util =
+        pod_->decode_instance().mean_bandwidth_utilization();
 }
 
 } // namespace windserve::core

@@ -11,16 +11,21 @@
  * migrates long decodes back to the prefill instance (stall-free) under
  * memory pressure, with proactive KV backups shrinking migration cost.
  *
+ * The deployment machinery itself lives in core::Pod — this class wraps
+ * exactly one hook-free pod (the original single-testbed system, byte-
+ * identical to the pre-pod code); ClusterServeSystem shards many pods
+ * under a cross-pod balancer.
+ *
  * Ablation switches reproduce the §5.4 variants:
  *   enable_sbd = false            -> WindServe-no-split
  *   coord.enable_rescheduling = false -> WindServe-no-resche
  */
 #pragma once
 
-#include <map>
 #include <memory>
 
 #include "core/global_scheduler.hpp"
+#include "core/pod.hpp"
 #include "engine/serving_system.hpp"
 #include "hw/topology.hpp"
 #include "transfer/kv_transfer.hpp"
@@ -28,7 +33,7 @@
 
 namespace windserve::core {
 
-/** Full configuration of a WindServe deployment. */
+/** Full configuration of a WindServe deployment (one pod's worth). */
 struct WindServeConfig {
     model::ModelSpec model = model::ModelSpec::opt_13b();
     hw::TopologyConfig topology;
@@ -38,7 +43,7 @@ struct WindServeConfig {
 
     CoordinatorConfig coordinator;
     transfer::KvTransferConfig transfer{
-        transfer::TransferPolicy::Overlapped, 0.05};
+        transfer::TransferPolicy::Overlapped, 0.05, 0.25, ""};
     transfer::MigrationConfig migration;
     transfer::BackupManager::Config backup;
 
@@ -81,11 +86,12 @@ class WindServeSystem : public engine::ServingSystem
     std::size_t num_gpus() const override;
 
     // introspection for tests and ablation studies
-    engine::Instance &prefill_instance() { return *prefill_; }
-    engine::Instance &decode_instance() { return *decode_; }
-    GlobalScheduler &scheduler() { return *scheduler_; }
-    transfer::MigrationManager &migration() { return *migration_; }
-    transfer::BackupManager &backup() { return *backup_; }
+    engine::Instance &prefill_instance() { return pod_->prefill_instance(); }
+    engine::Instance &decode_instance() { return pod_->decode_instance(); }
+    GlobalScheduler &scheduler() { return pod_->scheduler(); }
+    transfer::MigrationManager &migration() { return pod_->migration(); }
+    transfer::BackupManager &backup() { return pod_->backup(); }
+    Pod &pod() { return *pod_; }
     sim::Simulator &simulator() override { return sim_; }
     const WindServeConfig &config() const { return cfg_; }
 
@@ -103,35 +109,11 @@ class WindServeSystem : public engine::ServingSystem
     }
 
   private:
-    void on_arrival(workload::Request *r);
-    void on_prefill_complete_at_prefill(workload::Request *r);
-    void on_prefill_complete_at_decode(workload::Request *r);
-    void on_finished(workload::Request *r);
-    void finish_prefill_only(engine::Instance &inst, workload::Request *r);
-
-    /** Backup-aware re-dispatch of a crash victim (paper's recovery
-     *  advantage: resume from the prefill-side KV backup when one
-     *  survives; recompute the prefill otherwise). */
-    void redispatch_after_fault(workload::Request *r);
-    void on_instance_crashed(engine::Instance &inst,
-                             std::vector<workload::Request *> &victims);
-
     WindServeConfig cfg_;
     sim::Simulator sim_;
-    hw::Topology topo_;
-    std::unique_ptr<engine::Instance> prefill_;
-    std::unique_ptr<engine::Instance> decode_;
-    std::unique_ptr<transfer::KvTransferManager> xfer_;
-    kvcache::BackupRegistry backup_registry_;
-    std::unique_ptr<transfer::MigrationManager> migration_;
-    std::unique_ptr<transfer::BackupManager> backup_;
-    std::unique_ptr<GlobalScheduler> scheduler_;
+    std::unique_ptr<Pod> pod_;
     std::vector<workload::Request> requests_;
     std::size_t outstanding_ = 0;
-    /** Requests whose prefill KV copy is in flight — invisible to both
-     *  instances' queues, so a prefill crash must sweep them here.
-     *  Ordered map: the crash hook iterates it. */
-    std::map<workload::RequestId, workload::Request *> transferring_;
 };
 
 } // namespace windserve::core

@@ -159,6 +159,17 @@ class Instance
     kvcache::SwapPool &swap_pool() { return swap_; }
     const kvcache::SwapPool &swap_pool() const { return swap_; }
 
+    /** Fraction of KV block capacity in use — the memory-pressure
+     *  signal cross-pod balancers route on. */
+    double kv_used_fraction() const
+    {
+        std::size_t total = blocks_.total_blocks();
+        if (total == 0)
+            return 0.0;
+        return static_cast<double>(blocks_.used_blocks()) /
+               static_cast<double>(total);
+    }
+
     /** Prompt tokens waiting in the prefill queue (incl. unchunked rest). */
     std::size_t waiting_prefill_tokens() const;
 

@@ -26,6 +26,11 @@ ServingSystem::link_attachments()
                             inj->instance_crashes());
                     },
                     help);
+        reg.counter("ws_fault_events_total", "kind=\"node_crash\"",
+                    [inj] {
+                        return static_cast<double>(inj->node_crashes());
+                    },
+                    help);
         reg.counter("ws_fault_events_total", "kind=\"link_outage\"",
                     [inj] {
                         return static_cast<double>(inj->link_outages());

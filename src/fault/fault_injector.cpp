@@ -25,7 +25,21 @@ FaultInjector::add_instance(engine::Instance *inst)
 void
 FaultInjector::add_channel(hw::Channel *chan)
 {
-    channels_.push_back(chan);
+    links_.push_back(LinkTarget{
+        chan->name(), [chan](double f) { chan->set_rate_factor(f); }});
+}
+
+void
+FaultInjector::add_shared_channel(hw::SharedChannel *chan)
+{
+    links_.push_back(LinkTarget{
+        chan->name(), [chan](double f) { chan->set_rate_factor(f); }});
+}
+
+void
+FaultInjector::add_node_group(std::vector<engine::Instance *> insts)
+{
+    node_groups_.push_back(std::move(insts));
 }
 
 void
@@ -65,6 +79,9 @@ FaultInjector::fire(const FaultEvent &ev)
     case FaultKind::StragglerEnd:
         do_straggler(ev);
         break;
+    case FaultKind::NodeCrash:
+        do_node_crash(ev);
+        break;
     }
 }
 
@@ -74,27 +91,59 @@ FaultInjector::do_crash(const FaultEvent &ev)
     if (instances_.empty())
         return;
     engine::Instance *inst = instances_[ev.target % instances_.size()];
-    if (inst->is_down())
-        return; // crash of an already-dead instance is absorbed
-    ++crashes_;
+    crash_instances({inst}, ev.param);
+}
+
+void
+FaultInjector::do_node_crash(const FaultEvent &ev)
+{
+    if (node_groups_.empty())
+        return;
+    const auto &group = node_groups_[ev.target % node_groups_.size()];
+    bool any_up = false;
+    for (engine::Instance *inst : group)
+        if (!inst->is_down())
+            any_up = true;
+    if (!any_up)
+        return; // the whole node is already dark
+    ++node_crashes_;
+    crash_instances(group, ev.param);
+}
+
+void
+FaultInjector::crash_instances(const std::vector<engine::Instance *> &insts,
+                               double repair)
+{
     double now = sim_.now();
-    down_until_[inst] = now + ev.param;
+    std::vector<workload::Request *> victims;
+    std::vector<engine::Instance *> crashed;
+    for (engine::Instance *inst : insts) {
+        if (inst->is_down())
+            continue; // crash of an already-dead instance is absorbed
+        ++crashes_;
+        crashed.push_back(inst);
+        down_until_[inst] = now + repair;
 
-    if (trace_) {
-        trace_->span(obs::Category::Fault, "fault", inst->name(), "down", now,
-                     ev.param, {obs::num_arg("repair_s", ev.param)});
-    }
+        if (trace_) {
+            trace_->span(obs::Category::Fault, "fault", inst->name(), "down",
+                         now, repair, {obs::num_arg("repair_s", repair)});
+        }
 
-    std::vector<workload::Request *> victims = inst->crash();
-    if (audit_) {
-        audit_->on_instance_crash(inst->name(), inst->blocks().used_blocks(),
-                                  inst->swap_pool().used_bytes());
+        for (workload::Request *r : inst->crash())
+            victims.push_back(r);
+        if (audit_) {
+            audit_->on_instance_crash(inst->name(),
+                                      inst->blocks().used_blocks(),
+                                      inst->swap_pool().used_bytes());
+        }
+        // The system sees requests the instance cannot (mid-transfer,
+        // mid-migration) and reconciles cross-instance state (backup
+        // copies) before any victim is routed anywhere.
+        if (crash_hook_)
+            crash_hook_(*inst, victims);
     }
-    // The system sees requests the instance cannot (mid-transfer,
-    // mid-migration) and reconciles cross-instance state (backup
-    // copies) before any victim is routed anywhere.
-    if (crash_hook_)
-        crash_hook_(*inst, victims);
+    if (crashed.empty())
+        return;
 
     std::sort(victims.begin(), victims.end(),
               [](const workload::Request *a, const workload::Request *b) {
@@ -119,34 +168,36 @@ FaultInjector::do_crash(const FaultEvent &ev)
         redispatch_request(r, now);
 
     sim::SourceScope src(sim_, "fault");
-    sim_.schedule(ev.param, [this, inst] {
-        down_until_.erase(inst);
-        inst->repair();
-        if (trace_) {
-            trace_->instant(obs::Category::Fault, "fault", inst->name(),
-                            "repaired");
-        }
-    });
+    for (engine::Instance *inst : crashed) {
+        sim_.schedule(repair, [this, inst] {
+            down_until_.erase(inst);
+            inst->repair();
+            if (trace_) {
+                trace_->instant(obs::Category::Fault, "fault", inst->name(),
+                                "repaired");
+            }
+        });
+    }
 }
 
 void
 FaultInjector::do_link(const FaultEvent &ev)
 {
-    if (channels_.empty())
+    if (links_.empty())
         return;
-    hw::Channel *chan = channels_[ev.target % channels_.size()];
+    LinkTarget &link = links_[ev.target % links_.size()];
     if (ev.kind == FaultKind::LinkDown) {
         ++link_outages_;
-        chan->set_rate_factor(ev.param);
+        link.set_rate(ev.param);
         if (trace_) {
-            trace_->instant(obs::Category::Fault, "fault", chan->name(),
+            trace_->instant(obs::Category::Fault, "fault", link.name,
                             "link_down",
                             {obs::num_arg("rate_factor", ev.param)});
         }
     } else {
-        chan->set_rate_factor(1.0);
+        link.set_rate(1.0);
         if (trace_) {
-            trace_->instant(obs::Category::Fault, "fault", chan->name(),
+            trace_->instant(obs::Category::Fault, "fault", link.name,
                             "link_up");
         }
     }

@@ -30,6 +30,7 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -44,6 +45,7 @@ class Instance;
 }
 namespace windserve::hw {
 class Channel;
+class SharedChannel;
 }
 namespace windserve::audit {
 class SimAuditor;
@@ -80,6 +82,17 @@ class FaultInjector
 
     /** Register a channel as an outage target. */
     void add_channel(hw::Channel *chan);
+
+    /** Register a processor-sharing link (inter-node NIC) as an outage
+     *  target. Shares the modulo space with add_channel targets, in
+     *  registration order. */
+    void add_shared_channel(hw::SharedChannel *chan);
+
+    /** Register a whole node — the instances of every pod placed on it
+     *  — as a NodeCrash target. A node crash takes all of them down
+     *  together with one shared repair time, deduplicating victims
+     *  that were visible from more than one instance. */
+    void add_node_group(std::vector<engine::Instance *> insts);
 
     /** System hook that routes a victim back through its global
      *  scheduler (called after the backoff delay). */
@@ -133,6 +146,7 @@ class FaultInjector
     // ------------------------------------------------------------------
 
     std::uint64_t instance_crashes() const { return crashes_; }
+    std::uint64_t node_crashes() const { return node_crashes_; }
     std::uint64_t link_outages() const { return link_outages_; }
     std::uint64_t straggler_windows() const { return straggler_windows_; }
     std::uint64_t redispatches() const { return redispatches_; }
@@ -150,16 +164,31 @@ class FaultInjector
         std::size_t attempts = 0;
     };
 
+    /** An outage target: a name plus a rate-factor setter, covering
+     *  both FIFO channels and processor-sharing NIC links. */
+    struct LinkTarget {
+        std::string name;
+        std::function<void(double)> set_rate;
+    };
+
     void fire(const FaultEvent &ev);
     void do_crash(const FaultEvent &ev);
+    void do_node_crash(const FaultEvent &ev);
     void do_link(const FaultEvent &ev);
     void do_straggler(const FaultEvent &ev);
     void abort_request(workload::Request *r);
 
+    /** Shared crash path: take every up instance in @p insts down with
+     *  one repair time, sweep and deduplicate victims across them, and
+     *  re-dispatch each victim once. */
+    void crash_instances(const std::vector<engine::Instance *> &insts,
+                         double repair);
+
     sim::Simulator &sim_;
     FaultPlan plan_;
     std::vector<engine::Instance *> instances_;
-    std::vector<hw::Channel *> channels_;
+    std::vector<LinkTarget> links_;
+    std::vector<std::vector<engine::Instance *>> node_groups_;
     std::function<void(workload::Request *)> redispatch_;
     std::function<void(engine::Instance &, std::vector<workload::Request *> &)>
         crash_hook_;
@@ -170,6 +199,7 @@ class FaultInjector
     std::map<workload::RequestId, Recovering> recovering_;
 
     std::uint64_t crashes_ = 0;
+    std::uint64_t node_crashes_ = 0;
     std::uint64_t link_outages_ = 0;
     std::uint64_t straggler_windows_ = 0;
     std::uint64_t redispatches_ = 0;

@@ -16,6 +16,7 @@ to_string(FaultKind k)
     case FaultKind::LinkUp: return "link_up";
     case FaultKind::StragglerBegin: return "straggler_begin";
     case FaultKind::StragglerEnd: return "straggler_end";
+    case FaultKind::NodeCrash: return "node_crash";
     }
     return "?";
 }
@@ -42,6 +43,26 @@ emit_crashes(std::vector<FaultEvent> &out, sim::Rng &rng,
         ev.kind = FaultKind::InstanceCrash;
         ev.target = rng.uniform_int(0, 1023);
         ev.param = rng.exponential(1.0 / cfg.mean_repair);
+        out.push_back(ev);
+    }
+}
+
+void
+emit_node_crashes(std::vector<FaultEvent> &out, sim::Rng &rng,
+                  const FaultConfig &cfg)
+{
+    if (cfg.node_mtbf <= 0.0)
+        return;
+    double t = cfg.warmup;
+    while (true) {
+        t += rng.exponential(1.0 / cfg.node_mtbf);
+        if (t >= cfg.horizon)
+            break;
+        FaultEvent ev;
+        ev.time = t;
+        ev.kind = FaultKind::NodeCrash;
+        ev.target = rng.uniform_int(0, 1023);
+        ev.param = rng.exponential(1.0 / cfg.mean_node_repair);
         out.push_back(ev);
     }
 }
@@ -80,6 +101,9 @@ FaultPlan::generate(const FaultConfig &cfg)
     sim::Rng crash_rng = root.fork();
     sim::Rng link_rng = root.fork();
     sim::Rng straggler_rng = root.fork();
+    // Forked last so plans without node faults (node_mtbf = 0) are
+    // byte-identical to pre-cluster plans for the same seed.
+    sim::Rng node_rng = root.fork();
 
     emit_crashes(plan.events_, crash_rng, cfg);
     emit_windows(plan.events_, link_rng, cfg.link_mtbf, cfg.mean_outage,
@@ -88,6 +112,7 @@ FaultPlan::generate(const FaultConfig &cfg)
     emit_windows(plan.events_, straggler_rng, cfg.straggler_mtbf,
                  cfg.mean_straggler, cfg.straggler_slowdown,
                  FaultKind::StragglerBegin, FaultKind::StragglerEnd, cfg);
+    emit_node_crashes(plan.events_, node_rng, cfg);
 
     std::stable_sort(plan.events_.begin(), plan.events_.end(),
                      [](const FaultEvent &a, const FaultEvent &b) {

@@ -29,6 +29,8 @@ enum class FaultKind {
     LinkUp,         ///< link outage ends (restore full bandwidth)
     StragglerBegin, ///< instance slows down; param = slowdown factor
     StragglerEnd,   ///< slowdown window ends
+    NodeCrash,      ///< whole node dies (every registered instance on
+                    ///< it); param = repair time (s)
 };
 
 const char *to_string(FaultKind k);
@@ -84,6 +86,13 @@ struct FaultConfig {
     double mean_straggler = 10.0;
     /** Execution-time multiplier while straggling (> 1). */
     double straggler_slowdown = 2.5;
+
+    /** Mean time between whole-node crashes (s); 0 (the default)
+     *  disables them, leaving single-node plans byte-identical. */
+    double node_mtbf = 0.0;
+    /** Mean node repair time (s) — longer than an instance repair:
+     *  the whole host reboots. */
+    double mean_node_repair = 30.0;
 
     RecoveryPolicy recovery;
 };

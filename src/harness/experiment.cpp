@@ -26,8 +26,14 @@ to_string(SystemKind k)
 
 namespace {
 
-std::unique_ptr<core::WindServeSystem>
-make_windserve(const ExperimentConfig &cfg)
+std::size_t
+num_pods_of(const ExperimentConfig &cfg)
+{
+    return cfg.num_nodes * cfg.pods_per_node;
+}
+
+core::WindServeConfig
+make_windserve_config(const ExperimentConfig &cfg)
 {
     const Scenario &sc = cfg.scenario;
     core::WindServeConfig ws;
@@ -61,6 +67,20 @@ make_windserve(const ExperimentConfig &cfg)
       default:
         break;
     }
+    return ws;
+}
+
+std::unique_ptr<engine::ServingSystem>
+make_windserve(const ExperimentConfig &cfg)
+{
+    core::WindServeConfig ws = make_windserve_config(cfg);
+    if (num_pods_of(cfg) > 1 || cfg.sharded) {
+        core::ClusterConfig cc;
+        cc.pod = std::move(ws);
+        cc.num_nodes = cfg.num_nodes;
+        cc.pods_per_node = cfg.pods_per_node;
+        return std::make_unique<core::ClusterServeSystem>(std::move(cc));
+    }
     return std::make_unique<core::WindServeSystem>(ws);
 }
 
@@ -85,6 +105,7 @@ make_system(const ExperimentConfig &cfg)
         ds.swap_enabled = cfg.swap_enabled;
         ds.host_memory_bytes = cfg.host_memory_bytes;
         ds.kv_capacity_tokens_override = cfg.kv_capacity_tokens_override;
+        ds.num_replicas = num_pods_of(cfg);
         ds.seed = cfg.seed ^ 0x9e3779b97f4a7c15ULL;
         return std::make_unique<baselines::DistServeSystem>(ds);
       }
@@ -92,11 +113,15 @@ make_system(const ExperimentConfig &cfg)
         baselines::VllmConfig vc;
         vc.model = sc.model;
         vc.topology = sc.topology;
+        // vLLM places every engine on real GPUs (unlike DistServe's
+        // per-replica placement), so a cluster run widens the topology
+        // to the full node count.
+        vc.topology.num_nodes = cfg.num_nodes;
         // Same parallelism per engine as one PD instance, replicated
         // over the scenario's full GPU budget.
         vc.engine_parallelism = sc.prefill_parallelism;
-        vc.num_engines =
-            sc.num_gpus() / sc.prefill_parallelism.num_gpus();
+        vc.num_engines = num_pods_of(cfg) * sc.num_gpus() /
+                         sc.prefill_parallelism.num_gpus();
         vc.swap_enabled = cfg.swap_enabled;
         vc.host_memory_bytes = cfg.host_memory_bytes;
         vc.kv_capacity_tokens_override = cfg.kv_capacity_tokens_override;
@@ -113,8 +138,11 @@ make_trace(const ExperimentConfig &cfg)
     workload::TraceConfig tc;
     tc.dataset = cfg.scenario.dataset;
     tc.arrival.kind = workload::ArrivalKind::Poisson;
+    // The scenario describes one pod; a cluster run replays the same
+    // per-GPU rate over the whole fleet (linear scaling rule, §2.2).
     tc.arrival.rate =
-        cfg.per_gpu_rate * static_cast<double>(cfg.scenario.num_gpus());
+        cfg.per_gpu_rate * static_cast<double>(cfg.scenario.num_gpus()) *
+        static_cast<double>(cfg.num_nodes * cfg.pods_per_node);
     tc.num_requests = cfg.num_requests;
     tc.seed = cfg.seed;
     return workload::TraceBuilder(tc).build();
@@ -134,6 +162,8 @@ run_experiment(const ExperimentConfig &cfg)
         ac.repro_config = to_string(cfg.system);
         if (cfg.faults)
             ac.repro_extra = " --chaos";
+        if (cfg.num_nodes > 1)
+            ac.repro_extra += " --nodes=" + std::to_string(cfg.num_nodes);
         opts.audit = std::move(ac);
     }
     opts.faults = cfg.faults; // horizon <= 0 inherits opts.horizon
@@ -168,7 +198,16 @@ run_experiment(const ExperimentConfig &cfg)
         result.profiled_attribution = tel->attributed_fraction();
     }
 
-    if (auto *ws = dynamic_cast<core::WindServeSystem *>(system.get())) {
+    if (auto *cs = dynamic_cast<core::ClusterServeSystem *>(system.get())) {
+        result.dispatches = cs->total_dispatches();
+        result.reschedules = cs->total_reschedules();
+        result.migrations_completed = cs->total_migrations();
+        result.backups = cs->total_backups();
+        for (std::size_t k = 0; k < cs->num_pods(); ++k)
+            result.decode_swap_outs +=
+                cs->pod(k).decode_instance().swap_out_events();
+    } else if (auto *ws =
+                   dynamic_cast<core::WindServeSystem *>(system.get())) {
         result.dispatches = ws->scheduler().coordinator().dispatches();
         result.reschedules = ws->scheduler().coordinator().reschedules();
         result.migrations_completed = ws->migration().completed();
@@ -176,7 +215,9 @@ run_experiment(const ExperimentConfig &cfg)
         result.decode_swap_outs = ws->decode_instance().swap_out_events();
     } else if (auto *ds = dynamic_cast<baselines::DistServeSystem *>(
                    system.get())) {
-        result.decode_swap_outs = ds->decode_instance().swap_out_events();
+        for (std::size_t i = 0; i < ds->num_replicas(); ++i)
+            result.decode_swap_outs +=
+                ds->replica_decode(i).swap_out_events();
     } else if (auto *vs = dynamic_cast<baselines::VllmColocatedSystem *>(
                    system.get())) {
         for (std::size_t i = 0; i < vs->num_engines(); ++i)

@@ -53,7 +53,8 @@ result_checksum(const std::vector<workload::Request> &requests)
 }
 
 ExperimentConfig
-make_fuzz_config(std::uint64_t seed, SystemKind system, bool chaos)
+make_fuzz_config(std::uint64_t seed, SystemKind system, bool chaos,
+                 std::size_t nodes)
 {
     // Independent stream per (seed, system) so the same seed explores
     // different configs on each system.
@@ -123,8 +124,19 @@ make_fuzz_config(std::uint64_t seed, SystemKind system, bool chaos)
             fc.recovery.max_attempts =
                 static_cast<std::size_t>(rng.uniform_int(1, 4));
         }
+        if (nodes > 1) {
+            // Cluster chaos: whole-node crashes and (via the generic
+            // link-outage class, which also targets registered NICs)
+            // inter-node link failures. Drawn strictly after every
+            // single-node dial so nodes == 1 stays byte-identical.
+            if (rng.chance(0.5)) {
+                fc.node_mtbf = rng.uniform(60.0, 300.0);
+                fc.mean_node_repair = rng.uniform(3.0, 12.0);
+            }
+        }
         cfg.faults = fc; // horizon <= 0: takes the experiment horizon
     }
+    cfg.num_nodes = nodes == 0 ? 1 : nodes;
     return cfg;
 }
 
@@ -140,6 +152,8 @@ run_fuzz_case(const ExperimentConfig &cfg)
     ac.repro_config = to_string(cfg.system);
     if (cfg.faults)
         ac.repro_extra = " --chaos";
+    if (cfg.num_nodes > 1)
+        ac.repro_extra += " --nodes=" + std::to_string(cfg.num_nodes);
     opts.audit = std::move(ac);
     opts.faults = cfg.faults; // horizon <= 0 inherits opts.horizon
     auto trace = make_trace(cfg);
@@ -178,7 +192,7 @@ run_fuzz(const FuzzOptions &opt)
         SystemKind system = opt.systems[i % opt.systems.size()];
         sum.results[i] = run_fuzz_case(make_fuzz_config(
             opt.base_seed + static_cast<std::uint64_t>(iter), system,
-            opt.chaos));
+            opt.chaos, opt.nodes));
     });
     for (const auto &r : sum.results) {
         sum.total_events += r.audit_events;

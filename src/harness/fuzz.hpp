@@ -57,6 +57,12 @@ struct FuzzOptions {
     /** Chaos mode: derive a fault schedule from each case seed and run
      *  it under full audit (crash edges enabled). */
     bool chaos = false;
+    /** Cluster axis: replay every case on an N-node cluster (sharded
+     *  WindServe pods, replicated baselines). 1 = the historical
+     *  single-node campaign, byte-identical to the pre-cluster fuzzer.
+     *  With chaos, N > 1 additionally draws node-crash and NIC-outage
+     *  dials (strictly after all single-node draws). */
+    std::size_t nodes = 1;
 };
 
 /** Aggregated outcome of a campaign (all cases, in deterministic order). */
@@ -71,10 +77,13 @@ struct FuzzSummary {
  * @p system. Pure function of its arguments. With @p chaos the config
  * additionally carries a seed-derived fault schedule; the chaos draws
  * come after every base draw, so a case's fault-free config is
- * untouched by the flag.
+ * untouched by the flag. @p nodes > 1 runs the case on a multi-node
+ * cluster; its extra chaos draws come after every chaos draw, so the
+ * node axis never perturbs a single-node case either.
  */
 ExperimentConfig make_fuzz_config(std::uint64_t seed, SystemKind system,
-                                  bool chaos = false);
+                                  bool chaos = false,
+                                  std::size_t nodes = 1);
 
 /** Order-independent FNV-1a checksum of per-request outcomes. */
 std::uint64_t result_checksum(const std::vector<workload::Request> &requests);

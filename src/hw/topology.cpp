@@ -11,32 +11,81 @@ Topology::Topology(TopologyConfig cfg) : cfg_(cfg)
     if (cfg_.num_gpus % cfg_.gpus_per_numa != 0)
         throw std::invalid_argument(
             "Topology: num_gpus must be a multiple of gpus_per_numa");
+    if (cfg_.num_nodes == 0)
+        throw std::invalid_argument("Topology: need at least one node");
+    if (cfg_.num_nodes > 1 && cfg_.nic_bw <= 0.0)
+        throw std::invalid_argument(
+            "Topology: nic_bw must be positive in a multi-node cluster");
+    for (std::size_t i = 0; i < cfg_.inter_node_links.size(); ++i) {
+        const InterNodeLink &l = cfg_.inter_node_links[i];
+        if (l.node_a >= cfg_.num_nodes || l.node_b >= cfg_.num_nodes)
+            throw std::invalid_argument(
+                "Topology: inter-node link references unknown node");
+        if (l.node_a == l.node_b)
+            throw std::invalid_argument(
+                "Topology: inter-node self-link is meaningless");
+        if (l.bandwidth <= 0.0)
+            throw std::invalid_argument(
+                "Topology: inter-node link bandwidth must be positive");
+        if (l.latency < 0.0)
+            throw std::invalid_argument(
+                "Topology: inter-node link latency must be non-negative");
+        for (std::size_t j = 0; j < i; ++j) {
+            const InterNodeLink &o = cfg_.inter_node_links[j];
+            bool same = (o.node_a == l.node_a && o.node_b == l.node_b) ||
+                        (o.node_a == l.node_b && o.node_b == l.node_a);
+            if (same)
+                throw std::invalid_argument(
+                    "Topology: duplicate inter-node link for one node pair");
+        }
+    }
 }
 
 const GpuSpec &
 Topology::gpu(GpuId id) const
 {
-    if (id >= cfg_.num_gpus)
+    if (id >= num_gpus())
         throw std::out_of_range("Topology::gpu: bad id");
     return cfg_.gpu;
 }
 
 std::size_t
+Topology::node_of(GpuId id) const
+{
+    if (id >= num_gpus())
+        throw std::out_of_range("Topology::node_of: bad id");
+    return id / cfg_.num_gpus;
+}
+
+GpuId
+Topology::local_id(GpuId id) const
+{
+    if (id >= num_gpus())
+        throw std::out_of_range("Topology::local_id: bad id");
+    return id % cfg_.num_gpus;
+}
+
+std::size_t
 Topology::numa_of(GpuId id) const
 {
-    if (id >= cfg_.num_gpus)
+    if (id >= num_gpus())
         throw std::out_of_range("Topology::numa_of: bad id");
-    return id / cfg_.gpus_per_numa;
+    std::size_t numas_per_node = cfg_.num_gpus / cfg_.gpus_per_numa;
+    return node_of(id) * numas_per_node +
+           local_id(id) / cfg_.gpus_per_numa;
 }
 
 LinkType
 Topology::classify(GpuId a, GpuId b) const
 {
-    if (a >= cfg_.num_gpus || b >= cfg_.num_gpus)
+    if (a >= num_gpus() || b >= num_gpus())
         throw std::out_of_range("Topology::classify: bad id");
     if (a == b)
         return LinkType::Loopback;
-    if (a / 2 == b / 2)
+    if (node_of(a) != node_of(b))
+        return LinkType::InterNode;
+    GpuId la = local_id(a), lb = local_id(b);
+    if (la / 2 == lb / 2)
         return LinkType::NVLink;
     if (numa_of(a) == numa_of(b))
         return LinkType::PCIeSwitch;
@@ -54,6 +103,8 @@ Topology::link(GpuId a, GpuId b) const
         return {LinkType::NVLink, cfg_.nvlink_bw, cfg_.link_latency};
       case LinkType::PCIeSwitch:
         return {LinkType::PCIeSwitch, cfg_.pcie_bw, cfg_.link_latency};
+      case LinkType::InterNode:
+        return inter_node_link(node_of(a), node_of(b));
       case LinkType::PCIeRC:
       default:
         return {LinkType::PCIeRC, cfg_.pcie_rc_bw, 2 * cfg_.link_latency};
@@ -61,9 +112,26 @@ Topology::link(GpuId a, GpuId b) const
 }
 
 Link
+Topology::inter_node_link(std::size_t node_a, std::size_t node_b) const
+{
+    if (node_a >= cfg_.num_nodes || node_b >= cfg_.num_nodes)
+        throw std::out_of_range("Topology::inter_node_link: bad node");
+    if (node_a == node_b)
+        throw std::invalid_argument(
+            "Topology::inter_node_link: same node on both ends");
+    for (const InterNodeLink &l : cfg_.inter_node_links) {
+        bool match = (l.node_a == node_a && l.node_b == node_b) ||
+                     (l.node_a == node_b && l.node_b == node_a);
+        if (match)
+            return {LinkType::InterNode, l.bandwidth, l.latency};
+    }
+    return {LinkType::InterNode, cfg_.nic_bw, cfg_.nic_latency};
+}
+
+Link
 Topology::host_link(GpuId id) const
 {
-    if (id >= cfg_.num_gpus)
+    if (id >= num_gpus())
         throw std::out_of_range("Topology::host_link: bad id");
     return {LinkType::HostPCIe, cfg_.host_bw, cfg_.link_latency};
 }

@@ -1,12 +1,25 @@
 /**
  * @file
- * Node interconnect topology (paper Figure 9).
+ * Cluster interconnect topology: NVLink islands joined by NIC/IB links.
  *
- * The testbed has two NUMA nodes with four GPUs each. GPUs are paired by
- * NVLink bridges (GPU0-GPU1, GPU2-GPU3, ...); pairs within a NUMA node
- * reach each other through a PCIe switch; cross-NUMA traffic goes through
- * the root complex (RC). Each GPU also has a host (CPU DRAM) path over
- * PCIe used for KV-cache swapping.
+ * A cluster is `num_nodes` identical nodes; each node is the paper's
+ * Figure 9 testbed shape: two NUMA domains with four GPUs each, GPUs
+ * paired by NVLink bridges (GPU 2i - GPU 2i+1), pairs within a NUMA
+ * domain joined by a PCIe switch, cross-NUMA traffic through the root
+ * complex (RC), and a host (CPU DRAM) path per GPU for KV swapping.
+ *
+ * Nodes are joined by inter-node NIC/IB links. Every node pair has a
+ * default link (nic_bw / nic_latency); individual pairs can be
+ * overridden with explicit InterNodeLink entries (per-link bandwidth
+ * and base latency — e.g. an oversubscribed spine or a long-haul hop).
+ * Inter-node congestion (concurrent transfers sharing a NIC) is
+ * modeled by hw::SharedChannel in transfer_engine.hpp, which consumes
+ * the Link values exposed here.
+ *
+ * GPU ids are global: node n owns ids [n*gpus_per_node,
+ * (n+1)*gpus_per_node). A single-node cluster (num_nodes = 1, the
+ * default) is exactly the original 8-GPU topology — same ids, same
+ * classification, same link values.
  */
 #pragma once
 
@@ -18,16 +31,17 @@
 
 namespace windserve::hw {
 
-/** Identifier of a GPU within the node (0-based). */
+/** Identifier of a GPU within the cluster (0-based, global). */
 using GpuId = std::size_t;
 
-/** Kinds of point-to-point paths in the node. */
+/** Kinds of point-to-point paths in the cluster. */
 enum class LinkType {
     NVLink,     ///< NVLink bridge between a GPU pair
     PCIeSwitch, ///< same-NUMA, different pair, via PCIe switch
     PCIeRC,     ///< cross-NUMA via root complex
     HostPCIe,   ///< GPU <-> CPU DRAM (swap path)
     Loopback,   ///< same GPU (infinite bandwidth)
+    InterNode,  ///< cross-node via NIC/IB fabric
 };
 
 /** A physical path with an effective bandwidth and fixed latency. */
@@ -37,8 +51,19 @@ struct Link {
     double latency;   ///< fixed per-transfer latency, seconds
 };
 
-/** Parameters for building the standard Figure 9 topology. */
+/** Explicit override of the link between one node pair. */
+struct InterNodeLink {
+    std::size_t node_a = 0;
+    std::size_t node_b = 0;
+    double bandwidth = 0.0; ///< bytes/s per direction; must be > 0
+    double latency = 0.0;   ///< base latency, seconds
+};
+
+/** Parameters for building a cluster of Figure 9 nodes. */
 struct TopologyConfig {
+    /** NVLink islands in the cluster. 1 = the original single node. */
+    std::size_t num_nodes = 1;
+    /** GPUs per node (ids are global across nodes). */
     std::size_t num_gpus = 8;
     std::size_t gpus_per_numa = 4;
     GpuSpec gpu = GpuSpec::a800_80g();
@@ -58,24 +83,47 @@ struct TopologyConfig {
     /** GPU <-> host DRAM effective bandwidth (shared with transfers). */
     double host_bw = gb(20.0);
     double link_latency = 10e-6;
+    /**
+     * Default inter-node NIC: 200 Gb/s InfiniBand -> 25 GB/s raw,
+     * ~24 GB/s effective per direction after protocol overhead.
+     */
+    double nic_bw = gb(24.0);
+    /** Inter-node base latency (RDMA + fabric hops). */
+    double nic_latency = 25e-6;
+    /**
+     * Per-node-pair overrides of the default NIC link. Pairs are
+     * unordered (a<->b covers both directions); a duplicate pair, a
+     * self-link, a node id >= num_nodes, or a non-positive bandwidth
+     * is rejected at construction.
+     */
+    std::vector<InterNodeLink> inter_node_links;
 };
 
 /**
- * The node topology: classifies every GPU pair and exposes per-path links.
- *
- * GPU pairing follows the testbed: GPUs 2i and 2i+1 share an NVLink
- * bridge. link(a, b) is symmetric.
+ * The cluster topology: classifies every GPU pair and exposes per-path
+ * links. GPU pairing within a node follows the testbed: local GPUs 2i
+ * and 2i+1 share an NVLink bridge. link(a, b) is symmetric.
  */
 class Topology
 {
   public:
     explicit Topology(TopologyConfig cfg = {});
 
-    std::size_t num_gpus() const { return cfg_.num_gpus; }
+    /** Total GPUs in the cluster (all nodes). */
+    std::size_t num_gpus() const { return cfg_.num_nodes * cfg_.num_gpus; }
+    /** GPUs per node. */
+    std::size_t gpus_per_node() const { return cfg_.num_gpus; }
+    std::size_t num_nodes() const { return cfg_.num_nodes; }
     const GpuSpec &gpu(GpuId id) const;
     const TopologyConfig &config() const { return cfg_; }
 
-    /** NUMA node of a GPU. */
+    /** Node (NVLink island) of a GPU. */
+    std::size_t node_of(GpuId id) const;
+
+    /** Id of a GPU within its node. */
+    GpuId local_id(GpuId id) const;
+
+    /** NUMA domain of a GPU (global: node-major numbering). */
     std::size_t numa_of(GpuId id) const;
 
     /** Classify the path between two GPUs. */
@@ -83,6 +131,9 @@ class Topology
 
     /** The link (bandwidth/latency) between two GPUs. */
     Link link(GpuId a, GpuId b) const;
+
+    /** The inter-node link between two distinct nodes. */
+    Link inter_node_link(std::size_t node_a, std::size_t node_b) const;
 
     /** The host (swap) link of a GPU. */
     Link host_link(GpuId id) const;

@@ -155,4 +155,119 @@ class Channel
     audit::SimAuditor *audit_ = nullptr;
 };
 
+/**
+ * A processor-sharing link: the congestion model of the inter-node
+ * NIC/IB fabric. Unlike Channel (FIFO, one transfer owns the full
+ * bandwidth), a SharedChannel starts every submitted transfer
+ * immediately and divides the link bandwidth equally among all
+ * transfers that still have bytes to move — k concurrent transfers
+ * each progress at bandwidth/k, the standard fluid model of concurrent
+ * RDMA streams on one NIC.
+ *
+ * A transfer of B bytes submitted at t0 completes at
+ * byte-drain time + latency: the base latency is an additive
+ * propagation tail, the same service-time shape as Channel's
+ * latency + bytes/bandwidth. A transfer whose bytes are drained but
+ * whose latency tail has not elapsed stops consuming bandwidth (it
+ * leaves the sharing denominator).
+ *
+ * Completion order is deterministic: between simulator events the
+ * drain rate is constant, the next boundary (a byte-exhaustion or a
+ * completion) is computed exactly, and simultaneous completions fire
+ * in submission order. set_rate_factor() scales the total bandwidth
+ * for fault injection exactly as on Channel (0 stalls the link;
+ * transfers are never lost). The audited capacity bound holds:
+ * sharing only ever lengthens the drain relative to the full-rate
+ * lower bound latency + bytes/bandwidth.
+ */
+class SharedChannel
+{
+  public:
+    SharedChannel(sim::Simulator &sim, Link link, std::string name = "nic");
+
+    /** Start a transfer of @p bytes; @p on_complete fires when the last
+     *  byte lands (at the earliest after the link latency). */
+    TransferId submit(double bytes, std::function<void()> on_complete);
+
+    /** True once @p id 's completion callback has fired. */
+    bool is_done(TransferId id) const;
+
+    /** Transfers currently in flight. */
+    std::size_t inflight() const { return active_.size(); }
+
+    /** Bytes submitted but not yet delivered. */
+    double inflight_bytes() const;
+
+    /** True while any transfer is in flight. */
+    bool busy() const { return !active_.empty(); }
+
+    /** Total bytes ever submitted. */
+    double total_bytes() const { return total_bytes_; }
+
+    /** Total transfers completed. */
+    std::uint64_t completed() const { return completed_; }
+
+    /** Per-transfer drain rate right now: bandwidth x rate_factor / k
+     *  over the k transfers still moving bytes (0 when idle/stalled). */
+    double current_share() const;
+
+    /** Time-averaged busy fraction of the link. */
+    double mean_utilization(sim::SimTime now);
+
+    /** Record each completed transfer as an occupancy span on
+     *  @p process / @p track of @p rec (nullptr disables). */
+    void set_trace(obs::TraceRecorder *rec, std::string process,
+                   std::string track);
+
+    /** Report submit/complete events to @p a under this channel's name
+     *  (same hooks as Channel). nullptr (the default) disables. */
+    void set_audit(audit::SimAuditor *a);
+
+    /** Scale the total bandwidth (fault injection): 1.0 nominal, (0,1)
+     *  degraded, 0 stalls the link until a later restore. */
+    void set_rate_factor(double factor);
+    double rate_factor() const { return rate_factor_; }
+
+    const std::string &name() const { return name_; }
+    const Link &link() const { return link_; }
+
+  private:
+    struct Active {
+        TransferId id;
+        double bytes;     ///< total size (for audit/trace)
+        double remaining; ///< bytes still to drain
+        double min_done;  ///< earliest completion: drain time + latency
+                          ///< (init submission + latency; reset when
+                          ///< the last byte drains)
+        double begun;     ///< submission time
+        std::function<void()> on_complete;
+    };
+
+    /** Drain bytes for the time elapsed since the last settle. */
+    void settle();
+    /** Schedule the next boundary (exhaustion or completion). */
+    void reschedule();
+    /** Fire at a boundary: settle, complete every ready transfer (in
+     *  submission order), reschedule. */
+    void on_boundary();
+
+    sim::Simulator &sim_;
+    Link link_;
+    std::string name_;
+    std::string src_tag_;
+    std::vector<Active> active_; ///< submission (id) order
+    sim::SimTime last_settle_ = 0.0;
+    double rate_factor_ = 1.0;
+    sim::EventHandle event_;
+    std::unordered_map<TransferId, bool> done_;
+    TransferId next_id_ = 1;
+    double total_bytes_ = 0.0;
+    std::uint64_t completed_ = 0;
+    sim::UtilizationTracker util_;
+    obs::TraceRecorder *trace_ = nullptr;
+    std::string trace_process_;
+    std::string trace_track_;
+    audit::SimAuditor *audit_ = nullptr;
+};
+
 } // namespace windserve::hw

@@ -23,9 +23,10 @@ KvTransferManager::KvTransferManager(sim::Simulator &sim, hw::Link link,
                                      const model::ModelSpec &model,
                                      KvTransferConfig cfg)
     : sim_(sim), cfg_(cfg), kv_bytes_per_token_(model.kv_bytes_per_token()),
-      p2d_(sim, link, "kv/p2d"), d2p_(sim, link, "kv/d2p"),
+      p2d_(sim, link, cfg.name_prefix + "kv/p2d"),
+      d2p_(sim, link, cfg.name_prefix + "kv/d2p"),
       staged_(sim, staged_link(link, cfg.staged_bandwidth_factor),
-              "kv/staged")
+              cfg.name_prefix + "kv/staged")
 {}
 
 double
@@ -37,9 +38,9 @@ KvTransferManager::bytes_for_tokens(double tokens) const
 void
 KvTransferManager::set_trace(obs::TraceRecorder *rec)
 {
-    p2d_.set_trace(rec, "interconnect", "kv-p2d");
-    d2p_.set_trace(rec, "interconnect", "kv-d2p");
-    staged_.set_trace(rec, "interconnect", "kv-staged");
+    p2d_.set_trace(rec, "interconnect", cfg_.name_prefix + "kv-p2d");
+    d2p_.set_trace(rec, "interconnect", cfg_.name_prefix + "kv-d2p");
+    staged_.set_trace(rec, "interconnect", cfg_.name_prefix + "kv-staged");
 }
 
 void

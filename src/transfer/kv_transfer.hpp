@@ -16,6 +16,7 @@
 
 #include <functional>
 #include <memory>
+#include <string>
 
 #include "hw/transfer_engine.hpp"
 #include "model/model_spec.hpp"
@@ -51,6 +52,13 @@ struct KvTransferConfig {
      * out under fault injection).
      */
     double staged_bandwidth_factor = 0.25;
+    /**
+     * Prefix for the three channel names ("kv/p2d" etc.). The auditor
+     * keys its transfer ledgers by channel name, so multi-pod systems
+     * must give each pod's transfer manager a unique prefix (e.g.
+     * "pod3/"). The default empty prefix keeps the historical names.
+     */
+    std::string name_prefix;
 };
 
 /**

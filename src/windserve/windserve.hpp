@@ -73,8 +73,11 @@
 #include "transfer/migration.hpp"
 
 // WindServe core
+#include "core/cluster_system.hpp"
 #include "core/coordinator.hpp"
 #include "core/global_scheduler.hpp"
+#include "core/pod.hpp"
+#include "core/pod_balancer.hpp"
 #include "core/profiler.hpp"
 #include "core/windserve_system.hpp"
 

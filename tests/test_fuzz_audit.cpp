@@ -93,6 +93,105 @@ TEST(FuzzAudit, ConfigDerivationIsPureAndVaried)
     EXPECT_TRUE(varied);
 }
 
+// Multi-node campaigns: the same randomized configs replayed on 2- and
+// 4-node clusters (sharded WindServe pods, replicated baselines) hold
+// every invariant, fault-free and under chaos. The chaos axis adds
+// node crashes and NIC outages on top of the single-node fault classes.
+TEST(FuzzAudit, MultiNodeCampaignHoldsAllInvariants)
+{
+    for (std::size_t nodes : {2u, 4u}) {
+        hs::FuzzOptions opt;
+        opt.iterations = 12; // x3 systems x2 cluster sizes
+        opt.base_seed = 1;
+        opt.jobs = hs::default_jobs();
+        opt.nodes = nodes;
+        hs::FuzzSummary sum = hs::run_fuzz(opt);
+        EXPECT_EQ(sum.results.size(), 36u) << nodes;
+        EXPECT_EQ(sum.total_violations, 0u) << nodes;
+        EXPECT_GT(sum.total_events, 100000u) << nodes;
+        for (const auto &r : sum.results)
+            EXPECT_GT(r.generated_tokens, 0u)
+                << r.system_name << " seed " << r.seed << " " << nodes
+                << " nodes";
+    }
+}
+
+TEST(FuzzAudit, MultiNodeChaosCampaignHoldsAllInvariants)
+{
+    hs::FuzzOptions opt;
+    opt.iterations = 12;
+    opt.base_seed = 1;
+    opt.jobs = hs::default_jobs();
+    opt.nodes = 2;
+    opt.chaos = true;
+    hs::FuzzSummary sum = hs::run_fuzz(opt);
+    EXPECT_EQ(sum.results.size(), 36u);
+    EXPECT_EQ(sum.total_violations, 0u);
+    EXPECT_GT(sum.total_events, 100000u);
+}
+
+// The node axis is orthogonal: seed replay on a cluster is exact, and
+// nodes=1 is byte-identical to the historical single-node case (the
+// cluster draws come after every single-node draw).
+TEST(FuzzAudit, MultiNodeSeedReplayIsExact)
+{
+    for (hs::SystemKind k :
+         {hs::SystemKind::WindServe, hs::SystemKind::DistServe,
+          hs::SystemKind::Vllm}) {
+        hs::FuzzResult a =
+            hs::run_fuzz_case(hs::make_fuzz_config(77, k, true, 2));
+        hs::FuzzResult b =
+            hs::run_fuzz_case(hs::make_fuzz_config(77, k, true, 2));
+        EXPECT_EQ(a.checksum, b.checksum) << a.system_name;
+        EXPECT_EQ(a.audit_events, b.audit_events) << a.system_name;
+    }
+}
+
+TEST(FuzzAudit, NodeAxisDoesNotPerturbSingleNodeConfigs)
+{
+    for (bool chaos : {false, true}) {
+        auto legacy = hs::make_fuzz_config(9, hs::SystemKind::WindServe,
+                                           chaos);
+        auto one =
+            hs::make_fuzz_config(9, hs::SystemKind::WindServe, chaos, 1);
+        EXPECT_EQ(legacy.num_requests, one.num_requests);
+        EXPECT_EQ(legacy.per_gpu_rate, one.per_gpu_rate);
+        EXPECT_EQ(legacy.kv_capacity_tokens_override,
+                  one.kv_capacity_tokens_override);
+        EXPECT_EQ(legacy.num_nodes, one.num_nodes);
+        if (chaos) {
+            ASSERT_TRUE(legacy.faults && one.faults);
+            EXPECT_EQ(legacy.faults->crash_mtbf, one.faults->crash_mtbf);
+            EXPECT_EQ(legacy.faults->node_mtbf, one.faults->node_mtbf);
+            EXPECT_EQ(one.faults->node_mtbf, 0.0); // single node: none
+        }
+        // The multi-node variant keeps every base draw too.
+        auto multi =
+            hs::make_fuzz_config(9, hs::SystemKind::WindServe, chaos, 2);
+        EXPECT_EQ(legacy.num_requests, multi.num_requests);
+        EXPECT_EQ(legacy.per_gpu_rate, multi.per_gpu_rate);
+        if (chaos)
+            EXPECT_EQ(legacy.faults->crash_mtbf, multi.faults->crash_mtbf);
+        EXPECT_EQ(multi.num_nodes, 2u);
+    }
+}
+
+// Inter-node link outages: a 2-node chaos case with the link class
+// forced on runs clean and its NIC outages are replayable.
+TEST(FuzzAudit, InterNodeLinkOutagesHoldInvariants)
+{
+    auto cfg = hs::make_fuzz_config(13, hs::SystemKind::WindServe, true, 2);
+    ASSERT_TRUE(cfg.faults);
+    cfg.faults->link_mtbf = 15.0; // force frequent outages on all links,
+    cfg.faults->mean_outage = 3.0; // NICs included (generic link class)
+    cfg.faults->degrade_factor = 0.0;
+    hs::FuzzResult a = hs::run_fuzz_case(cfg);
+    hs::FuzzResult b = hs::run_fuzz_case(cfg);
+    EXPECT_EQ(a.audit_violations, 0u);
+    EXPECT_EQ(a.checksum, b.checksum);
+    EXPECT_GT(a.audit_events, 0u);
+}
+
 TEST(FuzzAudit, ParseSystemKindRoundTrips)
 {
     using K = hs::SystemKind;

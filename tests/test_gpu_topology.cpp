@@ -68,6 +68,19 @@ TEST(Topology, LinkIsSymmetric)
             EXPECT_EQ(topo.classify(a, b), topo.classify(b, a));
 }
 
+TEST(Topology, LinkBandwidthAndLatencyAreSymmetric)
+{
+    hw::Topology topo;
+    for (hw::GpuId a = 0; a < 8; ++a) {
+        for (hw::GpuId b = 0; b < 8; ++b) {
+            EXPECT_DOUBLE_EQ(topo.link(a, b).bandwidth,
+                             topo.link(b, a).bandwidth);
+            EXPECT_DOUBLE_EQ(topo.link(a, b).latency,
+                             topo.link(b, a).latency);
+        }
+    }
+}
+
 TEST(Topology, BandwidthOrdering)
 {
     hw::Topology topo;
@@ -121,6 +134,20 @@ TEST(Topology, BadIdsThrow)
     EXPECT_THROW(topo.classify(0, 8), std::out_of_range);
     EXPECT_THROW(topo.numa_of(9), std::out_of_range);
     EXPECT_THROW(topo.host_link(8), std::out_of_range);
+    EXPECT_THROW(topo.link(0, 8), std::out_of_range);
+    EXPECT_THROW(topo.link(8, 0), std::out_of_range);
+    EXPECT_THROW(topo.node_of(8), std::out_of_range);
+    EXPECT_THROW(topo.local_id(8), std::out_of_range);
+}
+
+TEST(Topology, DuplicateInterNodeLinkThrows)
+{
+    hw::TopologyConfig cfg;
+    cfg.num_nodes = 3;
+    cfg.inter_node_links.push_back({0, 1, hw::gb(10.0), 1e-5});
+    cfg.inter_node_links.push_back({1, 0, hw::gb(20.0), 1e-5});
+    // Same unordered pair twice (0-1 and 1-0): ambiguous override.
+    EXPECT_THROW(hw::Topology{cfg}, std::invalid_argument);
 }
 
 TEST(Topology, RejectsBadConfig)

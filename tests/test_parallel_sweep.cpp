@@ -240,6 +240,72 @@ TEST(ParallelSweep, ParallelForCoversEveryIndexExactlyOnce)
         ASSERT_EQ(hits[i].load(), 1) << i;
 }
 
+// ---------------------------------------------------------------------
+// Multi-pod cluster cells
+// ---------------------------------------------------------------------
+
+// The sharded cluster path obeys the same determinism contract as the
+// single-node systems: a grid of multi-pod cells is bit-identical at
+// jobs 1, 2 and 8.
+TEST(ParallelSweep, MultiPodCellsBitIdenticalAcrossThreadCounts)
+{
+    std::vector<hs::ExperimentConfig> cells;
+    for (auto kind : {hs::SystemKind::WindServe, hs::SystemKind::DistServe,
+                      hs::SystemKind::Vllm}) {
+        hs::ExperimentConfig ec;
+        ec.system = kind;
+        ec.num_nodes = 2;
+        ec.pods_per_node = 2;
+        ec.per_gpu_rate = 1.5;
+        ec.num_requests = 240;
+        ec.seed = hs::derive_cell_seed(11, kind, ec.per_gpu_rate);
+        ec.audit = true;
+        cells.push_back(std::move(ec));
+    }
+    auto seq = hs::run_experiments(cells, 1);
+    for (std::size_t jobs : {2u, 8u}) {
+        auto par = hs::run_experiments(cells, jobs);
+        ASSERT_EQ(seq.size(), par.size());
+        for (std::size_t i = 0; i < seq.size(); ++i) {
+            expect_result_identical(seq[i], par[i]);
+            ASSERT_EQ(seq[i].audit_events, par[i].audit_events) << i;
+            ASSERT_EQ(seq[i].audit_violations, 0u) << i;
+        }
+    }
+}
+
+// The sequential-vs-sharded differential at the harness level: the
+// same single-pod configuration routed through WindServeSystem
+// (default) and through the forced cluster path (sharded = true) must
+// produce identical metrics — the cluster wrapper adds no events and
+// no RNG draws for one pod.
+TEST(ParallelSweep, SequentialVsShardedSinglePodIdentical)
+{
+    hs::ExperimentConfig seq_cfg;
+    seq_cfg.system = hs::SystemKind::WindServe;
+    seq_cfg.per_gpu_rate = 2.0;
+    seq_cfg.num_requests = 150;
+    seq_cfg.seed = 321;
+    seq_cfg.audit = true;
+    hs::ExperimentConfig shard_cfg = seq_cfg;
+    shard_cfg.sharded = true;
+
+    auto a = hs::run_experiment(seq_cfg);
+    auto b = hs::run_experiment(shard_cfg);
+    ASSERT_EQ(b.system_name, a.system_name);
+    expect_sample_identical(a.metrics.ttft, b.metrics.ttft, "diff ttft");
+    expect_sample_identical(a.metrics.tpot, b.metrics.tpot, "diff tpot");
+    expect_sample_identical(a.metrics.e2e, b.metrics.e2e, "diff e2e");
+    ASSERT_EQ(a.metrics.num_finished, b.metrics.num_finished);
+    ASSERT_EQ(a.metrics.makespan, b.metrics.makespan);
+    ASSERT_EQ(a.dispatches, b.dispatches);
+    ASSERT_EQ(a.reschedules, b.reschedules);
+    ASSERT_EQ(a.migrations_completed, b.migrations_completed);
+    ASSERT_EQ(a.backups, b.backups);
+    ASSERT_EQ(a.decode_swap_outs, b.decode_swap_outs);
+    ASSERT_EQ(a.audit_events, b.audit_events);
+}
+
 // The RunOptions path (trace + audit attachments created inside
 // run()) must preserve the engine's determinism contract: cells of a
 // fully-instrumented grid are bit-identical — down to the exported
