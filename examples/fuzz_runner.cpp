@@ -9,9 +9,9 @@
  *
  * Usage:
  *   fuzz_runner [--iters=N] [--seed=S] [--jobs=J] [--system=NAME|all]
- *               [--chaos] [--nodes=N]
+ *               [--chaos] [--nodes=N] [--intra-threads=T]
  *   fuzz_runner --repro-seed=S --repro-config=NAME [--chaos] [--nodes=N]
- *               [--log=debug]
+ *               [--intra-threads=T] [--log=debug]
  *
  * The repro form runs exactly one case — the one a failure printed —
  * optionally with leveled event logging for post-mortem inspection.
@@ -21,6 +21,10 @@
  * reproduces the faults too. --nodes=N replays every case on an
  * N-node cluster (sharded WindServe pods, replicated baselines) and,
  * under chaos, adds node-crash and NIC-outage classes.
+ * --intra-threads=T runs multi-pod WindServe cases on the intra-run
+ * parallel engine with T workers; it draws nothing from the case RNG,
+ * so the same seed at any T (including 1) must produce the same
+ * checksum — replay a parallel failure with T=1 to diff the engines.
  */
 #include <cstdlib>
 #include <iostream>
@@ -44,16 +48,21 @@ arg_value(const std::string &arg, const char *key, std::string &out)
 
 int
 repro(std::uint64_t seed, const std::string &config_name, bool chaos,
-      std::size_t nodes)
+      std::size_t nodes, std::size_t intra_threads)
 {
     harness::SystemKind kind = harness::parse_system_kind(config_name);
     std::cout << "replaying seed " << seed << " on "
               << harness::to_string(kind)
               << (chaos ? " (chaos)" : "")
               << (nodes > 1 ? " (" + std::to_string(nodes) + " nodes)" : "")
+              << (intra_threads > 1
+                      ? " (" + std::to_string(intra_threads) +
+                            " intra-threads)"
+                      : "")
               << "\n";
     harness::FuzzResult r = harness::run_fuzz_case(
-        harness::make_fuzz_config(seed, kind, chaos, nodes));
+        harness::make_fuzz_config(seed, kind, chaos, nodes,
+                                  intra_threads));
     std::cout << "ok: " << r.audit_events << " events audited, "
               << r.finished << "/" << r.num_requests << " finished";
     if (chaos)
@@ -94,6 +103,8 @@ main(int argc, char **argv)
             opt.chaos = true;
         } else if (arg_value(arg, "--nodes", v)) {
             opt.nodes = std::stoul(v);
+        } else if (arg_value(arg, "--intra-threads", v)) {
+            opt.intra_threads = std::stoul(v);
         } else if (arg_value(arg, "--log", v)) {
             sim::Log::set_level(v == "trace"   ? sim::LogLevel::Trace
                                 : v == "debug" ? sim::LogLevel::Debug
@@ -106,7 +117,8 @@ main(int argc, char **argv)
 
     try {
         if (have_repro_seed)
-            return repro(repro_seed, repro_config, opt.chaos, opt.nodes);
+            return repro(repro_seed, repro_config, opt.chaos, opt.nodes,
+                         opt.intra_threads);
 
         std::cout << "fuzzing " << opt.iterations << " cases x "
                   << opt.systems.size() << " systems (base seed "
@@ -114,6 +126,10 @@ main(int argc, char **argv)
                   << (opt.chaos ? ", chaos" : "")
                   << (opt.nodes > 1
                           ? ", " + std::to_string(opt.nodes) + " nodes"
+                          : "")
+                  << (opt.intra_threads > 1
+                          ? ", " + std::to_string(opt.intra_threads) +
+                                " intra-threads"
                           : "")
                   << ")\n";
         harness::FuzzSummary sum = harness::run_fuzz(opt);

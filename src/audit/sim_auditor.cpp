@@ -58,6 +58,7 @@ SimAuditor::on_kv_alloc(const std::string &owner, RequestId id,
                         std::size_t tokens, std::size_t blocks, bool applied,
                         std::size_t mgr_used, std::size_t mgr_total)
 {
+    std::lock_guard<std::mutex> lock(mu_);
     tick();
     KvLedger &led = kv_[owner];
     if (led.used != mgr_used) {
@@ -92,6 +93,7 @@ SimAuditor::on_kv_grow(const std::string &owner, RequestId id,
                        bool applied, std::size_t mgr_used,
                        std::size_t mgr_total)
 {
+    std::lock_guard<std::mutex> lock(mu_);
     tick();
     KvLedger &led = kv_[owner];
     if (led.used != mgr_used) {
@@ -132,6 +134,7 @@ SimAuditor::on_kv_release(const std::string &owner, RequestId id,
                           std::size_t blocks_freed, bool known,
                           std::size_t mgr_used)
 {
+    std::lock_guard<std::mutex> lock(mu_);
     tick();
     KvLedger &led = kv_[owner];
     if (led.used != mgr_used) {
@@ -169,6 +172,7 @@ SimAuditor::on_swap_out(const std::string &owner, RequestId id,
                         bool already_held, double pool_used,
                         double pool_capacity)
 {
+    std::lock_guard<std::mutex> lock(mu_);
     tick();
     PoolLedger &led = pools_[owner];
     if (std::abs(led.used - pool_used) > 1.0) {
@@ -200,6 +204,7 @@ void
 SimAuditor::on_swap_in(const std::string &owner, RequestId id, bool known,
                        double pool_used)
 {
+    std::lock_guard<std::mutex> lock(mu_);
     tick();
     PoolLedger &led = pools_[owner];
     if (std::abs(led.used - pool_used) > 1.0) {
@@ -228,6 +233,7 @@ void
 SimAuditor::on_transfer_submit(const std::string &chan, std::uint64_t id,
                                double bytes)
 {
+    std::lock_guard<std::mutex> lock(mu_);
     tick();
     auto &open = xfers_[chan];
     if (open.count(id)) {
@@ -243,6 +249,7 @@ void
 SimAuditor::on_transfer_append(const std::string &chan, std::uint64_t id,
                                double bytes, bool open)
 {
+    std::lock_guard<std::mutex> lock(mu_);
     tick();
     auto &chan_open = xfers_[chan];
     auto it = chan_open.find(id);
@@ -259,9 +266,10 @@ SimAuditor::on_transfer_append(const std::string &chan, std::uint64_t id,
 
 void
 SimAuditor::on_transfer_complete(const std::string &chan, std::uint64_t id,
-                                 double bytes, double begun,
+                                 double bytes, double begun, double end,
                                  double bandwidth, double latency)
 {
+    std::lock_guard<std::mutex> lock(mu_);
     tick();
     auto &chan_open = xfers_[chan];
     auto it = chan_open.find(id);
@@ -282,8 +290,11 @@ SimAuditor::on_transfer_complete(const std::string &chan, std::uint64_t id,
     }
     // Link capacity: the wire cannot beat latency + bytes/bandwidth
     // from the moment the transfer occupied the link. Appended bytes
-    // only extend the same slot, so the bound stays valid.
-    double elapsed = sim_.now() - begun;
+    // only extend the same slot, so the bound stays valid. The caller
+    // passes both endpoints of the interval from its OWN clock — under
+    // intra-run parallelism sim_.now() is the hub clock, which lags a
+    // pod-side completion by up to the lookahead window.
+    double elapsed = end - begun;
     double min_time = latency + bytes / bandwidth;
     double ttol = cfg_.time_tolerance + 1e-9 * std::max(elapsed, min_time);
     if (elapsed + ttol < min_time) {
@@ -368,6 +379,7 @@ SimAuditor::edge_allowed(RequestState from, RequestState to) const
 void
 SimAuditor::on_transition(Request &r, RequestState to)
 {
+    std::lock_guard<std::mutex> lock(mu_);
     tick();
     if (!edge_allowed(r.state, to)) {
         std::ostringstream os;
@@ -382,6 +394,7 @@ void
 SimAuditor::on_instance_crash(const std::string &owner, std::size_t mgr_used,
                               double pool_used)
 {
+    std::lock_guard<std::mutex> lock(mu_);
     tick();
     KvLedger &led = kv_[owner];
     if (mgr_used != 0 || led.used != 0 || !led.blocks.empty()) {
@@ -413,6 +426,7 @@ void
 SimAuditor::on_dispatch(RequestId id, std::size_t prompt_tokens,
                         std::size_t slots)
 {
+    std::lock_guard<std::mutex> lock(mu_);
     tick();
     if (slots < prompt_tokens) {
         std::ostringstream os;
@@ -425,6 +439,7 @@ SimAuditor::on_dispatch(RequestId id, std::size_t prompt_tokens,
 void
 SimAuditor::on_reschedule(RequestId id, double occupancy, double trigger)
 {
+    std::lock_guard<std::mutex> lock(mu_);
     tick();
     if (occupancy + 1e-9 < trigger) {
         std::ostringstream os;
@@ -442,6 +457,7 @@ void
 SimAuditor::finish_run(const std::vector<Request> &requests,
                        std::size_t num_finished, std::size_t num_unfinished)
 {
+    std::lock_guard<std::mutex> lock(mu_);
     tick();
     std::size_t finished_states = 0;
     // Terminal = Finished or Aborted: neither may leave ledger residue.

@@ -36,6 +36,18 @@ pod_seed(std::uint64_t base, std::size_t k)
 
 } // namespace
 
+double
+cluster_lookahead_floor(const hw::Topology &topo)
+{
+    const hw::TopologyConfig &tc = topo.config();
+    if (tc.num_nodes <= 1)
+        return 2 * tc.link_latency; // PCIe RC hop between same-node pods
+    double floor = tc.nic_latency;
+    for (const hw::InterNodeLink &l : tc.inter_node_links)
+        floor = std::min(floor, l.latency);
+    return floor;
+}
+
 ClusterServeSystem::ClusterServeSystem(ClusterConfig cfg)
     : cfg_(std::move(cfg)), topo_(make_cluster_topology(cfg_)),
       balancer_(cfg_.num_nodes * std::max<std::size_t>(cfg_.pods_per_node, 1))
@@ -46,6 +58,18 @@ ClusterServeSystem::ClusterServeSystem(ClusterConfig cfg)
     const std::size_t total = cfg_.num_nodes * cfg_.pods_per_node;
     const bool multi = total > 1;
 
+    // Multi-pod clusters are partitioned into logical processes: each
+    // pod simulates on its own kernel; the hub (this->sim_) keeps the
+    // arrivals, the balancer, the NIC fabric and the chaos engine. A
+    // 1-pod cluster shares the hub kernel — the historical (and
+    // WindServeSystem-identical) path.
+    if (multi) {
+        ctl_latency_ = cluster_lookahead_floor(topo_);
+        pod_sims_.reserve(total);
+        for (std::size_t k = 0; k < total; ++k)
+            pod_sims_.push_back(std::make_unique<sim::Simulator>());
+    }
+
     for (std::size_t k = 0; k < total; ++k) {
         WindServeConfig pc = cfg_.pod;
         // Each pod owns one island; the cluster fabric lives up here.
@@ -55,14 +79,16 @@ ClusterServeSystem::ClusterServeSystem(ClusterConfig cfg)
         std::string prefix = multi ? "pod" + std::to_string(k) + "/" : "";
 
         PodHooks hooks;
-        hooks.on_finished = [this](Request *r) {
-            auto it = home_pod_.find(r->id);
-            if (it != home_pod_.end()) {
-                balancer_.release(it->second, tokens_of(r));
-                home_pod_.erase(it);
+        hooks.on_finished = [this, k](Request *r) {
+            // Balancer accounting lives on the hub. Mid-window the pod
+            // may not touch it: ship a zero-delay message instead (the
+            // release lands at the exact finish timestamp).
+            if (!lp_ || lp_->in_hub_phase()) {
+                retire_finished(r);
+                return;
             }
-            if (outstanding_ > 0)
-                --outstanding_;
+            lp_->post(k, pod_sims_[k]->now(),
+                      [this, r] { retire_finished(r); });
         };
         hooks.offload_decode = [this](Pod &p, Request *r) {
             return maybe_offload(p, r);
@@ -74,8 +100,21 @@ ClusterServeSystem::ClusterServeSystem(ClusterConfig cfg)
                                         std::vector<Request *> &victims) {
             sweep_cross_transfers(p, victims);
         };
-        pods_.push_back(std::make_unique<Pod>(sim_, pc, std::move(hooks),
-                                              std::move(prefix), k));
+        if (multi) {
+            // The injector runs on the hub; recovery-window closes that
+            // happen mid-window travel as zero-delay messages.
+            hooks.decode_ready = [this](Pod &p, Request *r) {
+                if (!lp_ || lp_->in_hub_phase()) {
+                    faults()->note_decode_ready(r);
+                    return;
+                }
+                lp_->post(p.index(), pod_sims_[p.index()]->now(),
+                          [this, r] { faults()->note_decode_ready(r); });
+            };
+        }
+        pods_.push_back(std::make_unique<Pod>(
+            multi ? *pod_sims_[k] : sim_, pc, std::move(hooks),
+            std::move(prefix), k));
     }
     for (auto &p : pods_) {
         pod_of_instance_[&p->prefill_instance()] = p.get();
@@ -141,16 +180,49 @@ ClusterServeSystem::on_arrival(Request *r)
     pods_[k]->on_arrival(r);
 }
 
+void
+ClusterServeSystem::retire_finished(Request *r)
+{
+    auto it = home_pod_.find(r->id);
+    if (it != home_pod_.end()) {
+        balancer_.release(it->second, tokens_of(r));
+        home_pod_.erase(it);
+    }
+    if (outstanding_ > 0)
+        --outstanding_;
+}
+
 bool
 ClusterServeSystem::maybe_offload(Pod &src, Request *r)
 {
     if (!cfg_.allow_cross_pod || pods_.size() < 2)
         return false;
     const std::size_t k = src.index();
-    const bool forced = src.decode_instance().is_down();
-    if (!forced && src.decode_instance().kv_used_fraction() <
-                       cfg_.offload_highwater)
+    // Local-only admission test — the pod's own thread may not read
+    // remote pod state mid-window. The remote scan happens on the hub
+    // timeline one control-latency later, when every pod's state at
+    // that timestamp is exact.
+    if (!src.decode_instance().is_down() &&
+        src.decode_instance().kv_used_fraction() < cfg_.offload_highwater)
         return false;
+    src.hold_for_offload(r);
+    lp_->post(k, pod_sims_[k]->now() + ctl_latency_,
+              [this, k, r, inc = r->incarnation] {
+                  decide_offload(k, r, inc);
+              });
+    return true;
+}
+
+void
+ClusterServeSystem::decide_offload(std::size_t k, Request *r,
+                                   std::uint32_t inc)
+{
+    if (r->incarnation != inc)
+        return; // source prefill crashed meanwhile; r was re-dispatched
+    Pod &src = *pods_[k];
+    if (!src.take_held_offload(r->id))
+        return; // the hold was swept by a crash; victim already re-routed
+    const bool forced = src.decode_instance().is_down();
     // Least-pressured remote decode instance that is up; unless the
     // local decode is dead, the target must also be genuinely cooler
     // (below the low-water mark) or the copy just moves the problem.
@@ -170,8 +242,12 @@ ClusterServeSystem::maybe_offload(Pod &src, Request *r)
             best_frac = f;
         }
     }
-    if (best == CrossPodBalancer::npos)
-        return false;
+    if (best == CrossPodBalancer::npos) {
+        // Refused (no cooler pod): fall back to the local hand-off the
+        // pod would have started had the cluster not claimed it.
+        src.begin_local_decode_transfer(r);
+        return;
+    }
 
     ++cross_offloads_;
     audit::transition(audit(), *r, RequestState::Transferring);
@@ -181,7 +257,7 @@ ClusterServeSystem::maybe_offload(Pod &src, Request *r)
     double bytes = src.transfer().bytes_for_tokens(
         static_cast<double>(r->prompt_tokens));
     hw::SharedChannel &nic = *nics_[node_of_pod(k)];
-    nic.submit(bytes, [this, r, inc = r->incarnation] {
+    nic.submit(bytes, [this, r, inc] {
         auto it = cross_transferring_.find(r->id);
         if (it == cross_transferring_.end() || r->incarnation != inc)
             return; // source prefill crashed mid-copy; already re-routed
@@ -193,7 +269,6 @@ ClusterServeSystem::maybe_offload(Pod &src, Request *r)
         home_pod_[r->id] = x.dst;
         pods_[x.dst]->admit_remote_decode(r);
     });
-    return true;
 }
 
 bool
@@ -235,8 +310,21 @@ ClusterServeSystem::sweep_cross_transfers(Pod &src,
 void
 ClusterServeSystem::wire_trace(obs::TraceRecorder &rec)
 {
-    for (auto &p : pods_)
-        p->wire_trace(rec);
+    trace_master_ = &rec;
+    if (!pod_sims_.empty()) {
+        // Each logical process records into a private shard (its own
+        // timebase, written only by its own thread); replay() absorbs
+        // the shards back into the master in pod order.
+        trace_shards_.reserve(pods_.size());
+        for (std::size_t k = 0; k < pods_.size(); ++k) {
+            trace_shards_.push_back(
+                std::make_unique<obs::TraceRecorder>(*pod_sims_[k]));
+            pods_[k]->wire_trace(*trace_shards_[k]);
+        }
+    } else {
+        for (auto &p : pods_)
+            p->wire_trace(rec);
+    }
     for (auto &nic : nics_)
         nic->set_trace(&rec, "interconnect", nic->name());
 }
@@ -282,6 +370,22 @@ ClusterServeSystem::wire_faults(fault::FaultInjector &inj)
 void
 ClusterServeSystem::wire_telemetry(obs::Telemetry &t)
 {
+    telemetry_tick_ = std::max(t.config().sample_every, 0.0);
+    if (!pod_sims_.empty()) {
+        for (auto &s : pod_sims_)
+            t.arm_lp(*s); // attribute pod-thread events to the profiler
+        if (t.journal()) {
+            // Pod-side decisions journal into per-pod shards; replay()
+            // merges them back (time order, pod-index tie-break).
+            journal_master_ = t.journal();
+            journal_shards_.reserve(pods_.size());
+            for (auto &p : pods_) {
+                journal_shards_.push_back(
+                    std::make_unique<obs::DecisionJournal>());
+                p->set_journal_shard(journal_shards_.back().get());
+            }
+        }
+    }
     for (std::size_t k = 0; k < pods_.size(); ++k) {
         pods_[k]->wire_telemetry(t, "pod=\"" + std::to_string(k) + "\"");
     }
@@ -330,6 +434,16 @@ ClusterServeSystem::replay(const std::vector<workload::Request> &trace,
 {
     requests_ = trace;
     outstanding_ = requests_.size();
+    if (!pod_sims_.empty()) {
+        sim::LpScheduler::Config lc;
+        lc.lookahead = ctl_latency_;
+        lc.window = cfg_.lp_window;
+        lc.threads = run_intra_threads_;
+        lc.tick = telemetry_tick_;
+        lp_ = std::make_unique<sim::LpScheduler>(sim_, lc);
+        for (auto &s : pod_sims_)
+            lp_->add_lp(*s);
+    }
     {
         sim::SourceScope src(sim_, "arrival");
         for (auto &r : requests_) {
@@ -338,9 +452,27 @@ ClusterServeSystem::replay(const std::vector<workload::Request> &trace,
                              [this, ptr] { on_arrival(ptr); });
         }
     }
-    sim_.run_until(horizon);
+    if (lp_)
+        lp_->run_until(horizon);
+    else
+        sim_.run_until(horizon);
     for (auto &p : pods_)
         p->finalize_stats();
+    // Fold the per-pod observability shards back into the shared
+    // exports, in pod order, BEFORE run() appends request lifecycles
+    // and counter tracks — so every export is byte-identical at any
+    // --intra-threads.
+    if (trace_master_) {
+        for (auto &shard : trace_shards_)
+            trace_master_->absorb_shard(*shard);
+    }
+    if (journal_master_) {
+        std::vector<obs::DecisionJournal *> shards;
+        shards.reserve(journal_shards_.size());
+        for (auto &s : journal_shards_)
+            shards.push_back(s.get());
+        journal_master_->merge_shards(shards);
+    }
 }
 
 void

@@ -17,13 +17,29 @@
  *  - crash re-dispatch: a victim whose home pod is fully down is
  *    recomputed at the least-loaded pod with a live instance.
  *
+ * Intra-run parallelism: a multi-pod cluster is partitioned into
+ * logical processes — one sim::Simulator per pod, coordinated by a
+ * sim::LpScheduler around the hub simulator that owns arrivals, the
+ * balancer, the NIC fabric and the chaos engine (see simcore/lp.hpp).
+ * Pods advance concurrently inside conservative bounded-lag windows;
+ * cross-pod interactions are timestamped messages through the
+ * scheduler's bounded channels. The decode-offload decision models an
+ * explicit control-plane latency (cluster_lookahead_floor(), the
+ * fabric's base latency): the source pod parks the request
+ * (Pod::hold_for_offload) and the hub scans remote pressure one
+ * lookahead later, when every pod's state at that timestamp is exact.
+ * RunOptions::intra_threads picks the worker count; any value
+ * (including 1) produces byte-identical results, because windows,
+ * message order and hub decisions are all thread-independent. A
+ * single-pod cluster keeps the historical shared-simulator path.
+ *
  * Determinism: pod k runs on seed `base ^ (k * golden)` (pod 0 keeps
  * the base seed), the balancer is RNG-free, and all cross-pod traffic
- * flows through the shared simulator — a cluster run stays a pure
- * function of (config, workload, seed), bit-identical at any --jobs.
- * A 1-node/1-pod cluster reproduces WindServeSystem byte-for-byte:
- * same construction order, same RNG forks, same instance and channel
- * names, no NIC channels.
+ * flows through the hub simulator's timeline — a cluster run stays a
+ * pure function of (config, workload, seed), bit-identical at any
+ * --jobs and any --intra-threads. A 1-node/1-pod cluster reproduces
+ * WindServeSystem byte-for-byte: same construction order, same RNG
+ * forks, same instance and channel names, no NIC channels.
  */
 #pragma once
 
@@ -36,6 +52,9 @@
 #include "core/windserve_system.hpp"
 #include "engine/serving_system.hpp"
 #include "hw/topology.hpp"
+#include "obs/decision_journal.hpp"
+#include "obs/trace_recorder.hpp"
+#include "simcore/lp.hpp"
 
 namespace windserve::core {
 
@@ -60,7 +79,27 @@ struct ClusterConfig {
     double offload_highwater = 0.85;
     /** Remote decode KV fraction below which a pod accepts offloads. */
     double offload_lowwater = 0.60;
+
+    /**
+     * Bounded-lag window quantum (simulated seconds) for the intra-run
+     * parallel engine: pods advance in lockstep windows of
+     * max(lookahead, lp_window) between hub events. Purely a
+     * batching/performance knob — results are byte-identical at any
+     * value > 0 thanks to the hub-event / pending-tick window clamps.
+     * 0 degenerates to per-event lockstep (sequential pumping). */
+    double lp_window = 1e-3;
 };
+
+/**
+ * The cluster's conservative-lookahead floor: the smallest cross-pod
+ * interaction latency the fabric guarantees, used both as the decode
+ * offload's control-plane latency and as the LpScheduler lookahead.
+ * Multi-node clusters: the minimum inter-node base latency (default
+ * NIC latency, lowered by per-pair overrides). Single-node multi-pod
+ * clusters: the PCIe root-complex hop (2x link latency), matching the
+ * egress SharedChannel the pods actually share.
+ */
+double cluster_lookahead_floor(const hw::Topology &topo);
 
 /** See file comment. */
 class ClusterServeSystem : public engine::ServingSystem
@@ -70,11 +109,30 @@ class ClusterServeSystem : public engine::ServingSystem
 
     std::string name() const override { return "WindServe-Cluster"; }
     std::size_t num_gpus() const override;
+    /** The HUB simulator (arrivals, balancer, NICs, chaos engine). */
     sim::Simulator &simulator() override { return sim_; }
+
+    std::uint64_t total_events_fired() override
+    {
+        std::uint64_t sum = sim_.events_fired();
+        for (const auto &s : pod_sims_)
+            sum += s->events_fired();
+        return sum;
+    }
 
     // introspection
     std::size_t num_pods() const { return pods_.size(); }
     Pod &pod(std::size_t k) { return *pods_.at(k); }
+    /** Pod k's logical-process simulator (the hub for 1-pod clusters). */
+    sim::Simulator &pod_sim(std::size_t k)
+    {
+        return pod_sims_.empty() ? sim_ : *pod_sims_.at(k);
+    }
+    /** The LP scheduler of the last replay (nullptr before replay and
+     *  for single-pod clusters). */
+    const sim::LpScheduler *lp() const { return lp_.get(); }
+    /** Cross-pod control-plane latency == LpScheduler lookahead. */
+    double lookahead() const { return ctl_latency_; }
     const CrossPodBalancer &balancer() const { return balancer_; }
     const hw::Topology &topology() const { return topo_; }
     const ClusterConfig &config() const { return cfg_; }
@@ -107,8 +165,16 @@ class ClusterServeSystem : public engine::ServingSystem
     /** Balancer admission: pick a pod, record the home, hand over. */
     void on_arrival(workload::Request *r);
 
-    /** Pod hook: maybe claim a prefill completion for remote decode. */
+    /** Pod hook: maybe claim a prefill completion for remote decode.
+     *  Multi-pod: parks the request and posts the decision to the hub
+     *  one control-latency later (decide_offload). */
     bool maybe_offload(Pod &src, workload::Request *r);
+    /** Hub side of the offload: scan remote pressure, ship the KV over
+     *  the NIC or fall back to the pod-local hand-off. */
+    void decide_offload(std::size_t k, workload::Request *r,
+                        std::uint32_t inc);
+    /** on_finished bookkeeping (balancer release) on the hub timeline. */
+    void retire_finished(workload::Request *r);
     /** Pod hook: re-home a victim whose pod is fully down. */
     bool maybe_redispatch_remote(Pod &src, workload::Request *r);
     /** Pod hook: sweep cross-pod copies out of a crashed prefill. */
@@ -125,9 +191,24 @@ class ClusterServeSystem : public engine::ServingSystem
     std::vector<bool> live_pods() const;
 
     ClusterConfig cfg_;
-    sim::Simulator sim_;
+    sim::Simulator sim_; ///< hub LP: arrivals, balancer, NICs, faults
     hw::Topology topo_; ///< cluster-wide (NIC links); pods own islands
+    /** One simulator per pod (multi-pod only; empty = shared path). */
+    std::vector<std::unique_ptr<sim::Simulator>> pod_sims_;
     std::vector<std::unique_ptr<Pod>> pods_;
+    /** Built at replay() start from run_intra_threads_ (multi-pod). */
+    std::unique_ptr<sim::LpScheduler> lp_;
+    /** cluster_lookahead_floor(topo_); 0 for single-pod clusters. */
+    double ctl_latency_ = 0.0;
+    /** Telemetry sample period, captured by wire_telemetry() so the
+     *  LP windows never run a pod past a pending sample tick. */
+    double telemetry_tick_ = 0.0;
+    /** Per-pod observability shards (multi-pod, merged at replay end
+     *  so exports are thread-count independent). */
+    obs::TraceRecorder *trace_master_ = nullptr;
+    std::vector<std::unique_ptr<obs::TraceRecorder>> trace_shards_;
+    obs::DecisionJournal *journal_master_ = nullptr;
+    std::vector<std::unique_ptr<obs::DecisionJournal>> journal_shards_;
     /** Egress NIC per node (absent for a single-node cluster). */
     std::vector<std::unique_ptr<hw::SharedChannel>> nics_;
     CrossPodBalancer balancer_;

@@ -221,7 +221,11 @@ Pod::wire_telemetry(obs::Telemetry &t, const std::string &pod_label)
                 },
                 "Proactive KV backups taken");
 
-    scheduler_->coordinator().set_journal(t.journal());
+    // Under intra-run parallelism dispatch decisions are made on the
+    // pod's own thread: write them into the pod's private shard (merged
+    // at end of replay) instead of the shared journal.
+    scheduler_->coordinator().set_journal(journal_ ? journal_
+                                                   : t.journal());
 }
 
 void
@@ -267,6 +271,12 @@ Pod::on_prefill_complete_at_prefill(Request *r)
     // a less loaded pod); otherwise the local prefill->decode copy runs.
     if (hooks_.offload_decode && hooks_.offload_decode(*this, r))
         return;
+    begin_local_decode_transfer(r);
+}
+
+void
+Pod::begin_local_decode_transfer(Request *r)
+{
     // WindServe overlaps the KV copy with the prefill pass; only the
     // tail is left on the critical path here (transfer config).
     transferring_[r->id] = r;
@@ -276,9 +286,44 @@ Pod::on_prefill_complete_at_prefill(Request *r)
         transferring_.erase(r->id);
         prefill_->release_kv(r);
         decode_->enqueue_decode(r, /*kv_resident=*/false);
-        if (faults_)
-            faults_->note_decode_ready(r);
+        notify_decode_ready(r);
     });
+}
+
+void
+Pod::hold_for_offload(Request *r)
+{
+    transferring_[r->id] = r;
+}
+
+workload::Request *
+Pod::take_held_offload(workload::RequestId id)
+{
+    auto it = transferring_.find(id);
+    if (it == transferring_.end())
+        return nullptr;
+    Request *r = it->second;
+    transferring_.erase(it);
+    return r;
+}
+
+void
+Pod::notify_decode_ready(Request *r)
+{
+    if (!faults_)
+        return;
+    if (hooks_.decode_ready)
+        hooks_.decode_ready(*this, r);
+    else
+        faults_->note_decode_ready(r);
+}
+
+obs::DecisionJournal *
+Pod::journal() const
+{
+    if (journal_)
+        return journal_;
+    return telemetry_ ? telemetry_->journal() : nullptr;
 }
 
 void
@@ -293,8 +338,7 @@ Pod::on_prefill_complete_at_decode(Request *r)
     // Dispatch).
     r->transfer_done_time = sim_.now();
     decode_->enqueue_decode(r, /*kv_resident=*/true);
-    if (faults_)
-        faults_->note_decode_ready(r);
+    notify_decode_ready(r);
 }
 
 void
@@ -302,8 +346,7 @@ Pod::admit_remote_decode(Request *r)
 {
     r->transfer_done_time = sim_.now();
     decode_->enqueue_decode(r, /*kv_resident=*/false);
-    if (faults_)
-        faults_->note_decode_ready(r);
+    notify_decode_ready(r);
 }
 
 void
@@ -311,9 +354,8 @@ Pod::on_finished(Request *r)
 {
     migration_->on_request_finished(r);
     backup_->on_request_done(r);
-    if (faults_)
-        faults_->note_decode_ready(r); // single-token recoveries finish
-                                       // without re-entering a decode queue
+    notify_decode_ready(r); // single-token recoveries finish without
+                            // re-entering a decode queue
     if (hooks_.on_finished)
         hooks_.on_finished(r);
 }
@@ -330,7 +372,7 @@ Pod::redispatch_after_fault(Request *r)
     const bool resumable = backed >= r->prompt_tokens && backed > 0 &&
                            !prefill_->is_down() &&
                            prefill_->blocks().holds(r->id);
-    if (telemetry_ && telemetry_->journal()) {
+    if (obs::DecisionJournal *jnl = journal()) {
         obs::Decision d;
         d.time = sim_.now();
         d.kind = obs::DecisionKind::Redispatch;
@@ -349,14 +391,14 @@ Pod::redispatch_after_fault(Request *r)
             true,
             {{"prompt_tokens",
               static_cast<double>(r->prompt_tokens)}}});
-        telemetry_->journal()->record(std::move(d));
+        jnl->record(std::move(d));
     }
     if (resumable) {
         backup_registry_.drop(r->id);
         r->prefilled = r->prompt_tokens;
         r->generated = backed - r->prompt_tokens;
         prefill_->enqueue_decode(r, /*kv_resident=*/true);
-        faults_->note_decode_ready(r);
+        notify_decode_ready(r);
         return;
     }
     r->prefilled = 0;

@@ -45,6 +45,7 @@ namespace windserve::fault {
 class FaultInjector;
 }
 namespace windserve::obs {
+class DecisionJournal;
 class Telemetry;
 }
 
@@ -64,6 +65,16 @@ struct PodHooks {
     /** The pod's prefill instance crashed: sweep cross-pod transfers. */
     std::function<void(Pod &, std::vector<workload::Request *> &)>
         on_prefill_crash;
+    /**
+     * A request reached a decode queue (or finished) — the chaos
+     * engine's recovery-window close. Installed by owners whose fault
+     * injector lives on a different simulator than the pod (intra-run
+     * parallel clusters route the notification through the hub's
+     * message channel); when absent the pod calls
+     * FaultInjector::note_decode_ready() directly. Only invoked while
+     * a fault injector is wired.
+     */
+    std::function<void(Pod &, workload::Request *)> decode_ready;
 };
 
 /** See file comment. */
@@ -99,6 +110,32 @@ class Pod
      *  close any fault-recovery window. */
     void admit_remote_decode(workload::Request *r);
 
+    /**
+     * Start the local prefill -> decode KV copy for a freshly prefilled
+     * request (the default hand-off when no cross-pod offload claims
+     * it). Public so a cluster that held the request for an offload
+     * decision (see hold_for_offload) can fall back to the local path
+     * after refusing the offload.
+     */
+    void begin_local_decode_transfer(workload::Request *r);
+
+    /**
+     * Park a freshly prefilled request while the owner decides where
+     * its decode runs (cross-pod offload control latency). The request
+     * joins the transferring_ ledger, so a prefill crash during the
+     * decision window sweeps it into the victim set like any other
+     * in-flight hand-off.
+     */
+    void hold_for_offload(workload::Request *r);
+
+    /**
+     * Claim a request parked by hold_for_offload(). Returns nullptr
+     * when the hold no longer exists (the prefill crashed and the
+     * victim was swept/re-dispatched meanwhile) — the offload decision
+     * must then be abandoned.
+     */
+    workload::Request *take_held_offload(workload::RequestId id);
+
     /** Flush per-instance utilization stats at end of run. */
     void finalize_stats();
 
@@ -114,6 +151,16 @@ class Pod
      *  the per-pod scheduler/migration/backup series; channel and
      *  instance series are already unique via name_prefix. */
     void wire_telemetry(obs::Telemetry &t, const std::string &pod_label);
+
+    /**
+     * Route this pod's decision-journal entries (dispatch decisions,
+     * post-fault re-dispatches) into @p j instead of the telemetry's
+     * shared journal. Under intra-run parallelism each pod writes a
+     * private shard on its own thread; the owner merges the shards
+     * back into the shared journal at end of replay. Call before
+     * wire_telemetry().
+     */
+    void set_journal_shard(obs::DecisionJournal *j) { journal_ = j; }
 
     // ---- introspection ----
 
@@ -131,6 +178,8 @@ class Pod
     void on_prefill_complete_at_decode(workload::Request *r);
     void on_finished(workload::Request *r);
     void finish_prefill_only(engine::Instance &inst, workload::Request *r);
+    void notify_decode_ready(workload::Request *r);
+    obs::DecisionJournal *journal() const;
 
     sim::Simulator &sim_;
     PodHooks hooks_;
@@ -148,6 +197,7 @@ class Pod
     audit::SimAuditor *audit_ = nullptr;
     fault::FaultInjector *faults_ = nullptr;
     obs::Telemetry *telemetry_ = nullptr;
+    obs::DecisionJournal *journal_ = nullptr; ///< per-pod shard override
     /** Requests whose prefill KV copy is in flight — invisible to both
      *  instances' queues, so a prefill crash must sweep them here.
      *  Ordered map: the crash hook iterates it. */

@@ -1,5 +1,7 @@
 #include "engine/serving_system.hpp"
 
+#include <algorithm>
+
 #include "fault/fault_injector.hpp"
 #include "obs/trace_recorder.hpp"
 #include "simcore/simulator.hpp"
@@ -8,6 +10,12 @@ namespace windserve::engine {
 
 ServingSystem::ServingSystem() = default;
 ServingSystem::~ServingSystem() = default;
+
+std::uint64_t
+ServingSystem::total_events_fired()
+{
+    return simulator().events_fired();
+}
 
 void
 ServingSystem::link_attachments()
@@ -148,6 +156,7 @@ ServingSystem::run(const std::vector<workload::Request> &trace,
         attach_faults(fc);
     }
 
+    run_intra_threads_ = std::max<std::size_t>(opts.intra_threads, 1);
     replay(trace, opts.horizon);
 
     if (telemetry_)

@@ -79,6 +79,10 @@ make_windserve(const ExperimentConfig &cfg)
         cc.pod = std::move(ws);
         cc.num_nodes = cfg.num_nodes;
         cc.pods_per_node = cfg.pods_per_node;
+        if (cfg.offload_highwater)
+            cc.offload_highwater = *cfg.offload_highwater;
+        if (cfg.offload_lowwater)
+            cc.offload_lowwater = *cfg.offload_lowwater;
         return std::make_unique<core::ClusterServeSystem>(std::move(cc));
     }
     return std::make_unique<core::WindServeSystem>(ws);
@@ -164,10 +168,16 @@ run_experiment(const ExperimentConfig &cfg)
             ac.repro_extra = " --chaos";
         if (cfg.num_nodes > 1)
             ac.repro_extra += " --nodes=" + std::to_string(cfg.num_nodes);
+        // Strictly appended after every historical field so old
+        // --repro-seed lines replay byte-identically.
+        if (cfg.intra_threads > 1)
+            ac.repro_extra +=
+                " --intra-threads=" + std::to_string(cfg.intra_threads);
         opts.audit = std::move(ac);
     }
     opts.faults = cfg.faults; // horizon <= 0 inherits opts.horizon
     opts.telemetry = cfg.telemetry;
+    opts.intra_threads = cfg.intra_threads;
     auto trace = make_trace(cfg);
     auto run = system->run(trace, opts);
 
@@ -175,6 +185,7 @@ run_experiment(const ExperimentConfig &cfg)
     result.system_name = to_string(cfg.system);
     result.per_gpu_rate = cfg.per_gpu_rate;
     result.metrics = std::move(run.metrics);
+    result.events_fired = system->total_events_fired();
     if (const obs::TraceRecorder *rec = system->trace()) {
         result.trace_json = rec->chrome_json();
         result.trace_request_csv =

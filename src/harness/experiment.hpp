@@ -101,6 +101,18 @@ struct ExperimentConfig {
     /** Force the sharded cluster path even for a 1-node/1-pod run
      *  (sequential-vs-sharded differential testing). */
     bool sharded = false;
+    /** Cluster decode-offload watermark overrides (ClusterConfig
+     *  defaults when empty). Benches and tests lower these to make the
+     *  cross-pod offload path fire under moderate load. */
+    std::optional<double> offload_highwater;
+    std::optional<double> offload_lowwater;
+    /**
+     * Intra-run worker threads (engine::RunOptions::intra_threads).
+     * Only the multi-pod cluster engine uses them; results are
+     * byte-identical at any value, so this is purely a wall-clock
+     * knob — and the determinism harness's sweep axis.
+     */
+    std::size_t intra_threads = 1;
 };
 
 /** Outcome of one experiment. */
@@ -108,6 +120,9 @@ struct ExperimentResult {
     std::string system_name;
     double per_gpu_rate = 0.0;
     metrics::RunMetrics metrics;
+    /** Events fired across every simulator of the run (hub + logical
+     *  processes) — thread-count invariant by the engine's contract. */
+    std::uint64_t events_fired = 0;
     // system-internal counters
     std::uint64_t dispatches = 0;
     std::uint64_t reschedules = 0;

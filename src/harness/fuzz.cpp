@@ -54,7 +54,7 @@ result_checksum(const std::vector<workload::Request> &requests)
 
 ExperimentConfig
 make_fuzz_config(std::uint64_t seed, SystemKind system, bool chaos,
-                 std::size_t nodes)
+                 std::size_t nodes, std::size_t intra_threads)
 {
     // Independent stream per (seed, system) so the same seed explores
     // different configs on each system.
@@ -137,6 +137,9 @@ make_fuzz_config(std::uint64_t seed, SystemKind system, bool chaos,
         cfg.faults = fc; // horizon <= 0: takes the experiment horizon
     }
     cfg.num_nodes = nodes == 0 ? 1 : nodes;
+    // Thread count is a pure parameter (no draw): byte-identity across
+    // values is exactly what the determinism harness asserts.
+    cfg.intra_threads = intra_threads == 0 ? 1 : intra_threads;
     return cfg;
 }
 
@@ -154,8 +157,12 @@ run_fuzz_case(const ExperimentConfig &cfg)
         ac.repro_extra = " --chaos";
     if (cfg.num_nodes > 1)
         ac.repro_extra += " --nodes=" + std::to_string(cfg.num_nodes);
+    if (cfg.intra_threads > 1)
+        ac.repro_extra +=
+            " --intra-threads=" + std::to_string(cfg.intra_threads);
     opts.audit = std::move(ac);
     opts.faults = cfg.faults; // horizon <= 0 inherits opts.horizon
+    opts.intra_threads = cfg.intra_threads;
     auto trace = make_trace(cfg);
     auto run = system->run(trace, opts);
     const audit::SimAuditor *aud = system->audit();
@@ -192,7 +199,7 @@ run_fuzz(const FuzzOptions &opt)
         SystemKind system = opt.systems[i % opt.systems.size()];
         sum.results[i] = run_fuzz_case(make_fuzz_config(
             opt.base_seed + static_cast<std::uint64_t>(iter), system,
-            opt.chaos, opt.nodes));
+            opt.chaos, opt.nodes, opt.intra_threads));
     });
     for (const auto &r : sum.results) {
         sum.total_events += r.audit_events;

@@ -63,6 +63,12 @@ struct FuzzOptions {
      *  With chaos, N > 1 additionally draws node-crash and NIC-outage
      *  dials (strictly after all single-node draws). */
     std::size_t nodes = 1;
+    /** Intra-run worker threads for multi-pod cases (nodes > 1,
+     *  WindServe). A pure parameter — NO RNG draw is attached to it,
+     *  so every historical `--repro-seed` line replays byte-identically
+     *  and the same case can be replayed at different thread counts to
+     *  diff the parallel engine against the sequential one. */
+    std::size_t intra_threads = 1;
 };
 
 /** Aggregated outcome of a campaign (all cases, in deterministic order). */
@@ -79,11 +85,13 @@ struct FuzzSummary {
  * come after every base draw, so a case's fault-free config is
  * untouched by the flag. @p nodes > 1 runs the case on a multi-node
  * cluster; its extra chaos draws come after every chaos draw, so the
- * node axis never perturbs a single-node case either.
+ * node axis never perturbs a single-node case either. @p intra_threads
+ * is copied into the config without any draw (see FuzzOptions).
  */
 ExperimentConfig make_fuzz_config(std::uint64_t seed, SystemKind system,
                                   bool chaos = false,
-                                  std::size_t nodes = 1);
+                                  std::size_t nodes = 1,
+                                  std::size_t intra_threads = 1);
 
 /** Order-independent FNV-1a checksum of per-request outcomes. */
 std::uint64_t result_checksum(const std::vector<workload::Request> &requests);

@@ -110,8 +110,8 @@ Channel::finish_active()
     ++completed_;
     if (audit_) {
         audit_->on_transfer_complete(name_, done->id, done->bytes,
-                                     active_begun_, link_.bandwidth,
-                                     link_.latency);
+                                     active_begun_, sim_.now(),
+                                     link_.bandwidth, link_.latency);
     }
     if (trace_) {
         trace_->span(obs::Category::Transfer, trace_process_, trace_track_,
@@ -358,7 +358,8 @@ SharedChannel::on_boundary()
         ++completed_;
         if (audit_) {
             audit_->on_transfer_complete(name_, a.id, a.bytes, a.begun,
-                                         link_.bandwidth, link_.latency);
+                                         sim_.now(), link_.bandwidth,
+                                         link_.latency);
         }
         if (trace_) {
             trace_->span(obs::Category::Transfer, trace_process_,

@@ -33,6 +33,13 @@ Telemetry::arm(sim::Simulator &sim)
 }
 
 void
+Telemetry::arm_lp(sim::Simulator &sim)
+{
+    if (cfg_.self_profile)
+        sim.set_profiler(&profiler_);
+}
+
+void
 Telemetry::on_batch(double t)
 {
     // Emit every tick strictly before the upcoming batch: at tick
@@ -81,22 +88,25 @@ std::string
 Telemetry::profile_table(bool include_wall) const
 {
     struct Row {
-        std::uint16_t id;
+        std::string name;
         std::uint64_t fired;
         std::uint64_t wall_ns;
     };
     std::vector<Row> rows;
     for (std::size_t i = 0; i < profiler_.num_sources(); ++i) {
         const auto id = static_cast<std::uint16_t>(i);
-        const sim::PumpProfiler::Bucket &b = profiler_.bucket(id);
+        const sim::PumpProfiler::Bucket b = profiler_.bucket(id);
         if (b.fired == 0)
             continue;
-        rows.push_back(Row{id, b.fired, b.wall_ns});
+        rows.push_back(Row{profiler_.name(id), b.fired, b.wall_ns});
     }
+    // Tie-break by NAME, not id: under intra-run parallelism (lp.hpp)
+    // every LP shares this profiler and intern order — hence id order —
+    // depends on thread scheduling, while per-name counts do not.
     std::sort(rows.begin(), rows.end(), [](const Row &a, const Row &b) {
         if (a.fired != b.fired)
             return a.fired > b.fired;
-        return a.id < b.id;
+        return a.name < b.name;
     });
 
     const std::uint64_t total = profiler_.total_fired();
@@ -117,12 +127,12 @@ Telemetry::profile_table(bool include_wall) const
                 static_cast<double>(r.fired);
             std::snprintf(line, sizeof line,
                           "%-26s %8llu  %5.1f%%  %9.3f  %8.1f\n",
-                          profiler_.name(r.id).c_str(),
+                          r.name.c_str(),
                           static_cast<unsigned long long>(r.fired),
                           share, wall_ms, ns_per);
         } else {
             std::snprintf(line, sizeof line, "%-26s %8llu  %5.1f%%\n",
-                          profiler_.name(r.id).c_str(),
+                          r.name.c_str(),
                           static_cast<unsigned long long>(r.fired),
                           share);
         }

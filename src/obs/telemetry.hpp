@@ -77,6 +77,18 @@ class Telemetry
     void arm(sim::Simulator &sim);
 
     /**
+     * Attach only the event-pump self-profiler (if configured) to a
+     * logical process's simulator. Partitioned systems (intra-run
+     * parallelism) call this for every LP kernel so events fired on
+     * worker threads are attributed too — the profiler's accounting
+     * is lock-free and order-independent, so totals stay identical at
+     * any thread count. The batch-boundary sampler stays on the hub
+     * simulator arm() was given: metric sampling must see a globally
+     * consistent state, which only hub batches guarantee.
+     */
+    void arm_lp(sim::Simulator &sim);
+
+    /**
      * End-of-run flush: emit the remaining sample ticks up to
      * @p final_time (plus one closing sample at @p final_time itself
      * when off-grid) and detach from the simulator.

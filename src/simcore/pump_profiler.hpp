@@ -16,12 +16,23 @@
  * Wall-clock nanoseconds are measured with std::chrono::steady_clock
  * and are inherently non-deterministic; event counts and shares are a
  * pure function of the simulation. Exporters that need byte-identical
- * output across runs must use the count columns only (see
- * obs::Telemetry::profile_table).
+ * output across runs must use the count columns only, keyed by source
+ * NAME (see obs::Telemetry::profile_table) — under intra-run
+ * parallelism (lp.hpp) one profiler is shared by every LP's simulator,
+ * so source IDS depend on which thread interns a name first while the
+ * per-name counts stay exact.
+ *
+ * Thread safety: account() is lock-free (per-bucket atomics, relaxed —
+ * totals are only read after the worker pool quiesces), intern() takes
+ * a mutex on the miss path only. Buckets live in a fixed-capacity
+ * array so account() never races a reallocation; interning past the
+ * capacity falls back to the untagged bucket (id 0).
  */
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -32,30 +43,40 @@ namespace windserve::sim {
 class PumpProfiler
 {
   public:
-    /** Per-source accumulators. */
+    /** Snapshot of one source's accumulators. */
     struct Bucket {
         std::uint64_t fired = 0;   ///< events charged to this source
         std::uint64_t wall_ns = 0; ///< host wall-clock spent in them
     };
 
-    PumpProfiler() : names_{"(untagged)"}, buckets_(1) {}
+    /** Fixed bucket capacity (ids 0..kMaxSources-1); real runs use a
+     *  few dozen sources, the headroom is for pod-suffixed tags. */
+    static constexpr std::size_t kMaxSources = 1024;
+
+    PumpProfiler() : names_{"(untagged)"}, buckets_(kMaxSources)
+    {
+        by_name_.emplace(names_[0], 0);
+    }
     PumpProfiler(const PumpProfiler &) = delete;
     PumpProfiler &operator=(const PumpProfiler &) = delete;
 
     /**
      * Source id for @p name, minting one on first use. Id 0 is reserved
      * for "(untagged)" — events fired with no scope and no inherited
-     * tag. Ids are dense and assigned in first-intern order, so the
-     * source table is deterministic for a deterministic simulation.
+     * tag. Ids are dense in first-intern order; when several LP threads
+     * intern concurrently that order is nondeterministic, so consumers
+     * must key rows by name, never by id.
      */
     std::uint16_t intern(const std::string &name)
     {
+        std::lock_guard<std::mutex> lock(mu_);
         auto it = by_name_.find(name);
         if (it != by_name_.end())
             return it->second;
+        if (names_.size() >= kMaxSources)
+            return 0; // capacity exhausted: charge to (untagged)
         auto id = static_cast<std::uint16_t>(names_.size());
         names_.push_back(name);
-        buckets_.emplace_back();
         by_name_.emplace(name, id);
         return id;
     }
@@ -63,28 +84,43 @@ class PumpProfiler
     /** Charge one fired event of @p ns wall-clock to source @p src. */
     void account(std::uint16_t src, std::uint64_t ns)
     {
-        Bucket &b = buckets_[src];
-        ++b.fired;
-        b.wall_ns += ns;
+        Cell &c = buckets_[src];
+        c.fired.fetch_add(1, std::memory_order_relaxed);
+        c.wall_ns.fetch_add(ns, std::memory_order_relaxed);
     }
 
-    std::size_t num_sources() const { return names_.size(); }
-    const std::string &name(std::uint16_t src) const { return names_[src]; }
-    const Bucket &bucket(std::uint16_t src) const { return buckets_[src]; }
+    std::size_t num_sources() const
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        return names_.size();
+    }
+    std::string name(std::uint16_t src) const
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        return names_[src];
+    }
+    Bucket bucket(std::uint16_t src) const
+    {
+        const Cell &c = buckets_[src];
+        return Bucket{c.fired.load(std::memory_order_relaxed),
+                      c.wall_ns.load(std::memory_order_relaxed)};
+    }
 
     /** Total events charged (all sources, untagged included). */
     std::uint64_t total_fired() const
     {
         std::uint64_t n = 0;
-        for (const Bucket &b : buckets_)
-            n += b.fired;
+        const std::size_t used = num_sources();
+        for (std::size_t i = 0; i < used; ++i)
+            n += buckets_[i].fired.load(std::memory_order_relaxed);
         return n;
     }
 
     /** Events charged to a named (non-untagged) source. */
     std::uint64_t named_fired() const
     {
-        return total_fired() - buckets_[0].fired;
+        return total_fired() -
+               buckets_[0].fired.load(std::memory_order_relaxed);
     }
 
     /** Fraction of charged events with a named source (1.0 when no
@@ -99,8 +135,15 @@ class PumpProfiler
     }
 
   private:
+    /** Atomic accumulators; fixed array slot, never reallocated. */
+    struct Cell {
+        std::atomic<std::uint64_t> fired{0};
+        std::atomic<std::uint64_t> wall_ns{0};
+    };
+
+    mutable std::mutex mu_;          ///< guards names_ / by_name_
     std::vector<std::string> names_; ///< id -> name; [0] = "(untagged)"
-    std::vector<Bucket> buckets_;
+    std::vector<Cell> buckets_;      ///< fixed kMaxSources cells
     std::unordered_map<std::string, std::uint16_t> by_name_;
 };
 

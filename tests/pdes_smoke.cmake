@@ -1,0 +1,48 @@
+# Intra-run parallel-engine gate (ctest `pdes_smoke`, label `pdes`).
+#
+# Runs bench_scale at --intra-threads=8: the bench then replays every
+# point at 1 worker and records both wall clocks plus whether the two
+# runs matched byte-for-byte (checksum, event count, finished total).
+# This script gates the determinism contract — `threads_identical` must
+# be true at every cell — and the speedup claim where the hardware can
+# express one: `intra_speedup >= 2` at the 512-GPU cell is asserted
+# only when the host exposes >= 8 cores (`hw_threads`); a 1-core CI
+# host cannot physically show > 1x, so there the identity contract is
+# the whole gate.
+execute_process(COMMAND ${BENCH} --json=${OUT} --requests=40
+                        --intra-threads=8
+                RESULT_VARIABLE rc OUTPUT_QUIET ERROR_QUIET)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR
+            "bench_scale --intra-threads=8 failed (rc=${rc}) — a nonzero "
+            "exit means the 8-thread run diverged from its 1-thread replay")
+endif()
+execute_process(
+    COMMAND ${PYTHON} -c "
+import json, sys
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+assert doc['schema_version'] == 2, doc
+hw = doc['hw_threads']
+sweep = doc['sweep']
+assert [w['gpus'] for w in sweep] == [8, 64, 512], sweep
+for w in sweep:
+    assert w['intra_threads'] == 8, w
+    assert w['threads_identical'] is True, ('identity violated', w)
+    assert w['wall_1t_s'] > 0 and w['wall_s'] > 0, w
+    assert w['checksum'] != 0, w
+big = sweep[-1]
+if hw >= 8:
+    assert big['intra_speedup'] >= 2.0, (
+        'intra-run speedup below 2x on a %d-core host' % hw, big)
+    print('pdes smoke OK: identity held, %.2fx at 512 GPUs (%d cores)'
+          % (big['intra_speedup'], hw))
+else:
+    print('pdes smoke OK: identity held at 8 threads; speedup gate '
+          'skipped (%d core(s) < 8, measured %.2fx)'
+          % (hw, big['intra_speedup']))
+" ${OUT}
+    RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "pdes JSON gate failed: ${OUT}")
+endif()
