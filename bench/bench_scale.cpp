@@ -7,7 +7,7 @@
  *
  *   bench_scale [--json[=PATH]] [--jobs=J] [--requests=N] [--rate=R]
  *               [--audit] [--intra-threads=T]
- *               [--highwater=H] [--lowwater=L]
+ *               [--highwater=H] [--lowwater=L] [--spine-oversub=F]
  *
  * --json emits BENCH_scale.json (schema checked by scale_smoke.cmake
  * and pdes_smoke.cmake; the committed copy at the repo root is the
@@ -23,6 +23,13 @@
  * and `threads_identical` — whether the two runs produced the same
  * per-request checksum, event count and finished total, which the
  * engine's determinism contract says they always must.
+ *
+ * --spine-oversub=F adds a fourth point: the 8-node cluster rerun on
+ * an oversubscribed spine — every inter-node pair overridden to
+ * nic_bw / F via hw::InterNodeLink, which the cluster folds into each
+ * node's egress NIC (weakest-path rule). F defaults to 4; F <= 1
+ * skips the point. The cell's JSON carries `spine_oversub` so the
+ * baseline gate can tell the fabrics apart.
  *
  * --highwater/--lowwater override the cluster's decode-offload
  * watermarks. The defaults here are LOWER than ClusterConfig's so the
@@ -62,6 +69,9 @@ struct BenchConfig {
     // at the 64- and 512-GPU points (2-pod cells stay too correlated).
     double highwater = 0.10;
     double lowwater = 0.08;
+    /** Spine oversubscription factor of the extra 8-node point
+     *  (inter-node bandwidth = nic_bw / factor); <= 1 skips it. */
+    double spine_oversub = 4.0;
 };
 
 struct ScalePoint {
@@ -84,6 +94,7 @@ struct ScalePoint {
     double wall_1t_s = 0.0;      ///< same point, 1 worker
     double intra_speedup = 1.0;  ///< wall_1t_s / wall_s
     bool threads_identical = true; ///< replay matched byte-for-byte
+    double spine_oversub = 1.0;  ///< 1.0 = uniform NIC fabric
 };
 
 struct OneRun {
@@ -137,7 +148,8 @@ run_once(const harness::ExperimentConfig &cfg, ScalePoint *pt)
 }
 
 ScalePoint
-run_point(std::size_t num_nodes, const BenchConfig &bc)
+run_point(std::size_t num_nodes, const BenchConfig &bc,
+          double spine_oversub = 1.0)
 {
     harness::ExperimentConfig cfg;
     cfg.scenario = harness::Scenario::opt13b_sharegpt();
@@ -150,6 +162,16 @@ run_point(std::size_t num_nodes, const BenchConfig &bc)
     cfg.intra_threads = bc.intra_threads;
     cfg.offload_highwater = bc.highwater;
     cfg.offload_lowwater = bc.lowwater;
+    if (spine_oversub > 1.0 && num_nodes > 1) {
+        // Oversubscribed spine: every inter-node pair carries 1/F of
+        // the NIC's line rate. The cluster folds these into each
+        // node's egress channel via the weakest-path rule.
+        const hw::TopologyConfig &tc = cfg.scenario.topology;
+        for (std::size_t a = 0; a < num_nodes; ++a)
+            for (std::size_t b = a + 1; b < num_nodes; ++b)
+                cfg.inter_node_links.push_back(hw::InterNodeLink{
+                    a, b, tc.nic_bw / spine_oversub, tc.nic_latency});
+    }
     std::size_t pods = cfg.num_nodes * cfg.pods_per_node;
     cfg.num_requests = bc.requests_per_pod * pods;
 
@@ -159,6 +181,7 @@ run_point(std::size_t num_nodes, const BenchConfig &bc)
     pt.pods = pods;
     pt.requests = cfg.num_requests;
     pt.intra_threads = cfg.intra_threads;
+    pt.spine_oversub = spine_oversub > 1.0 ? spine_oversub : 1.0;
 
     run_once(cfg, &pt);
 
@@ -187,7 +210,7 @@ scale_json(const std::vector<ScalePoint> &points)
     out.precision(10);
     out << "{\n";
     out << "  \"bench\": \"scale\",\n";
-    out << "  \"schema_version\": 2,\n";
+    out << "  \"schema_version\": 3,\n";
     out << "  \"build\": \""
 #ifdef NDEBUG
         << "optimized"
@@ -232,6 +255,7 @@ scale_json(const std::vector<ScalePoint> &points)
         out << "      \"intra_threads\": " << p.intra_threads << ",\n";
         out << "      \"wall_1t_s\": " << p.wall_1t_s << ",\n";
         out << "      \"intra_speedup\": " << p.intra_speedup << ",\n";
+        out << "      \"spine_oversub\": " << p.spine_oversub << ",\n";
         out << "      \"threads_identical\": "
             << (p.threads_identical ? "true" : "false") << "\n";
         out << "    }" << (i + 1 < points.size() ? "," : "") << "\n";
@@ -270,6 +294,8 @@ main(int argc, char **argv)
             bc.highwater = std::stod(arg.substr(12));
         } else if (arg.rfind("--lowwater=", 0) == 0) {
             bc.lowwater = std::stod(arg.substr(11));
+        } else if (arg.rfind("--spine-oversub=", 0) == 0) {
+            bc.spine_oversub = std::stod(arg.substr(16));
         } else if (arg == "--audit") {
             bc.audit = true;
         } else {
@@ -278,21 +304,30 @@ main(int argc, char **argv)
         }
     }
 
-    const std::size_t node_counts[] = {1, 8, 64};
-    std::vector<ScalePoint> points(std::size(node_counts));
+    // Three uniform-fabric sizes plus (spine_oversub > 1) the 8-node
+    // cluster on the oversubscribed spine.
+    struct PointSpec {
+        std::size_t nodes;
+        double oversub;
+    };
+    std::vector<PointSpec> specs{{1, 1.0}, {8, 1.0}, {64, 1.0}};
+    if (bc.spine_oversub > 1.0)
+        specs.push_back({8, bc.spine_oversub});
+    std::vector<ScalePoint> points(specs.size());
     // Points are independent runs; slot-ordered results keep the output
     // identical at any job count. With --intra-threads the wall clocks
     // are only meaningful at --jobs=1 (otherwise points compete for
     // cores); the deterministic columns are unaffected either way.
     harness::parallel_for(points.size(), jobs, [&](std::size_t i) {
-        points[i] = run_point(node_counts[i], bc);
+        points[i] = run_point(specs[i].nodes, bc, specs[i].oversub);
     });
 
     std::cout << "  gpus  nodes  pods   requests   finished      events"
-                 "    wall_s    Mev/s  offloads  speedup  identical\n";
+                 "    wall_s    Mev/s  offloads  speedup  oversub"
+                 "  identical\n";
     for (const ScalePoint &p : points) {
         std::printf("%6zu %6zu %5zu %10zu %10zu %11llu %9.3f %8.2f %9llu"
-                    " %8.2f %10s\n",
+                    " %8.2f %8.1f %10s\n",
                     p.gpus, p.num_nodes, p.pods, p.requests,
                     p.metrics.num_finished,
                     static_cast<unsigned long long>(p.events), p.wall_s,
@@ -300,7 +335,7 @@ main(int argc, char **argv)
                         ? static_cast<double>(p.events) / p.wall_s / 1e6
                         : 0.0,
                     static_cast<unsigned long long>(p.cross_offloads),
-                    p.intra_speedup,
+                    p.intra_speedup, p.spine_oversub,
                     p.threads_identical ? "yes" : "NO");
     }
 

@@ -10,8 +10,10 @@
  * Usage:
  *   fuzz_runner [--iters=N] [--seed=S] [--jobs=J] [--system=NAME|all]
  *               [--chaos] [--nodes=N] [--intra-threads=T]
+ *               [--replicas=N] [--ctrl-chaos]
  *   fuzz_runner --repro-seed=S --repro-config=NAME [--chaos] [--nodes=N]
- *               [--intra-threads=T] [--log=debug]
+ *               [--intra-threads=T] [--replicas=N] [--ctrl-chaos]
+ *               [--log=debug]
  *
  * The repro form runs exactly one case — the one a failure printed —
  * optionally with leveled event logging for post-mortem inspection.
@@ -25,6 +27,11 @@
  * parallel engine with T workers; it draws nothing from the case RNG,
  * so the same seed at any T (including 1) must produce the same
  * checksum — replay a parallel failure with T=1 to diff the engines.
+ * --replicas=N runs WindServe cases under an N-replica control plane
+ * (no RNG draw — a pure parameter like --intra-threads); --ctrl-chaos
+ * adds leader crashes and control partitions to each case's schedule,
+ * drawn strictly after every other axis, and defaults --replicas to 3
+ * when not given explicitly.
  */
 #include <cstdlib>
 #include <iostream>
@@ -48,7 +55,8 @@ arg_value(const std::string &arg, const char *key, std::string &out)
 
 int
 repro(std::uint64_t seed, const std::string &config_name, bool chaos,
-      std::size_t nodes, std::size_t intra_threads)
+      std::size_t nodes, std::size_t intra_threads, std::size_t replicas,
+      bool ctrl_chaos)
 {
     harness::SystemKind kind = harness::parse_system_kind(config_name);
     std::cout << "replaying seed " << seed << " on "
@@ -59,10 +67,14 @@ repro(std::uint64_t seed, const std::string &config_name, bool chaos,
                       ? " (" + std::to_string(intra_threads) +
                             " intra-threads)"
                       : "")
+              << (replicas > 1
+                      ? " (" + std::to_string(replicas) + " replicas)"
+                      : "")
+              << (ctrl_chaos ? " (ctrl-chaos)" : "")
               << "\n";
     harness::FuzzResult r = harness::run_fuzz_case(
         harness::make_fuzz_config(seed, kind, chaos, nodes,
-                                  intra_threads));
+                                  intra_threads, replicas, ctrl_chaos));
     std::cout << "ok: " << r.audit_events << " events audited, "
               << r.finished << "/" << r.num_requests << " finished";
     if (chaos)
@@ -105,6 +117,10 @@ main(int argc, char **argv)
             opt.nodes = std::stoul(v);
         } else if (arg_value(arg, "--intra-threads", v)) {
             opt.intra_threads = std::stoul(v);
+        } else if (arg_value(arg, "--replicas", v)) {
+            opt.replicas = std::stoul(v);
+        } else if (arg == "--ctrl-chaos") {
+            opt.ctrl_chaos = true;
         } else if (arg_value(arg, "--log", v)) {
             sim::Log::set_level(v == "trace"   ? sim::LogLevel::Trace
                                 : v == "debug" ? sim::LogLevel::Debug
@@ -115,10 +131,15 @@ main(int argc, char **argv)
         }
     }
 
+    // Control chaos without an explicit replica count gets the
+    // canonical 3-replica control plane (1 replica cannot fail over).
+    if (opt.ctrl_chaos && opt.replicas <= 1)
+        opt.replicas = 3;
+
     try {
         if (have_repro_seed)
             return repro(repro_seed, repro_config, opt.chaos, opt.nodes,
-                         opt.intra_threads);
+                         opt.intra_threads, opt.replicas, opt.ctrl_chaos);
 
         std::cout << "fuzzing " << opt.iterations << " cases x "
                   << opt.systems.size() << " systems (base seed "
@@ -131,6 +152,11 @@ main(int argc, char **argv)
                           ? ", " + std::to_string(opt.intra_threads) +
                                 " intra-threads"
                           : "")
+                  << (opt.replicas > 1
+                          ? ", " + std::to_string(opt.replicas) +
+                                " replicas"
+                          : "")
+                  << (opt.ctrl_chaos ? ", ctrl-chaos" : "")
                   << ")\n";
         harness::FuzzSummary sum = harness::run_fuzz(opt);
         std::cout << sum.results.size() << " cases, "

@@ -450,6 +450,64 @@ SimAuditor::on_reschedule(RequestId id, double occupancy, double trigger)
 }
 
 // ---------------------------------------------------------------------
+// replicated control plane
+// ---------------------------------------------------------------------
+
+void
+SimAuditor::on_ctrl_elected(std::uint64_t term, std::size_t replica)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    tick();
+    auto [it, inserted] = ctrl_leaders_.emplace(term, replica);
+    if (!inserted && it->second != replica) {
+        std::ostringstream os;
+        os << "replica " << replica << " elected in term " << term
+           << " already led by replica " << it->second;
+        violate("ctrl-split-brain", 0, os.str());
+    }
+    auto [lt, first] = ctrl_last_term_.emplace(replica, term);
+    if (!first) {
+        if (term <= lt->second) {
+            std::ostringstream os;
+            os << "replica " << replica << " re-elected in term " << term
+               << " after leading term " << lt->second;
+            violate("ctrl-term-regression", 0, os.str());
+        }
+        lt->second = term;
+    }
+}
+
+void
+SimAuditor::on_ctrl_commit(std::size_t index, std::uint64_t term,
+                           std::uint64_t seq)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    tick();
+    auto [it, inserted] = ctrl_committed_.emplace(index, CtrlEntry{term, seq});
+    if (!inserted && (it->second.term != term || it->second.seq != seq)) {
+        std::ostringstream os;
+        os << "log index " << index << " committed as term " << term
+           << "/seq " << seq << " but was already committed as term "
+           << it->second.term << "/seq " << it->second.seq;
+        violate("ctrl-commit-conflict", 0, os.str());
+    }
+}
+
+void
+SimAuditor::on_ctrl_apply(std::uint64_t seq, RequestId req)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    tick();
+    auto [it, inserted] = ctrl_applied_.emplace(seq, req);
+    if (!inserted) {
+        std::ostringstream os;
+        os << "intent seq " << seq << " applied twice (requests "
+           << it->second << " and " << req << ")";
+        violate("ctrl-double-apply", req, os.str());
+    }
+}
+
+// ---------------------------------------------------------------------
 // end-of-run accounting
 // ---------------------------------------------------------------------
 

@@ -212,6 +212,35 @@ class SimAuditor
                        double trigger);
 
     // ------------------------------------------------------------------
+    // replicated control plane (ctrl::ControlPlane)
+    // ------------------------------------------------------------------
+
+    /**
+     * A replica won an election for @p term. Invariants: at most one
+     * leader per term ("ctrl-split-brain"), and one replica's
+     * successive election terms strictly increase
+     * ("ctrl-term-regression").
+     */
+    void on_ctrl_elected(std::uint64_t term, std::size_t replica);
+
+    /**
+     * The log entry at @p index (carrying @p term / intent @p seq)
+     * committed. Invariant: an index commits with exactly one entry —
+     * a second commit of the same index with a different (term, seq)
+     * is "ctrl-commit-conflict" (re-announcing the identical entry
+     * after a leader change is legal Raft and passes).
+     */
+    void on_ctrl_commit(std::size_t index, std::uint64_t term,
+                        std::uint64_t seq);
+
+    /**
+     * Intent @p seq (for request @p req) was applied. Invariant:
+     * exactly-once — a second apply of the same seq is
+     * "ctrl-double-apply" (a request served twice across failover).
+     */
+    void on_ctrl_apply(std::uint64_t seq, workload::RequestId req);
+
+    // ------------------------------------------------------------------
     // end-of-run accounting
     // ------------------------------------------------------------------
 
@@ -284,6 +313,16 @@ class SimAuditor
     std::map<std::string,
              std::unordered_map<std::uint64_t, OpenTransfer>>
         xfers_;
+
+    // control-plane shadow state
+    struct CtrlEntry {
+        std::uint64_t term = 0;
+        std::uint64_t seq = 0;
+    };
+    std::map<std::uint64_t, std::size_t> ctrl_leaders_; ///< term -> replica
+    std::map<std::size_t, std::uint64_t> ctrl_last_term_; ///< replica -> term
+    std::map<std::size_t, CtrlEntry> ctrl_committed_;   ///< index -> entry
+    std::map<std::uint64_t, workload::RequestId> ctrl_applied_; ///< seq -> req
 };
 
 /**

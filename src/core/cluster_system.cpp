@@ -127,15 +127,83 @@ ClusterServeSystem::ClusterServeSystem(ClusterConfig cfg)
     // cross-pod traffic and gets no extra channels at all.
     if (multi) {
         const hw::TopologyConfig &tc = topo_.config();
-        hw::Link egress =
-            cfg_.num_nodes > 1
-                ? hw::Link{hw::LinkType::InterNode, tc.nic_bw,
-                           tc.nic_latency}
-                : hw::Link{hw::LinkType::PCIeRC, tc.pcie_rc_bw,
-                           2 * tc.link_latency};
         for (std::size_t n = 0; n < cfg_.num_nodes; ++n) {
+            hw::Link egress;
+            if (cfg_.num_nodes > 1) {
+                // Per-node egress: the weakest inter-node path this
+                // node could have to ship KV over. Per-pair overrides
+                // (an oversubscribed spine, a slow WAN hop) pull the
+                // node's effective egress below the NIC defaults;
+                // without overrides this is exactly the uniform NIC
+                // link, so historical runs are unchanged.
+                egress = hw::Link{hw::LinkType::InterNode, tc.nic_bw,
+                                  tc.nic_latency};
+                for (std::size_t m = 0; m < cfg_.num_nodes; ++m) {
+                    if (m == n)
+                        continue;
+                    hw::Link l = topo_.inter_node_link(n, m);
+                    egress.bandwidth = std::min(egress.bandwidth,
+                                                l.bandwidth);
+                    egress.latency = std::min(egress.latency, l.latency);
+                }
+            } else {
+                egress = hw::Link{hw::LinkType::PCIeRC, tc.pcie_rc_bw,
+                                  2 * tc.link_latency};
+            }
             nics_.push_back(std::make_unique<hw::SharedChannel>(
                 sim_, egress, "nic/" + std::to_string(n)));
+        }
+    }
+
+    // Replicated control plane: N scheduler replicas as actors on the
+    // hub timeline. Built only on request (>= 2 replicas) — otherwise
+    // no channels, no RNG draws, no events, so single-leader clusters
+    // stay byte-identical to the historical path.
+    if (cfg_.ctrl.replicas >= 2) {
+        ctrl::ControlPlaneConfig cc = cfg_.ctrl;
+        if (cc.seed == 0)
+            cc.seed = cfg_.pod.seed ^ 0xf1bbcdcbfa53e0abULL;
+        if (cc.link.bandwidth <= 0.0) {
+            const hw::TopologyConfig &tc = topo_.config();
+            cc.link = hw::Link{hw::LinkType::InterNode, tc.nic_bw,
+                               tc.nic_latency};
+        }
+        ctrl_ = std::make_unique<ctrl::ControlPlane>(sim_, cc);
+        // KV-directory coherence: each pod's BackupRegistry publishes
+        // backup growth / drops / crash wipes into the cluster-wide
+        // directory. The directory lives on the hub, so pod-thread
+        // notifications travel as timestamped hub messages mid-window.
+        for (std::size_t k = 0; k < pods_.size(); ++k) {
+            kvcache::BackupRegistry::Listener lis;
+            lis.on_record = [this, k](kvcache::ReqId id,
+                                      std::size_t tokens) {
+                auto fn = [this, k, id, tokens] {
+                    ctrl_->directory().record(id, k, tokens);
+                };
+                if (!lp_ || lp_->in_hub_phase())
+                    fn();
+                else
+                    lp_->post(k, pod_sims_[k]->now(), fn);
+            };
+            lis.on_drop = [this, k](kvcache::ReqId id) {
+                auto fn = [this, k, id] {
+                    ctrl_->directory().drop(id, k);
+                };
+                if (!lp_ || lp_->in_hub_phase())
+                    fn();
+                else
+                    lp_->post(k, pod_sims_[k]->now(), fn);
+            };
+            lis.on_clear = [this, k] {
+                auto fn = [this, k] {
+                    ctrl_->directory().invalidate_pod(k);
+                };
+                if (!lp_ || lp_->in_hub_phase())
+                    fn();
+                else
+                    lp_->post(k, pod_sims_[k]->now(), fn);
+            };
+            pods_[k]->backup_registry().set_listener(std::move(lis));
         }
     }
 }
@@ -174,6 +242,19 @@ ClusterServeSystem::live_pods() const
 void
 ClusterServeSystem::on_arrival(Request *r)
 {
+    if (!ctrl_) {
+        admit_arrival(r);
+        return;
+    }
+    // Admission is an externally visible scheduler decision: it takes
+    // effect only once a majority of control replicas commit it.
+    ctrl_->propose(ctrl::CommandKind::Admit, r->id,
+                   [this, r] { admit_arrival(r); });
+}
+
+void
+ClusterServeSystem::admit_arrival(Request *r)
+{
     std::vector<bool> live = live_pods();
     std::size_t k = balancer_.route(tokens_of(r), &live);
     home_pod_[r->id] = k;
@@ -190,6 +271,10 @@ ClusterServeSystem::retire_finished(Request *r)
     }
     if (outstanding_ > 0)
         --outstanding_;
+    // Traffic drained: stop the control plane's timers so heartbeats
+    // do not pump the simulation to the horizon for nothing.
+    if (outstanding_ == 0 && ctrl_)
+        ctrl_->stop();
 }
 
 bool
@@ -208,7 +293,18 @@ ClusterServeSystem::maybe_offload(Pod &src, Request *r)
     src.hold_for_offload(r);
     lp_->post(k, pod_sims_[k]->now() + ctl_latency_,
               [this, k, r, inc = r->incarnation] {
-                  decide_offload(k, r, inc);
+                  if (!ctrl_) {
+                      decide_offload(k, r, inc);
+                      return;
+                  }
+                  // Offload is externally visible: replicate first,
+                  // decide at commit. The hold survives the commit
+                  // latency; a crash meanwhile sweeps the hold and the
+                  // apply falls through harmlessly.
+                  ctrl_->propose(ctrl::CommandKind::Offload, r->id,
+                                 [this, k, r, inc] {
+                                     decide_offload(k, r, inc);
+                                 });
               });
     return true;
 }
@@ -336,6 +432,8 @@ ClusterServeSystem::wire_audit(audit::SimAuditor &a)
         p->wire_audit(a);
     for (auto &nic : nics_)
         nic->set_audit(&a);
+    if (ctrl_)
+        ctrl_->set_audit(&a);
 }
 
 void
@@ -357,8 +455,33 @@ ClusterServeSystem::wire_faults(fault::FaultInjector &inj)
         inj.add_node_group(std::move(group));
     }
     inj.set_redispatch([this](Request *r) {
-        pods_[home_of(r)]->redispatch_after_fault(r);
+        if (!ctrl_) {
+            pods_[home_of(r)]->redispatch_after_fault(r);
+            return;
+        }
+        ctrl_->propose(ctrl::CommandKind::Redispatch, r->id, [this, r] {
+            // New-leader resume path: consult the KV-backup directory.
+            // A hit means the victim's checkpointed prefix survives at
+            // its home pod, so the re-dispatch restores from the
+            // backup instead of recomputing from scratch (the pod's
+            // scheduler reads its registry — the directory's backing
+            // truth — when it rebuilds the plan).
+            ++directory_consults_;
+            const ctrl::KvDirectory::Entry *e =
+                ctrl_->directory().lookup(r->id);
+            if (e && e->pod == home_of(r))
+                ++directory_hits_;
+            pods_[home_of(r)]->redispatch_after_fault(r);
+        });
     });
+    if (ctrl_) {
+        inj.set_ctrl_fault([this](const fault::FaultEvent &ev) {
+            if (ev.kind == fault::FaultKind::LeaderCrash)
+                ctrl_->on_leader_crash(ev.param, ev.target);
+            else
+                ctrl_->on_partition(ev.param, ev.target);
+        });
+    }
     inj.set_crash_hook(
         [this](engine::Instance &inst, std::vector<Request *> &victims) {
             auto it = pod_of_instance_.find(&inst);
@@ -426,6 +549,55 @@ ClusterServeSystem::wire_telemetry(obs::Telemetry &t)
                   [this, k] { return balancer_.load(k); },
                   "Outstanding tokens charged to each pod");
     }
+    if (ctrl_) {
+        // The control plane runs on the hub thread; its failover
+        // decisions journal straight into the master (merge_shards
+        // stable-sorts, keeping master entries first on time ties).
+        if (t.journal())
+            ctrl_->set_journal(t.journal());
+        ctrl::ControlPlane *cp = ctrl_.get();
+        reg.gauge("ws_ctrl_term", "",
+                  [cp] { return static_cast<double>(cp->max_term()); },
+                  "Highest term reached by any control replica");
+        reg.gauge("ws_ctrl_leader", "",
+                  [cp] {
+                      std::size_t l = cp->leader();
+                      return l == ctrl::ControlPlane::kNone
+                                 ? -1.0
+                                 : static_cast<double>(l);
+                  },
+                  "Acting leader replica index (-1 while none)");
+        reg.counter("ws_ctrl_elections_total", "",
+                    [cp] { return static_cast<double>(cp->elections()); },
+                    "Leader elections won");
+        reg.counter("ws_ctrl_commits_total", "",
+                    [cp] { return static_cast<double>(cp->commits()); },
+                    "Log entries committed (leader side)");
+        reg.counter("ws_ctrl_applies_total", "",
+                    [cp] { return static_cast<double>(cp->applies()); },
+                    "Scheduler intents applied exactly once");
+        reg.counter("ws_ctrl_messages_total", "",
+                    [cp] {
+                        return static_cast<double>(cp->messages_sent());
+                    },
+                    "Protocol messages put on the control fabric");
+        reg.counter("ws_ctrl_heartbeats_total", "",
+                    [cp] { return static_cast<double>(cp->heartbeats()); },
+                    "AppendEntries rounds fired by leaders");
+        reg.gauge("ws_ctrl_pending_intents", "",
+                  [cp] {
+                      return static_cast<double>(cp->pending_intents());
+                  },
+                  "Proposed scheduler intents not yet applied");
+        reg.gauge("ws_ctrl_directory_entries", "",
+                  [cp] {
+                      return static_cast<double>(cp->directory().size());
+                  },
+                  "Live entries in the KV-backup directory");
+        reg.counter("ws_ctrl_failovers_total", "",
+                    [cp] { return static_cast<double>(cp->failovers()); },
+                    "Completed leader failovers");
+    }
 }
 
 void
@@ -444,6 +616,8 @@ ClusterServeSystem::replay(const std::vector<workload::Request> &trace,
         for (auto &s : pod_sims_)
             lp_->add_lp(*s);
     }
+    if (ctrl_)
+        ctrl_->start();
     {
         sim::SourceScope src(sim_, "arrival");
         for (auto &r : requests_) {
@@ -490,6 +664,14 @@ ClusterServeSystem::fill_system_metrics(metrics::RunMetrics &m)
     m.prefill_bandwidth_util = pb / n;
     m.decode_compute_util = dc / n;
     m.decode_bandwidth_util = db / n;
+    if (ctrl_) {
+        m.leader_crashes = ctrl_->leader_crashes();
+        m.control_partitions = ctrl_->partitions();
+        m.ctrl_elections = ctrl_->elections();
+        m.ctrl_commits = ctrl_->commits();
+        m.failovers = ctrl_->failovers();
+        m.failover_latency = ctrl_->failover_latency();
+    }
 }
 
 std::uint64_t

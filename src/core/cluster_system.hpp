@@ -50,6 +50,7 @@
 #include "core/pod.hpp"
 #include "core/pod_balancer.hpp"
 #include "core/windserve_system.hpp"
+#include "ctrl/control_plane.hpp"
 #include "engine/serving_system.hpp"
 #include "hw/topology.hpp"
 #include "obs/decision_journal.hpp"
@@ -88,6 +89,17 @@ struct ClusterConfig {
      * value > 0 thanks to the hub-event / pending-tick window clamps.
      * 0 degenerates to per-event lockstep (sequential pumping). */
     double lp_window = 1e-3;
+
+    /**
+     * Replicated control plane (ctrl/control_plane.hpp). With
+     * ctrl.replicas <= 1 (the default) no control plane is built at
+     * all — no replicas, no channels, no RNG draws, no events — so
+     * such clusters are byte-identical to the pre-control-plane code,
+     * including events_fired. At >= 2 replicas every externally
+     * visible scheduler decision (admission, decode offload, crash
+     * re-dispatch) becomes a replicated log entry that takes effect
+     * only once a majority commits it. */
+    ctrl::ControlPlaneConfig ctrl;
 };
 
 /**
@@ -138,6 +150,13 @@ class ClusterServeSystem : public engine::ServingSystem
     const ClusterConfig &config() const { return cfg_; }
     std::uint64_t cross_offloads() const { return cross_offloads_; }
     std::uint64_t cross_redispatches() const { return cross_redispatches_; }
+    /** The replicated control plane (nullptr when ctrl.replicas <= 1). */
+    ctrl::ControlPlane *ctrl() { return ctrl_.get(); }
+    /** Crash re-dispatches that looked up the KV-backup directory. */
+    std::uint64_t directory_consults() const { return directory_consults_; }
+    /** Consults whose directory entry matched the victim's home pod
+     *  (the new leader resumes from checkpointed KV). */
+    std::uint64_t directory_hits() const { return directory_hits_; }
 
     /** Sum of per-pod scheduler dispatches (harness reporting). */
     std::uint64_t total_dispatches() const;
@@ -162,8 +181,11 @@ class ClusterServeSystem : public engine::ServingSystem
     }
 
   private:
-    /** Balancer admission: pick a pod, record the home, hand over. */
+    /** Arrival entry point: direct admission, or (with a replicated
+     *  control plane) an Admit log entry applied at commit time. */
     void on_arrival(workload::Request *r);
+    /** Balancer admission: pick a pod, record the home, hand over. */
+    void admit_arrival(workload::Request *r);
 
     /** Pod hook: maybe claim a prefill completion for remote decode.
      *  Multi-pod: parks the request and posts the decision to the hub
@@ -226,6 +248,12 @@ class ClusterServeSystem : public engine::ServingSystem
     std::size_t outstanding_ = 0;
     std::uint64_t cross_offloads_ = 0;
     std::uint64_t cross_redispatches_ = 0;
+    /** Replicated control plane on the hub sim (ctrl.replicas >= 2
+     *  only; nullptr otherwise so single-leader clusters stay
+     *  byte-identical to the historical path). */
+    std::unique_ptr<ctrl::ControlPlane> ctrl_;
+    std::uint64_t directory_consults_ = 0;
+    std::uint64_t directory_hits_ = 0;
 };
 
 } // namespace windserve::core

@@ -170,6 +170,9 @@ class Pod
     transfer::MigrationManager &migration() { return *migration_; }
     transfer::BackupManager &backup() { return *backup_; }
     transfer::KvTransferManager &transfer() { return *xfer_; }
+    /** The pod's KV backup registry (the cluster control plane mirrors
+     *  it into the coherent KV directory via BackupRegistry::Listener). */
+    kvcache::BackupRegistry &backup_registry() { return backup_registry_; }
     std::size_t index() const { return index_; }
     const std::string &name_prefix() const { return name_prefix_; }
 

@@ -1,0 +1,56 @@
+#include "ctrl/election.hpp"
+
+namespace windserve::ctrl {
+
+std::string to_string(Role r)
+{
+    switch (r) {
+    case Role::Follower:
+        return "follower";
+    case Role::Candidate:
+        return "candidate";
+    case Role::Leader:
+        return "leader";
+    }
+    return "?";
+}
+
+std::uint64_t LeaderElection::start_candidacy()
+{
+    ++term_;
+    role_ = Role::Candidate;
+    voted_for_ = id_;
+    votes_ = 1; // own vote
+    return term_;
+}
+
+bool LeaderElection::try_grant_vote(std::uint64_t term, std::size_t candidate)
+{
+    if (term != term_)
+        return false;
+    if (voted_for_ != kNoVote && voted_for_ != candidate)
+        return false;
+    voted_for_ = candidate;
+    return true;
+}
+
+bool LeaderElection::record_vote(std::uint64_t term)
+{
+    if (role_ != Role::Candidate || term != term_)
+        return false;
+    ++votes_;
+    return votes_ >= majority();
+}
+
+bool LeaderElection::observe_term(std::uint64_t term)
+{
+    if (term <= term_)
+        return false;
+    term_ = term;
+    role_ = Role::Follower;
+    voted_for_ = kNoVote;
+    votes_ = 0;
+    return true;
+}
+
+} // namespace windserve::ctrl

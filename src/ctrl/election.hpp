@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Per-replica leader-election state machine (the message-free half of
+ * Raft's election rules).
+ *
+ * LeaderElection tracks one replica's term, role and vote, and answers
+ * the protocol questions — may I grant this vote? did this reply give
+ * me a majority? must I step down? — while the ControlPlane owns the
+ * timers and the messages. Keeping the rules pure makes them unit
+ * testable without a simulator: every method is a deterministic
+ * function of the replica's current state and the caller's arguments.
+ */
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace windserve::ctrl {
+
+enum class Role : std::uint8_t { Follower, Candidate, Leader };
+
+std::string to_string(Role r);
+
+/** See file comment. */
+class LeaderElection
+{
+  public:
+    static constexpr std::size_t kNoVote = static_cast<std::size_t>(-1);
+
+    LeaderElection(std::size_t id, std::size_t cluster_size)
+        : id_(id), cluster_(cluster_size)
+    {
+    }
+
+    std::size_t id() const { return id_; }
+    std::size_t cluster_size() const { return cluster_; }
+    Role role() const { return role_; }
+    std::uint64_t term() const { return term_; }
+    std::size_t voted_for() const { return voted_for_; }
+
+    /** Votes needed to win (strict majority, counting self). */
+    std::size_t majority() const { return cluster_ / 2 + 1; }
+
+    /** Election timeout fired: enter a new term as candidate, voting
+     *  for self. Returns the new term. */
+    std::uint64_t start_candidacy();
+
+    /**
+     * A RequestVote for @p term from @p candidate arrived and the
+     * candidate's log passed the up-to-date check. Grants (and
+     * records) the vote when the term matches ours and we have not
+     * voted for anyone else this term. The caller must observe_term()
+     * first, so @p term <= term().
+     */
+    bool try_grant_vote(std::uint64_t term, std::size_t candidate);
+
+    /** A vote was granted to us in @p term. Returns true when this
+     *  vote completes a majority while we are still a candidate in
+     *  that term (the caller then promotes us via become_leader()). */
+    bool record_vote(std::uint64_t term);
+
+    /**
+     * Saw term @p term in any message. If it is newer than ours, adopt
+     * it and fall back to follower (clearing the vote). Returns true
+     * when a step-down happened.
+     */
+    bool observe_term(std::uint64_t term);
+
+    /** Promote to leader (caller verified the majority). */
+    void become_leader() { role_ = Role::Leader; }
+
+    /** Demote to follower in the current term (vote kept). */
+    void become_follower() { role_ = Role::Follower; }
+
+  private:
+    std::size_t id_;
+    std::size_t cluster_;
+    Role role_ = Role::Follower;
+    std::uint64_t term_ = 0;
+    std::size_t voted_for_ = kNoVote;
+    std::size_t votes_ = 0;
+};
+
+} // namespace windserve::ctrl

@@ -1,0 +1,72 @@
+#include "ctrl/kv_directory.hpp"
+
+#include <algorithm>
+
+namespace windserve::ctrl {
+
+void KvDirectory::record(std::uint64_t id, std::size_t pod,
+                         std::size_t tokens)
+{
+    ++records_;
+    auto [it, inserted] = entries_.try_emplace(id, Entry{pod, tokens, 1});
+    if (inserted)
+        return;
+    Entry &e = it->second;
+    if (e.pod == pod) {
+        e.tokens = std::max(e.tokens, tokens);
+    } else {
+        // ownership moved (cross-pod migration): the old copy is gone
+        e.pod = pod;
+        e.tokens = tokens;
+    }
+    ++e.version;
+}
+
+void KvDirectory::drop(std::uint64_t id, std::size_t pod)
+{
+    auto it = entries_.find(id);
+    if (it == entries_.end() || it->second.pod != pod)
+        return; // stale drop from a previous owner
+    entries_.erase(it);
+}
+
+std::size_t KvDirectory::invalidate_pod(std::size_t pod)
+{
+    std::size_t n = 0;
+    for (auto it = entries_.begin(); it != entries_.end();) {
+        if (it->second.pod == pod) {
+            it = entries_.erase(it);
+            ++n;
+        } else {
+            ++it;
+        }
+    }
+    invalidations_ += n;
+    return n;
+}
+
+const KvDirectory::Entry *KvDirectory::lookup(std::uint64_t id) const
+{
+    auto it = entries_.find(id);
+    return it == entries_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::uint64_t> KvDirectory::ids() const
+{
+    std::vector<std::uint64_t> out;
+    out.reserve(entries_.size());
+    for (const auto &[id, e] : entries_)
+        out.push_back(id);
+    return out;
+}
+
+std::size_t KvDirectory::tokens_of_pod(std::size_t pod) const
+{
+    std::size_t sum = 0;
+    for (const auto &[id, e] : entries_)
+        if (e.pod == pod)
+            sum += e.tokens;
+    return sum;
+}
+
+} // namespace windserve::ctrl

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Cache-coherent directory of checkpointed KV backups.
+ *
+ * Each pod's kvcache::BackupRegistry is the authoritative record of
+ * which requests have host-side KV checkpoints on that pod; the
+ * directory is the control plane's replicated, cluster-wide view of
+ * the same information. It follows a single-owner coherence protocol:
+ *
+ *  - record(id, pod, tokens): the owning pod (re)published a backup.
+ *    A record from a different pod MOVES ownership (the old copy is
+ *    implicitly invalidated — cross-pod migration ships the KV);
+ *    a record from the same pod keeps the larger token count
+ *    (backups only grow).
+ *  - drop(id, pod): the owner released the backup. A drop from a
+ *    non-owner is stale (a late message from a previous owner) and is
+ *    ignored.
+ *  - invalidate_pod(pod): the pod crashed or wiped its registry —
+ *    every entry it owns disappears at once.
+ *
+ * A new leader consults lookup() during post-failover re-dispatch: a
+ * hit means the victim's prefix KV survives on the named pod and
+ * recovery can resume from the checkpoint instead of recomputing.
+ * Every mutation bumps the entry's version so staleness is detectable
+ * in tests and audits.
+ */
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+namespace windserve::ctrl {
+
+/** See file comment. */
+class KvDirectory
+{
+  public:
+    struct Entry {
+        std::size_t pod = 0;      ///< owning pod (single-owner protocol)
+        std::size_t tokens = 0;   ///< checkpointed prefix length
+        std::uint64_t version = 0;///< bumped on every mutation
+    };
+
+    /** Owner @p pod published (or grew) the backup of @p id. */
+    void record(std::uint64_t id, std::size_t pod, std::size_t tokens);
+
+    /** Owner @p pod released the backup of @p id (stale drops from
+     *  non-owners are ignored). */
+    void drop(std::uint64_t id, std::size_t pod);
+
+    /** Invalidate every entry owned by @p pod (crash / registry wipe).
+     *  Returns the number of entries invalidated. */
+    std::size_t invalidate_pod(std::size_t pod);
+
+    /** Directory entry for @p id, or nullptr when absent. */
+    const Entry *lookup(std::uint64_t id) const;
+
+    std::size_t size() const { return entries_.size(); }
+
+    /** All known request ids, ascending. */
+    std::vector<std::uint64_t> ids() const;
+
+    /** Total checkpointed tokens owned by @p pod. */
+    std::size_t tokens_of_pod(std::size_t pod) const;
+
+    std::uint64_t records() const { return records_; }
+    std::uint64_t invalidations() const { return invalidations_; }
+
+  private:
+    std::map<std::uint64_t, Entry> entries_;
+    std::uint64_t records_ = 0;
+    std::uint64_t invalidations_ = 0;
+};
+
+} // namespace windserve::ctrl

@@ -1,0 +1,66 @@
+#include "ctrl/replicated_log.hpp"
+
+#include <stdexcept>
+
+namespace windserve::ctrl {
+
+std::string to_string(CommandKind k)
+{
+    switch (k) {
+    case CommandKind::NoOp:
+        return "noop";
+    case CommandKind::Admit:
+        return "admit";
+    case CommandKind::Offload:
+        return "offload";
+    case CommandKind::Redispatch:
+        return "redispatch";
+    }
+    return "?";
+}
+
+std::uint64_t ReplicatedLog::term_at(std::size_t index) const
+{
+    if (index == 0)
+        return 0;
+    if (index > entries_.size())
+        throw std::out_of_range("ReplicatedLog::term_at past tail");
+    return entries_[index - 1].term;
+}
+
+const LogEntry &ReplicatedLog::at(std::size_t index) const
+{
+    if (index == 0 || index > entries_.size())
+        throw std::out_of_range("ReplicatedLog::at out of range");
+    return entries_[index - 1];
+}
+
+void ReplicatedLog::truncate_from(std::size_t index)
+{
+    if (index == 0)
+        throw std::out_of_range("ReplicatedLog::truncate_from(0)");
+    if (index <= entries_.size())
+        entries_.resize(index - 1);
+}
+
+bool ReplicatedLog::up_to_date(std::uint64_t other_last_term,
+                               std::size_t other_last_index) const
+{
+    if (other_last_term != last_term())
+        return other_last_term > last_term();
+    return other_last_index >= last_index();
+}
+
+std::vector<LogEntry> ReplicatedLog::suffix(std::size_t from,
+                                            std::size_t max_entries) const
+{
+    std::vector<LogEntry> out;
+    if (from == 0)
+        from = 1;
+    for (std::size_t i = from;
+         i <= entries_.size() && out.size() < max_entries; ++i)
+        out.push_back(entries_[i - 1]);
+    return out;
+}
+
+} // namespace windserve::ctrl

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * The replicated command log of the control plane.
+ *
+ * Every externally visible scheduler decision (admit, offload,
+ * re-dispatch) is serialized as a LogEntry; a decision takes effect
+ * only once a majority of control replicas store the entry (see
+ * control_plane.hpp for the commit rule). The log itself is a plain
+ * in-memory vector with the Raft index/term discipline: 1-based
+ * indices, a term per entry, truncate-on-conflict, and the
+ * "up-to-date" comparison used by leader election to refuse votes to
+ * candidates whose log misses committed entries.
+ */
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace windserve::ctrl {
+
+/** What a committed entry does when applied (exactly once). */
+enum class CommandKind : std::uint8_t {
+    NoOp,       ///< barrier appended by a fresh leader (commits its term)
+    Admit,      ///< route a newly arrived request to a pod
+    Offload,    ///< cross-pod decode offload decision
+    Redispatch, ///< post-crash re-dispatch of a victim request
+};
+
+std::string to_string(CommandKind k);
+
+/** One replicated command. seq identifies the client intent (0 for
+ *  NoOp barriers); request is the subject request id (0 for NoOp). */
+struct LogEntry {
+    std::uint64_t term = 0;
+    std::uint64_t seq = 0;
+    CommandKind kind = CommandKind::NoOp;
+    std::uint64_t request = 0;
+};
+
+/** See file comment. Indices are 1-based; index 0 is the empty
+ *  sentinel with term 0 (the Raft convention). */
+class ReplicatedLog
+{
+  public:
+    /** Index of the last entry (0 when empty). */
+    std::size_t last_index() const { return entries_.size(); }
+
+    /** Term of the last entry (0 when empty). */
+    std::uint64_t last_term() const
+    {
+        return entries_.empty() ? 0 : entries_.back().term;
+    }
+
+    /** Term of the entry at @p index (0 at the index-0 sentinel). */
+    std::uint64_t term_at(std::size_t index) const;
+
+    /** Entry at 1-based @p index; index must be in [1, last_index()]. */
+    const LogEntry &at(std::size_t index) const;
+
+    /** Append one entry at the tail. */
+    void append(LogEntry e) { entries_.push_back(e); }
+
+    /** Drop the entry at @p index and everything after it (conflict
+     *  resolution when a leader overwrites a divergent suffix). */
+    void truncate_from(std::size_t index);
+
+    /**
+     * The election up-to-date rule: true when a candidate whose log
+     * ends at (@p other_last_term, @p other_last_index) is at least as
+     * up to date as this log — higher last term wins, ties break on
+     * length.
+     */
+    bool up_to_date(std::uint64_t other_last_term,
+                    std::size_t other_last_index) const;
+
+    /** Up to @p max_entries entries starting at 1-based @p from. */
+    std::vector<LogEntry> suffix(std::size_t from,
+                                 std::size_t max_entries) const;
+
+    std::size_t size() const { return entries_.size(); }
+
+  private:
+    std::vector<LogEntry> entries_;
+};
+
+} // namespace windserve::ctrl

@@ -57,6 +57,12 @@ FaultInjector::set_crash_hook(
 }
 
 void
+FaultInjector::set_ctrl_fault(std::function<void(const FaultEvent &)> fn)
+{
+    ctrl_fault_ = std::move(fn);
+}
+
+void
 FaultInjector::arm()
 {
     sim::SourceScope src(sim_, "fault");
@@ -81,6 +87,13 @@ FaultInjector::fire(const FaultEvent &ev)
         break;
     case FaultKind::NodeCrash:
         do_node_crash(ev);
+        break;
+    case FaultKind::LeaderCrash:
+    case FaultKind::ControlPartition:
+        // control-plane faults belong to the owner's ControlPlane;
+        // absorbed when no replicated control plane is wired
+        if (ctrl_fault_)
+            ctrl_fault_(ev);
         break;
     }
 }

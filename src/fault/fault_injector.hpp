@@ -112,6 +112,12 @@ class FaultInjector
     void set_audit(audit::SimAuditor *a) { audit_ = a; }
     void set_trace(obs::TraceRecorder *rec) { trace_ = rec; }
 
+    /** System hook receiving control-plane fault events (LeaderCrash,
+     *  ControlPartition). The owner routes them into its
+     *  ctrl::ControlPlane; unrouted events are absorbed (systems
+     *  without a replicated control plane ignore control chaos). */
+    void set_ctrl_fault(std::function<void(const FaultEvent &)> fn);
+
     /** Schedule every plan event on the simulator. Call once. */
     void arm();
 
@@ -202,6 +208,7 @@ class FaultInjector
     std::function<void(workload::Request *)> redispatch_;
     std::function<void(engine::Instance &, std::vector<workload::Request *> &)>
         crash_hook_;
+    std::function<void(const FaultEvent &)> ctrl_fault_;
     audit::SimAuditor *audit_ = nullptr;
     obs::TraceRecorder *trace_ = nullptr;
 

@@ -17,52 +17,38 @@ to_string(FaultKind k)
     case FaultKind::StragglerBegin: return "straggler_begin";
     case FaultKind::StragglerEnd: return "straggler_end";
     case FaultKind::NodeCrash: return "node_crash";
+    case FaultKind::LeaderCrash: return "leader_crash";
+    case FaultKind::ControlPartition: return "control_partition";
     }
     return "?";
 }
 
 namespace {
 
-// Poisson arrivals on [warmup, horizon). Window faults (outages,
-// straggler phases) emit a begin/end pair sharing one target so the
-// injector resolves both onto the same entity. The end event is kept
-// even past the horizon: a window that opens must close.
+// Poisson arrivals on [warmup, horizon). Point faults (crashes,
+// control-plane faults) draw time, target, then an exponential
+// kind-specific parameter (repair time / partition length). Window
+// faults (outages, straggler phases) emit a begin/end pair sharing
+// one target so the injector resolves both onto the same entity. The
+// end event is kept even past the horizon: a window that opens must
+// close.
 void
-emit_crashes(std::vector<FaultEvent> &out, sim::Rng &rng,
-             const FaultConfig &cfg)
-{
-    if (cfg.crash_mtbf <= 0.0)
-        return;
-    double t = cfg.warmup;
-    while (true) {
-        t += rng.exponential(1.0 / cfg.crash_mtbf);
-        if (t >= cfg.horizon)
-            break;
-        FaultEvent ev;
-        ev.time = t;
-        ev.kind = FaultKind::InstanceCrash;
-        ev.target = rng.uniform_int(0, 1023);
-        ev.param = rng.exponential(1.0 / cfg.mean_repair);
-        out.push_back(ev);
-    }
-}
-
-void
-emit_node_crashes(std::vector<FaultEvent> &out, sim::Rng &rng,
+emit_point_faults(std::vector<FaultEvent> &out, sim::Rng &rng,
+                  double mtbf, double mean_param, FaultKind kind,
                   const FaultConfig &cfg)
 {
-    if (cfg.node_mtbf <= 0.0)
+    if (mtbf <= 0.0)
         return;
     double t = cfg.warmup;
     while (true) {
-        t += rng.exponential(1.0 / cfg.node_mtbf);
+        t += rng.exponential(1.0 / mtbf);
         if (t >= cfg.horizon)
             break;
         FaultEvent ev;
         ev.time = t;
-        ev.kind = FaultKind::NodeCrash;
+        ev.kind = kind;
         ev.target = rng.uniform_int(0, 1023);
-        ev.param = rng.exponential(1.0 / cfg.mean_node_repair);
+        ev.param = rng.exponential(1.0 / mean_param);
         out.push_back(ev);
     }
 }
@@ -104,15 +90,25 @@ FaultPlan::generate(const FaultConfig &cfg)
     // Forked last so plans without node faults (node_mtbf = 0) are
     // byte-identical to pre-cluster plans for the same seed.
     sim::Rng node_rng = root.fork();
+    // Control-plane streams fork after node_rng for the same reason:
+    // disabled (mtbf = 0) plans replay historical schedules exactly.
+    sim::Rng leader_rng = root.fork();
+    sim::Rng partition_rng = root.fork();
 
-    emit_crashes(plan.events_, crash_rng, cfg);
+    emit_point_faults(plan.events_, crash_rng, cfg.crash_mtbf,
+                      cfg.mean_repair, FaultKind::InstanceCrash, cfg);
     emit_windows(plan.events_, link_rng, cfg.link_mtbf, cfg.mean_outage,
                  cfg.degrade_factor, FaultKind::LinkDown, FaultKind::LinkUp,
                  cfg);
     emit_windows(plan.events_, straggler_rng, cfg.straggler_mtbf,
                  cfg.mean_straggler, cfg.straggler_slowdown,
                  FaultKind::StragglerBegin, FaultKind::StragglerEnd, cfg);
-    emit_node_crashes(plan.events_, node_rng, cfg);
+    emit_point_faults(plan.events_, node_rng, cfg.node_mtbf,
+                      cfg.mean_node_repair, FaultKind::NodeCrash, cfg);
+    emit_point_faults(plan.events_, leader_rng, cfg.leader_mtbf,
+                      cfg.mean_leader_repair, FaultKind::LeaderCrash, cfg);
+    emit_point_faults(plan.events_, partition_rng, cfg.partition_mtbf,
+                      cfg.mean_partition, FaultKind::ControlPartition, cfg);
 
     std::stable_sort(plan.events_.begin(), plan.events_.end(),
                      [](const FaultEvent &a, const FaultEvent &b) {

@@ -31,6 +31,10 @@ enum class FaultKind {
     StragglerEnd,   ///< slowdown window ends
     NodeCrash,      ///< whole node dies (every registered instance on
                     ///< it); param = repair time (s)
+    LeaderCrash,    ///< control-plane leader replica dies;
+                    ///< param = repair time (s)
+    ControlPartition, ///< a control replica is cut off from the
+                      ///< fabric; param = partition duration (s)
 };
 
 const char *to_string(FaultKind k);
@@ -93,6 +97,18 @@ struct FaultConfig {
     /** Mean node repair time (s) — longer than an instance repair:
      *  the whole host reboots. */
     double mean_node_repair = 30.0;
+
+    /** Mean time between control-plane leader crashes (s); 0 (the
+     *  default) disables them, keeping plans byte-identical to
+     *  pre-control-plane schedules for the same seed. */
+    double leader_mtbf = 0.0;
+    /** Mean leader-replica repair time (s). */
+    double mean_leader_repair = 5.0;
+
+    /** Mean time between control partitions (s); 0 disables them. */
+    double partition_mtbf = 0.0;
+    /** Mean control-partition duration (s). */
+    double mean_partition = 2.0;
 
     RecoveryPolicy recovery;
 };

@@ -74,15 +74,17 @@ std::unique_ptr<engine::ServingSystem>
 make_windserve(const ExperimentConfig &cfg)
 {
     core::WindServeConfig ws = make_windserve_config(cfg);
-    if (num_pods_of(cfg) > 1 || cfg.sharded) {
+    if (num_pods_of(cfg) > 1 || cfg.sharded || cfg.ctrl_replicas > 1) {
         core::ClusterConfig cc;
         cc.pod = std::move(ws);
         cc.num_nodes = cfg.num_nodes;
         cc.pods_per_node = cfg.pods_per_node;
+        cc.inter_node_links = cfg.inter_node_links;
         if (cfg.offload_highwater)
             cc.offload_highwater = *cfg.offload_highwater;
         if (cfg.offload_lowwater)
             cc.offload_lowwater = *cfg.offload_lowwater;
+        cc.ctrl.replicas = cfg.ctrl_replicas;
         return std::make_unique<core::ClusterServeSystem>(std::move(cc));
     }
     return std::make_unique<core::WindServeSystem>(ws);
@@ -173,6 +175,9 @@ run_experiment(const ExperimentConfig &cfg)
         if (cfg.intra_threads > 1)
             ac.repro_extra +=
                 " --intra-threads=" + std::to_string(cfg.intra_threads);
+        if (cfg.ctrl_replicas > 1)
+            ac.repro_extra +=
+                " --replicas=" + std::to_string(cfg.ctrl_replicas);
         opts.audit = std::move(ac);
     }
     opts.faults = cfg.faults; // horizon <= 0 inherits opts.horizon

@@ -113,6 +113,17 @@ struct ExperimentConfig {
      * knob — and the determinism harness's sweep axis.
      */
     std::size_t intra_threads = 1;
+    /**
+     * Scheduler replicas for the replicated control plane. 1 (the
+     * default) keeps the historical immortal-coordinator path,
+     * byte-identical to pre-control-plane runs; >= 2 routes every
+     * externally visible decision through the Raft-shaped log (the
+     * WindServe family only — baselines ignore it).
+     */
+    std::size_t ctrl_replicas = 1;
+    /** Per-node-pair fabric overrides (bench_scale's oversubscribed
+     *  spine). Empty keeps the uniform NIC fabric. */
+    std::vector<hw::InterNodeLink> inter_node_links;
 };
 
 /** Outcome of one experiment. */

@@ -54,7 +54,8 @@ result_checksum(const std::vector<workload::Request> &requests)
 
 ExperimentConfig
 make_fuzz_config(std::uint64_t seed, SystemKind system, bool chaos,
-                 std::size_t nodes, std::size_t intra_threads)
+                 std::size_t nodes, std::size_t intra_threads,
+                 std::size_t replicas, bool ctrl_chaos)
 {
     // Independent stream per (seed, system) so the same seed explores
     // different configs on each system.
@@ -136,10 +137,35 @@ make_fuzz_config(std::uint64_t seed, SystemKind system, bool chaos,
         }
         cfg.faults = fc; // horizon <= 0: takes the experiment horizon
     }
+    if (ctrl_chaos) {
+        // Control-plane chaos: leader crashes and control partitions.
+        // Drawn strictly after EVERY existing axis (base, chaos, node
+        // chaos) so toggling --ctrl-chaos never perturbs a historical
+        // case's config or fault schedule.
+        fault::FaultConfig fc2;
+        if (cfg.faults) {
+            fc2 = *cfg.faults;
+        } else {
+            // Without --chaos the schedule carries control-plane
+            // faults only (crash_mtbf stays 0 = disabled).
+            fc2.seed = seed ^ 0xc2b2ae3d27d4eb4fULL;
+            fc2.warmup = rng.uniform(2.0, 20.0);
+            fc2.crash_mtbf = 0.0;
+        }
+        fc2.leader_mtbf = rng.uniform(4.0, 30.0);
+        fc2.mean_leader_repair = rng.uniform(1.0, 8.0);
+        if (rng.chance(0.5)) {
+            fc2.partition_mtbf = rng.uniform(8.0, 60.0);
+            fc2.mean_partition = rng.uniform(0.5, 3.0);
+        }
+        cfg.faults = fc2;
+    }
     cfg.num_nodes = nodes == 0 ? 1 : nodes;
     // Thread count is a pure parameter (no draw): byte-identity across
-    // values is exactly what the determinism harness asserts.
+    // values is exactly what the determinism harness asserts. Replica
+    // count likewise: the control plane forks its own seed stream.
     cfg.intra_threads = intra_threads == 0 ? 1 : intra_threads;
+    cfg.ctrl_replicas = replicas == 0 ? 1 : replicas;
     return cfg;
 }
 
@@ -153,13 +179,21 @@ run_fuzz_case(const ExperimentConfig &cfg)
     audit::AuditConfig ac;
     ac.repro_seed = cfg.seed;
     ac.repro_config = to_string(cfg.system);
-    if (cfg.faults)
+    // A control-chaos-only schedule (crash_mtbf == 0) is NOT --chaos:
+    // the repro line must rebuild the exact draw sequence.
+    if (cfg.faults && cfg.faults->crash_mtbf > 0.0)
         ac.repro_extra = " --chaos";
     if (cfg.num_nodes > 1)
         ac.repro_extra += " --nodes=" + std::to_string(cfg.num_nodes);
     if (cfg.intra_threads > 1)
         ac.repro_extra +=
             " --intra-threads=" + std::to_string(cfg.intra_threads);
+    // Strictly appended after every historical field.
+    if (cfg.ctrl_replicas > 1)
+        ac.repro_extra +=
+            " --replicas=" + std::to_string(cfg.ctrl_replicas);
+    if (cfg.faults && cfg.faults->leader_mtbf > 0.0)
+        ac.repro_extra += " --ctrl-chaos";
     opts.audit = std::move(ac);
     opts.faults = cfg.faults; // horizon <= 0 inherits opts.horizon
     opts.intra_threads = cfg.intra_threads;
@@ -199,7 +233,8 @@ run_fuzz(const FuzzOptions &opt)
         SystemKind system = opt.systems[i % opt.systems.size()];
         sum.results[i] = run_fuzz_case(make_fuzz_config(
             opt.base_seed + static_cast<std::uint64_t>(iter), system,
-            opt.chaos, opt.nodes, opt.intra_threads));
+            opt.chaos, opt.nodes, opt.intra_threads, opt.replicas,
+            opt.ctrl_chaos));
     });
     for (const auto &r : sum.results) {
         sum.total_events += r.audit_events;

@@ -69,6 +69,14 @@ struct FuzzOptions {
      *  and the same case can be replayed at different thread counts to
      *  diff the parallel engine against the sequential one. */
     std::size_t intra_threads = 1;
+    /** Control replicas per WindServe case (pure parameter, no draw).
+     *  1 keeps the historical immortal-coordinator campaign. */
+    std::size_t replicas = 1;
+    /** Control-plane chaos: derive leader-crash / control-partition
+     *  dials for each case (drawn strictly after every existing axis,
+     *  so the flag never perturbs a historical case). Meaningful with
+     *  replicas >= 2. */
+    bool ctrl_chaos = false;
 };
 
 /** Aggregated outcome of a campaign (all cases, in deterministic order). */
@@ -87,11 +95,16 @@ struct FuzzSummary {
  * cluster; its extra chaos draws come after every chaos draw, so the
  * node axis never perturbs a single-node case either. @p intra_threads
  * is copied into the config without any draw (see FuzzOptions).
+ * @p replicas (pure parameter, no draw) runs WindServe cases under a
+ * replicated control plane; @p ctrl_chaos adds leader-crash /
+ * control-partition dials, drawn strictly after every other axis.
  */
 ExperimentConfig make_fuzz_config(std::uint64_t seed, SystemKind system,
                                   bool chaos = false,
                                   std::size_t nodes = 1,
-                                  std::size_t intra_threads = 1);
+                                  std::size_t intra_threads = 1,
+                                  std::size_t replicas = 1,
+                                  bool ctrl_chaos = false);
 
 /** Order-independent FNV-1a checksum of per-request outcomes. */
 std::uint64_t result_checksum(const std::vector<workload::Request> &requests);

@@ -8,10 +8,16 @@ void
 BackupRegistry::record(ReqId id, std::size_t tokens)
 {
     auto it = tokens_.find(id);
-    if (it == tokens_.end())
+    bool grew;
+    if (it == tokens_.end()) {
         tokens_[id] = tokens;
-    else
+        grew = true;
+    } else {
+        grew = tokens > it->second;
         it->second = std::max(it->second, tokens);
+    }
+    if (grew && listener_.on_record)
+        listener_.on_record(id, tokens);
 }
 
 std::size_t
@@ -24,7 +30,17 @@ BackupRegistry::backed_up_tokens(ReqId id) const
 void
 BackupRegistry::drop(ReqId id)
 {
-    tokens_.erase(id);
+    if (tokens_.erase(id) > 0 && listener_.on_drop)
+        listener_.on_drop(id);
+}
+
+void
+BackupRegistry::clear()
+{
+    bool had = !tokens_.empty();
+    tokens_.clear();
+    if (had && listener_.on_clear)
+        listener_.on_clear();
 }
 
 std::size_t

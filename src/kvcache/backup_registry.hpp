@@ -14,6 +14,7 @@
 #pragma once
 
 #include <cstddef>
+#include <functional>
 #include <unordered_map>
 #include <vector>
 
@@ -25,6 +26,22 @@ namespace windserve::kvcache {
 class BackupRegistry
 {
   public:
+    /**
+     * Coherence observer: the control plane's KV-backup directory
+     * mirrors this registry cluster-wide (see ctrl/kv_directory.hpp).
+     * on_record fires only when the recorded prefix actually grew (a
+     * shorter re-record changes nothing, so nothing is published);
+     * on_clear fires on the crash wipe so the whole pod's entries
+     * invalidate at once. Unset members are skipped.
+     */
+    struct Listener {
+        std::function<void(ReqId, std::size_t)> on_record;
+        std::function<void(ReqId)> on_drop;
+        std::function<void()> on_clear;
+    };
+
+    /** Install @p l (replacing any previous listener). */
+    void set_listener(Listener l) { listener_ = std::move(l); }
     /**
      * Record (or extend) a backup of the first @p tokens tokens. A
      * re-record with fewer tokens keeps the larger backup — the prefix
@@ -43,7 +60,7 @@ class BackupRegistry
     void drop(ReqId id);
 
     /** Drop every backup (the backing instance crashed). */
-    void clear() { tokens_.clear(); }
+    void clear();
 
     std::size_t num_backups() const { return tokens_.size(); }
 
@@ -57,6 +74,7 @@ class BackupRegistry
 
   private:
     std::unordered_map<ReqId, std::size_t> tokens_;
+    Listener listener_;
 };
 
 } // namespace windserve::kvcache

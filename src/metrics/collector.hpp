@@ -66,6 +66,17 @@ struct RunMetrics {
     std::uint64_t fault_recoveries = 0;
     /** Crash -> decode-ready latency over completed recoveries. */
     sim::Sample recovery_latency;
+
+    // --- replicated control plane (all zero without one) ---
+    std::uint64_t leader_crashes = 0;
+    std::uint64_t control_partitions = 0;
+    std::uint64_t ctrl_elections = 0;
+    std::uint64_t ctrl_commits = 0;
+    /** Completed leader failovers (loss of the acting leader ->
+     *  first post-failover commit). */
+    std::uint64_t failovers = 0;
+    /** Leader-loss -> first-commit latency per completed failover. */
+    sim::Sample failover_latency;
 };
 
 /** Builds RunMetrics from the finished request set. */

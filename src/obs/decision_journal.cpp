@@ -33,6 +33,8 @@ to_string(DecisionKind k)
         return "reschedule";
       case DecisionKind::Redispatch:
         return "redispatch";
+      case DecisionKind::Failover:
+        return "failover";
     }
     return "unknown";
 }

@@ -31,6 +31,7 @@ enum class DecisionKind {
     Dispatch,   ///< Algorithm 1: where a new request's prefill runs
     Reschedule, ///< dynamic rescheduling under decode memory pressure
     Redispatch, ///< post-fault re-dispatch of a crash victim
+    Failover,   ///< control-plane leader election (replica takeover)
 };
 
 const char *to_string(DecisionKind k);

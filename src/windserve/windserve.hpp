@@ -54,6 +54,12 @@
 #include "fault/fault_injector.hpp"
 #include "fault/fault_plan.hpp"
 
+// replicated control plane (leader election, log replication, KV directory)
+#include "ctrl/control_plane.hpp"
+#include "ctrl/election.hpp"
+#include "ctrl/kv_directory.hpp"
+#include "ctrl/replicated_log.hpp"
+
 // workloads
 #include "workload/arrival.hpp"
 #include "workload/dataset.hpp"

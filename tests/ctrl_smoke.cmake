@@ -1,0 +1,60 @@
+# Replicated-control-plane gate (ctest `ctrl_smoke`, label `ctrl`).
+#
+# Runs bench_fault under a 3-replica control plane with the fail-fast
+# auditor attached to every cell (--audit): any split-brain, commit
+# conflict, double-apply, or lost request throws inside the bench and
+# the nonzero exit fails the gate. The emitted BENCH_fault.json is then
+# validated: the schedule must actually have exercised failover (leader
+# crashes / control partitions with a measured failover latency) on the
+# WindServe cells — a chaos config that never bites would pass audit
+# vacuously.
+execute_process(COMMAND ${BENCH} 800 --replicas=3 --audit --json=${OUT}
+                RESULT_VARIABLE rc OUTPUT_QUIET ERROR_QUIET)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR
+            "bench_fault --replicas=3 --audit failed (rc=${rc}) — a "
+            "nonzero exit means an invariant violation (or crash) in "
+            "the replicated control-plane run")
+endif()
+execute_process(
+    COMMAND ${PYTHON} -c "
+import json, sys
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+assert doc['bench'] == 'fault', doc
+assert doc['schema_version'] == 1, doc
+assert doc['build'] in ('optimized', 'debug'), doc
+assert doc['replicas'] == 3, doc
+sweep = doc['sweep']
+assert len(sweep) == 8, len(sweep)  # 4 MTBFs x {WindServe, DistServe}
+ws = [w for w in sweep if w['system'] == 'WindServe']
+ds = [w for w in sweep if w['system'] != 'WindServe']
+assert len(ws) == 4 and len(ds) == 4, sweep
+for w in sweep:
+    for field in ('mtbf_s', 'system', 'crashes', 'redispatches',
+                  'recoveries', 'aborted', 'recovery_mean_s',
+                  'goodput_tokens_per_s', 'slo_attainment',
+                  'leader_crashes', 'control_partitions',
+                  'ctrl_elections', 'failovers', 'failover_mean_s',
+                  'failover_p99_s'):
+        assert field in w, (w.get('system'), w.get('mtbf_s'), field)
+    assert w['crashes'] > 0, w  # the instance-crash sweep always bites
+for w in ws:
+    # The replicated cells must have lost a leader and failed over.
+    assert w['leader_crashes'] + w['control_partitions'] > 0, w
+    assert w['ctrl_elections'] >= 1, w
+    assert w['failovers'] > 0, ('no failover despite leader loss', w)
+    assert w['failover_mean_s'] > 0, w
+    assert w['failover_p99_s'] >= w['failover_mean_s'] * 0.5, w
+for w in ds:
+    # The baseline has no control plane: its ctrl columns stay zero.
+    assert w['leader_crashes'] == 0 and w['failovers'] == 0, w
+fo = sum(w['failovers'] for w in ws)
+print('ctrl smoke OK: audit clean, %d failovers across %d replicated '
+      'cells (mean %.3fs at mtbf=%g)'
+      % (fo, len(ws), ws[0]['failover_mean_s'], ws[0]['mtbf_s']))
+" ${OUT}
+    RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "emitted fault JSON failed validation: ${OUT}")
+endif()

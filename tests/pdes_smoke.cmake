@@ -22,16 +22,18 @@ execute_process(
 import json, sys
 with open(sys.argv[1]) as f:
     doc = json.load(f)
-assert doc['schema_version'] == 2, doc
+assert doc['schema_version'] == 3, doc
 hw = doc['hw_threads']
 sweep = doc['sweep']
-assert [w['gpus'] for w in sweep] == [8, 64, 512], sweep
+assert [w['gpus'] for w in sweep] == [8, 64, 512, 64], sweep
 for w in sweep:
     assert w['intra_threads'] == 8, w
     assert w['threads_identical'] is True, ('identity violated', w)
     assert w['wall_1t_s'] > 0 and w['wall_s'] > 0, w
     assert w['checksum'] != 0, w
-big = sweep[-1]
+# The speedup gate reads the 512-GPU uniform-fabric cell explicitly —
+# the oversubscribed 64-GPU cell sits at the end of the sweep.
+big = [w for w in sweep if w['gpus'] == 512][0]
 if hw >= 8:
     assert big['intra_speedup'] >= 2.0, (
         'intra-run speedup below 2x on a %d-core host' % hw, big)

@@ -16,11 +16,13 @@ import json, sys
 with open(sys.argv[1]) as f:
     doc = json.load(f)
 assert doc['bench'] == 'scale', doc
-assert doc['schema_version'] == 2, doc
+assert doc['schema_version'] == 3, doc
 assert doc['build'] in ('optimized', 'debug'), doc
 assert doc['hw_threads'] >= 1, doc
 sweep = doc['sweep']
-assert [w['gpus'] for w in sweep] == [8, 64, 512], sweep
+# Three uniform-fabric sizes plus the 8-node oversubscribed-spine cell.
+assert [w['gpus'] for w in sweep] == [8, 64, 512, 64], sweep
+assert [w['spine_oversub'] for w in sweep] == [1.0, 1.0, 1.0, 4.0], sweep
 for w in sweep:
     for field in ('num_nodes', 'pods_per_node', 'pods', 'requests',
                   'events', 'wall_s', 'events_per_sec', 'finished',
@@ -28,7 +30,7 @@ for w in sweep:
                   'slo_attainment', 'makespan_s', 'dispatches',
                   'cross_offloads', 'cross_redispatches', 'audit_events',
                   'checksum', 'intra_threads', 'wall_1t_s',
-                  'intra_speedup', 'threads_identical'):
+                  'intra_speedup', 'spine_oversub', 'threads_identical'):
         assert field in w, (w['gpus'], field)
     assert w['gpus'] == w['pods'] * 4, w
     assert w['pods'] == w['num_nodes'] * w['pods_per_node'], w
